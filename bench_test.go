@@ -1,0 +1,295 @@
+package netupdate
+
+// One benchmark per table/figure of the paper's evaluation (Section 6),
+// at sizes that finish in CI time, plus micro-benchmarks for the moving
+// parts. cmd/experiments regenerates the figures at configurable scale
+// and prints the full series.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netupdate/internal/bench"
+	"netupdate/internal/buchi"
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+	"netupdate/internal/hsa"
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+	"netupdate/internal/mc"
+	"netupdate/internal/sat"
+	"netupdate/internal/topology"
+)
+
+const benchTimeout = 5 * time.Minute
+
+// BenchmarkFig2aProbeLoss regenerates Figure 2(a): probe delivery during
+// naive, ordering, and two-phase updates of the Figure 1 example.
+func BenchmarkFig2aProbeLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2bRuleOverhead regenerates Figure 2(b): per-switch rule
+// overhead of two-phase versus ordering updates.
+func BenchmarkFig2bRuleOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7(a-c): synthesis runtime per checker
+// backend on each topology family (reachability diamonds).
+func BenchmarkFig7(b *testing.B) {
+	families := []bench.Family{bench.FamilyZoo, bench.FamilyFatTree, bench.FamilySmallWorld}
+	checkers := []core.CheckerKind{core.CheckerIncremental, core.CheckerBatch, core.CheckerNuSMV}
+	for _, fam := range families {
+		for _, ck := range checkers {
+			b.Run(string(fam)+"/"+ck.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sc, err := bench.DiamondWorkload(fam, 60, config.Reachability, 60)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := core.Synthesize(sc, core.Options{Checker: ck, Timeout: benchTimeout}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7RuleGranularity regenerates Figure 7(d-f): Incremental vs
+// the NetPlumber substitute at rule granularity.
+func BenchmarkFig7RuleGranularity(b *testing.B) {
+	for _, ck := range []core.CheckerKind{core.CheckerIncremental, core.CheckerNetPlumber} {
+		b.Run(ck.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 50, config.Reachability, 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, err = core.Synthesize(sc, core.Options{
+					Checker: ck, RuleGranularity: true, Timeout: benchTimeout,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8gScalability regenerates Figure 8(g): Small-World
+// scalability for the three property families.
+func BenchmarkFig8gScalability(b *testing.B) {
+	for _, prop := range []config.Property{config.Reachability, config.Waypointing, config.ServiceChaining} {
+		b.Run(prop.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 120, prop, 120*7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Synthesize(sc, core.Options{Timeout: benchTimeout}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8hInfeasible regenerates Figure 8(h): time to prove that no
+// switch-granularity ordering exists.
+func BenchmarkFig8hInfeasible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := bench.InfeasibleWorkload(60, config.Reachability, 2, 60*3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = core.Synthesize(sc, core.Options{Timeout: benchTimeout})
+		if !errors.Is(err, core.ErrNoOrdering) {
+			b.Fatalf("err = %v, want ErrNoOrdering", err)
+		}
+	}
+}
+
+// BenchmarkFig8iRuleGranularity regenerates Figure 8(i): solving the
+// switch-impossible workloads at rule granularity.
+func BenchmarkFig8iRuleGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := bench.InfeasibleWorkload(60, config.Reachability, 2, 60*3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = core.Synthesize(sc, core.Options{RuleGranularity: true, Timeout: benchTimeout})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaitRemoval regenerates the Section 6 "Waits" measurements:
+// synthesis with and without the wait-removal pass.
+func BenchmarkWaitRemoval(b *testing.B) {
+	sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 120, config.Reachability, 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := core.Synthesize(sc, core.Options{Timeout: benchTimeout})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Stats.WaitsAfter >= plan.Stats.WaitsBefore && plan.Stats.WaitsBefore > 2 {
+			b.Fatalf("wait removal ineffective: %d -> %d",
+				plan.Stats.WaitsBefore, plan.Stats.WaitsAfter)
+		}
+	}
+}
+
+// BenchmarkCheckerOnlyComparison regenerates the Section 6 checker-only
+// comparison (same model-checking questions, different backends).
+func BenchmarkCheckerOnlyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.CheckerOnly(60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the optimization ablation table.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Ablation(60, benchTimeout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks ---
+
+func benchScene(b *testing.B, n int) (*config.Scenario, *kripke.K, *ltl.Formula) {
+	b.Helper()
+	topo := topology.SmallWorld(n, 4, 0.3, int64(n))
+	sc, err := config.Diamonds(topo, config.DiamondOptions{
+		Pairs: 1, Property: config.Reachability, Seed: int64(n),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := kripke.Build(sc.Topo, sc.Init, sc.Specs[0].Class)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc, k, sc.Specs[0].Formula
+}
+
+// BenchmarkKripkeBuild measures building a class Kripke structure.
+func BenchmarkKripkeBuild(b *testing.B) {
+	sc, _, _ := benchScene(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kripke.Build(sc.Topo, sc.Init, sc.Specs[0].Class); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchUpdateLoop measures a checker's update/revert cycle on one switch.
+func benchUpdateLoop(b *testing.B, factory mc.Factory) {
+	sc, k, spec := benchScene(b, 200)
+	chk, err := factory(k, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chk.Check()
+	sw := sc.UpdatingSwitches()[0]
+	newTbl := sc.Final.Table(sw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta, err := k.UpdateSwitch(sw, newTbl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, tok := chk.Update(delta)
+		chk.Revert(tok)
+		k.Revert(delta)
+	}
+}
+
+// BenchmarkIncrementalUpdate measures the incremental checker's
+// relabel-on-update (the paper's core operation).
+func BenchmarkIncrementalUpdate(b *testing.B) { benchUpdateLoop(b, mc.NewIncremental) }
+
+// BenchmarkBatchUpdate measures the full-relabel baseline on the same
+// operation.
+func BenchmarkBatchUpdate(b *testing.B) { benchUpdateLoop(b, mc.NewBatch) }
+
+// BenchmarkBuchiUpdate measures the automaton-theoretic (NuSMV-substitute)
+// checker on the same operation.
+func BenchmarkBuchiUpdate(b *testing.B) { benchUpdateLoop(b, buchi.New) }
+
+// BenchmarkHSAUpdate measures the header-space (NetPlumber-substitute)
+// checker on the same operation.
+func BenchmarkHSAUpdate(b *testing.B) { benchUpdateLoop(b, hsa.New) }
+
+// BenchmarkLTLExtend measures one labeling step.
+func BenchmarkLTLExtend(b *testing.B) {
+	clo := ltl.MustClosure(ltl.ServiceChain(1, []int{2, 3, 4}, 5))
+	atoms := clo.AtomValuation(ltl.EnvFunc(func(p ltl.Prop) bool { return p.Value == 3 }))
+	next := clo.Sink(atoms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next = clo.Extend(atoms, next)
+	}
+}
+
+// BenchmarkSATPigeonhole measures the CDCL solver on a classic UNSAT
+// instance (6 pigeons, 5 holes).
+func BenchmarkSATPigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		v := func(p, h int) sat.Lit { return sat.Lit(p*5 + h + 1) }
+		for p := 0; p < 6; p++ {
+			s.AddClause(v(p, 0), v(p, 1), v(p, 2), v(p, 3), v(p, 4))
+		}
+		for h := 0; h < 5; h++ {
+			for p1 := 0; p1 < 6; p1++ {
+				for p2 := p1 + 1; p2 < 6; p2++ {
+					s.AddClause(-v(p1, h), -v(p2, h))
+				}
+			}
+		}
+		if s.Solve() {
+			b.Fatal("pigeonhole must be unsat")
+		}
+	}
+}
+
+// BenchmarkSimulatorFig1 measures the discrete-event simulator on the
+// Figure 1 scenario.
+func BenchmarkSimulatorFig1(b *testing.B) {
+	sc := config.Fig1RedGreen()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := []Class{sc.Specs[0].Class}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Simulate(sc.Topo, sc.Init, plan.Commands(), classes, SimParams{
+			Duration: time.Second,
+		})
+		if res.Lost != 0 {
+			b.Fatal("unexpected loss")
+		}
+	}
+}

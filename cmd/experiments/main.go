@@ -1,0 +1,159 @@
+// Command experiments regenerates the paper's evaluation figures (Section
+// 6) using the benchmark harness:
+//
+//	experiments -fig all            # everything, small scale
+//	experiments -fig 7 -scale full  # Figure 7(a-c) at paper scale
+//	experiments -fig 8g -scale full
+//
+// Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation, all.
+// The -scale flag selects problem sizes: "small" finishes in seconds,
+// "medium" in minutes, "full" approaches the paper's sizes (up to 1500
+// switches for 8g) and can take much longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netupdate/internal/bench"
+	"netupdate/internal/core"
+)
+
+type scale struct {
+	fig7Sizes    []int
+	fig7dfSizes  []int
+	fig8gSizes   []int
+	fig8hSizes   []int
+	fig8iSizes   []int
+	checkerSize  int
+	ablationSize int
+	timeout      time.Duration
+}
+
+var scales = map[string]scale{
+	"small": {
+		fig7Sizes:   []int{30, 60, 90},
+		fig7dfSizes: []int{30, 60},
+		fig8gSizes:  []int{40, 80},
+		fig8hSizes:  []int{40, 80},
+		fig8iSizes:  []int{40, 80},
+		checkerSize: 60, ablationSize: 60,
+		timeout: time.Minute,
+	},
+	"medium": {
+		fig7Sizes:   []int{50, 100, 200, 300},
+		fig7dfSizes: []int{50, 100, 200},
+		fig8gSizes:  []int{100, 200, 400},
+		fig8hSizes:  []int{100, 200, 400},
+		fig8iSizes:  []int{100, 200},
+		checkerSize: 200, ablationSize: 150,
+		timeout: 5 * time.Minute,
+	},
+	"full": {
+		fig7Sizes:   []int{100, 200, 400, 600},
+		fig7dfSizes: []int{100, 200, 400, 600},
+		fig8gSizes:  []int{200, 400, 800, 1200, 1500},
+		fig8hSizes:  []int{200, 400, 800},
+		fig8iSizes:  []int{200, 400, 800},
+		checkerSize: 400, ablationSize: 300,
+		timeout: 10 * time.Minute,
+	},
+}
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|all")
+		scaleFl = flag.String("scale", "small", "problem scale: small|medium|full")
+	)
+	flag.Parse()
+	sc, ok := scales[*scaleFl]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleFl)
+		os.Exit(2)
+	}
+	if err := run(*fig, sc); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, sc scale) error {
+	all := fig == "all"
+	show := func(t *bench.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		return nil
+	}
+	if all || fig == "2a" {
+		if err := show(bench.Fig2a()); err != nil {
+			return err
+		}
+	}
+	if all || fig == "2b" {
+		if err := show(bench.Fig2b()); err != nil {
+			return err
+		}
+	}
+	if all || fig == "7" {
+		checkers := []core.CheckerKind{core.CheckerIncremental, core.CheckerBatch, core.CheckerNuSMV}
+		for _, fam := range []bench.Family{bench.FamilyZoo, bench.FamilyFatTree, bench.FamilySmallWorld} {
+			t, _, err := bench.Fig7(fam, sc.fig7Sizes, checkers, sc.timeout)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Format())
+		}
+	}
+	if all || fig == "7df" {
+		for _, fam := range []bench.Family{bench.FamilyZoo, bench.FamilyFatTree, bench.FamilySmallWorld} {
+			t, _, err := bench.Fig7Rule(fam, sc.fig7dfSizes, sc.timeout)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Format())
+		}
+	}
+	if all || fig == "8g" {
+		t, waits, err := bench.Fig8g(sc.fig8gSizes, sc.timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		fmt.Println(waits.Format())
+	}
+	if all || fig == "8h" {
+		if err := func() error {
+			t, err := bench.Fig8h(sc.fig8hSizes, sc.timeout)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Format())
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	if all || fig == "8i" {
+		t, waits, err := bench.Fig8i(sc.fig8iSizes, sc.timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		fmt.Println(waits.Format())
+	}
+	if all || fig == "checker" {
+		if err := show(bench.CheckerOnly(sc.checkerSize)); err != nil {
+			return err
+		}
+	}
+	if all || fig == "ablation" {
+		if err := show(bench.Ablation(sc.ablationSize, sc.timeout)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Middlebox: the paper's red-to-blue scenario (Section 2, "In-flight
+// Packets and Waits") — shift H1->H3 traffic from T1-A1-C1-A3-T3 to
+// T1-A2-C1-A4-T3 while every packet must traverse one of the scrubbing
+// middleboxes A3 or A4. The specification is written in the textual LTL
+// syntax; the synthesized plan may need a wait barrier to fence off
+// in-flight packets (the paper's sequence is A2, A4, T1, wait, C1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netupdate"
+)
+
+func main() {
+	sc := netupdate.Fig1RedBlue()
+	topo, n := netupdate.Fig1Topology()
+	_ = topo
+
+	// Reachability plus either-waypoint, in the concrete spec syntax:
+	// the packet must not reach T3 until it has visited A3 or A4, and it
+	// must eventually reach T3.
+	spec, err := netupdate.ParseFormula(fmt.Sprintf(
+		"sw=%d -> ((sw!=%d U ((sw=%d | sw=%d) & F sw=%d)))",
+		n.T1, n.T3, n.A3, n.A4, n.T3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.Specs[0].Formula = spec
+
+	fmt.Printf("specification: %v\n\n", spec)
+
+	// Verify the endpoints first.
+	for name, cfg := range map[string]*netupdate.Config{"initial": sc.Init, "final": sc.Final} {
+		ok, cex, err := netupdate.Verify(sc.Topo, cfg, sc.Specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			log.Fatalf("%s configuration violates the spec: %v", name, cex)
+		}
+	}
+
+	plan, err := netupdate.Synthesize(sc, netupdate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("synthesized update sequence:")
+	for i, s := range plan.Steps {
+		fmt.Printf("  %d. %s\n", i+1, s)
+	}
+	fmt.Printf("\nwaits: %d careful barriers reduced to %d (removal took %.4fs)\n",
+		plan.Stats.WaitsBefore, plan.Stats.WaitsAfter,
+		plan.Stats.WaitRemovalTime.Seconds())
+
+	// Show what a wrong order would do: updating T1 before A2 sends
+	// packets into a blackhole at A2.
+	bad := sc.Init.Clone()
+	bad.SetTable(n.T1, sc.Final.Table(n.T1))
+	ok, cex, err := netupdate.Verify(sc.Topo, bad, sc.Specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		log.Fatal("expected the premature T1 update to violate the spec")
+	}
+	fmt.Printf("\ncounterexample for updating T1 first:\n  %v\n", cex)
+}

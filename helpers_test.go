@@ -1,0 +1,21 @@
+package netupdate
+
+import (
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+func fig1Nodes() (*Topology, Fig1Nodes) { return config.Fig1Topology() }
+
+func fwdRule(cl Class, pt topology.Port) Rule {
+	return Rule{
+		Priority: 10,
+		Match:    cl.Pattern(),
+		Actions:  []network.Action{network.Forward(pt)},
+	}
+}
+
+func infeasibleOpts(gadgets int, seed int64) InfeasibleOptions {
+	return InfeasibleOptions{Gadgets: gadgets, Seed: seed}
+}

@@ -1,0 +1,67 @@
+// Package bench is the experiment harness: for every table and figure in
+// the paper's evaluation (Section 6) it provides a runner that generates
+// the workload, executes the synthesizer or simulator, and returns the
+// series the paper plots. cmd/experiments pretty-prints them; the root
+// bench_test.go wraps them as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable result table: one row per measurement point.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; cells are stringified with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+
+	"netupdate/internal/config"
+	"netupdate/internal/topology"
+)
+
+// Family identifies a topology dataset from the evaluation.
+type Family string
+
+// The three topology families of Figure 7.
+const (
+	FamilyZoo        Family = "topology-zoo"
+	FamilyFatTree    Family = "fattree"
+	FamilySmallWorld Family = "small-world"
+)
+
+// BuildTopology constructs a topology of roughly n switches from the
+// family (deterministic for a given n).
+func BuildTopology(f Family, n int) (*topology.Topology, error) {
+	switch f {
+	case FamilyZoo:
+		return topology.WAN(fmt.Sprintf("zoo-like-%d", n), n, int64(0xBEEF+n)), nil
+	case FamilyFatTree:
+		t, _ := topology.FatTreeForSize(n)
+		return t, nil
+	case FamilySmallWorld:
+		return topology.SmallWorld(n, 4, 0.3, int64(0xCAFE+n)), nil
+	}
+	return nil, fmt.Errorf("bench: unknown family %q", f)
+}
+
+// DiamondWorkload builds the standard evaluation workload on a topology
+// of about n switches: disjoint diamonds whose pair count scales with the
+// topology so that larger instances update more switches.
+func DiamondWorkload(f Family, n int, prop config.Property, seed int64) (*config.Scenario, error) {
+	return DiamondWorkloadBG(f, n, prop, seed, 0)
+}
+
+// DiamondWorkloadBG is DiamondWorkload with extra background routing
+// flows inflating the rule tables (for the rule-granularity sweeps).
+func DiamondWorkloadBG(f Family, n int, prop config.Property, seed int64, background int) (*config.Scenario, error) {
+	topo, err := BuildTopology(f, n)
+	if err != nil {
+		return nil, err
+	}
+	pairs := n / 30
+	if pairs < 1 {
+		pairs = 1
+	}
+	if pairs > 40 {
+		pairs = 40
+	}
+	// Dense scenarios occasionally fail to place every diamond; retry
+	// with fewer pairs rather than failing the sweep.
+	for ; pairs >= 1; pairs-- {
+		sc, err := config.Diamonds(topo, config.DiamondOptions{
+			Pairs: pairs, Property: prop, Seed: seed, BackgroundFlows: background,
+		})
+		if err == nil {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: cannot place any diamond on %s-%d", f, n)
+}
+
+// InfeasibleWorkload builds the Figure 8(h)/(i) workload: double-diamond
+// gadgets with no switch-granularity solution.
+func InfeasibleWorkload(n int, prop config.Property, gadgets int, seed int64) (*config.Scenario, error) {
+	topo := topology.SmallWorld(n, 4, 0.3, int64(0xD00D+n))
+	for ; gadgets >= 1; gadgets-- {
+		sc, err := config.Infeasible(topo, config.InfeasibleOptions{
+			Gadgets: gadgets, Property: prop, Seed: seed,
+			BackgroundFlows: n / 2,
+		})
+		if err == nil {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: cannot place any gadget on small-world-%d", n)
+}

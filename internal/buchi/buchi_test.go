@@ -1,0 +1,196 @@
+package buchi
+
+import (
+	"math/rand"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+	"netupdate/internal/mc"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+func randomScene(r *rand.Rand) (*topology.Topology, *kripke.K) {
+	for {
+		n := 4 + r.Intn(6)
+		topo := topology.WAN("t", n, r.Int63())
+		topo.AddHost(100, r.Intn(n))
+		topo.AddHost(101, r.Intn(n))
+		cl := config.Class{SrcHost: 100, DstHost: 101}
+		cfg := config.New()
+		for sw := 0; sw < n; sw++ {
+			if r.Intn(4) == 0 {
+				continue
+			}
+			ports := topo.Ports(sw)
+			cfg.AddRule(sw, network.Rule{
+				Priority: 10, Match: cl.Pattern(),
+				Actions: []network.Action{network.Forward(ports[r.Intn(len(ports))])},
+			})
+		}
+		k, err := kripke.Build(topo, cfg, cl)
+		if err != nil {
+			continue
+		}
+		return topo, k
+	}
+}
+
+func randomFormula(r *rand.Rand, n int) *ltl.Formula {
+	var gen func(d int) *ltl.Formula
+	gen = func(d int) *ltl.Formula {
+		if d <= 0 {
+			return ltl.At(r.Intn(n))
+		}
+		switch r.Intn(7) {
+		case 0:
+			return ltl.Not(gen(d - 1))
+		case 1:
+			return ltl.And(gen(d-1), gen(d-1))
+		case 2:
+			return ltl.Or(gen(d-1), gen(d-1))
+		case 3:
+			return ltl.Next(gen(d - 1))
+		case 4:
+			return ltl.Until(gen(d-1), gen(d-1))
+		case 5:
+			return ltl.Release(gen(d-1), gen(d-1))
+		default:
+			return ltl.At(r.Intn(n))
+		}
+	}
+	return gen(2 + r.Intn(2))
+}
+
+func bruteForce(k *kripke.K, f *ltl.Formula) bool {
+	for _, q0 := range k.Init() {
+		for _, tr := range k.Traces(q0, 100000) {
+			env := make([]ltl.Env, len(tr))
+			for i, id := range tr {
+				env[i] = k.Env(id)
+			}
+			if !f.EvalTrace(env) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTranslateSmokeTests(t *testing.T) {
+	for _, f := range []*ltl.Formula{
+		ltl.True(), ltl.False(), ltl.At(1),
+		ltl.Eventually(ltl.At(2)), ltl.Always(ltl.At(1)),
+		ltl.Until(ltl.At(1), ltl.At(2)),
+		ltl.Reachability(0, 2), ltl.Waypoint(0, 1, 2),
+	} {
+		a, err := Translate(f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if f.Op == ltl.OpFalse {
+			if len(a.Init) != 0 {
+				t.Fatalf("automaton for false should be empty")
+			}
+			continue
+		}
+		if a.NumStates() == 0 {
+			t.Fatalf("%v: empty automaton", f)
+		}
+	}
+}
+
+func TestCheckerMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 200; iter++ {
+		topo, k := randomScene(r)
+		f := randomFormula(r, topo.NumSwitches())
+		chk, err := New(k, f)
+		if err != nil {
+			continue
+		}
+		got := chk.Check()
+		want := bruteForce(k, f)
+		if got.OK != want {
+			t.Fatalf("iter %d: buchi=%v brute=%v formula=%v", iter, got.OK, want, f)
+		}
+		if !got.OK {
+			validateCex(t, k, f, got.Cex)
+		}
+	}
+}
+
+func validateCex(t *testing.T, k *kripke.K, f *ltl.Formula, cex []int) {
+	t.Helper()
+	if len(cex) == 0 {
+		t.Fatal("missing counterexample")
+	}
+	for i := 0; i+1 < len(cex); i++ {
+		ok := false
+		for _, s := range k.Succ(cex[i]) {
+			if s == cex[i+1] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("cex has non-edge at %d", i)
+		}
+	}
+	if !k.IsSink(cex[len(cex)-1]) {
+		t.Fatal("cex must end at a sink")
+	}
+	env := make([]ltl.Env, len(cex))
+	for i, id := range cex {
+		env[i] = k.Env(id)
+	}
+	if f.EvalTrace(env) {
+		t.Fatal("cex does not violate the formula")
+	}
+}
+
+func TestCheckerMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	for iter := 0; iter < 150; iter++ {
+		topo, k := randomScene(r)
+		f := randomFormula(r, topo.NumSwitches())
+		bchk, err := New(k, f)
+		if err != nil {
+			continue
+		}
+		ichk, err := mc.NewIncremental(k, f)
+		if err != nil {
+			continue
+		}
+		if bchk.Check().OK != ichk.Check().OK {
+			t.Fatalf("iter %d: buchi and incremental disagree on %v", iter, f)
+		}
+	}
+}
+
+func TestCheckerUpdateIsBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	topo, k := randomScene(r)
+	f := ltl.Reachability(0, topo.NumSwitches()-1)
+	chk, err := New(k, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := chk.Check()
+	d, err := k.UpdateSwitch(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, tok := chk.Update(d)
+	chk.Revert(tok)
+	k.Revert(d)
+	after := chk.Check()
+	if before.OK != after.OK {
+		t.Fatal("revert did not restore verdict")
+	}
+	_ = v
+	if chk.Stats().Checks != 3 {
+		t.Fatalf("stats.Checks = %d, want 3", chk.Stats().Checks)
+	}
+}

@@ -1,0 +1,325 @@
+// Package buchi implements an automaton-theoretic LTL model checker: the
+// Gerth-Peled-Vardi-Wolper (GPVW) tableau translation from LTL to
+// generalized Büchi automata, degeneralization, product with a Kripke
+// structure, and nested-DFS emptiness checking. It is the repository's
+// stand-in for NuSMV: a general-purpose checker that re-verifies the whole
+// model from scratch on every call (see DESIGN.md, Substitutions).
+package buchi
+
+import (
+	"sort"
+
+	"netupdate/internal/ltl"
+)
+
+// Automaton is a Büchi automaton over state-labels: each automaton state
+// carries literal obligations (atomic propositions that must be true or
+// false of the Kripke state it is paired with).
+type Automaton struct {
+	// Pos[i]/Neg[i] are the closure ids of atoms that must hold / must not
+	// hold at any Kripke state paired with automaton state i.
+	Pos, Neg [][]int
+	Init     []int
+	Succ     [][]int
+	Accept   []bool
+	// Closure indexes the subformulas of the (negated) specification; the
+	// checker evaluates its atoms against Kripke states.
+	Closure *ltl.Closure
+}
+
+// Translate builds a Büchi automaton accepting exactly the traces that
+// satisfy f (callers pass the negated specification to search for
+// violations). f is converted to NNF internally.
+func Translate(f *ltl.Formula) (*Automaton, error) {
+	clo, err := ltl.NewClosure(f)
+	if err != nil {
+		return nil, err
+	}
+	g := &gpvw{clo: clo}
+	g.run()
+	return g.degeneralize(), nil
+}
+
+// gpvw carries the tableau construction state.
+type gpvw struct {
+	clo   *ltl.Closure
+	nodes []*gnode
+}
+
+// gnode is a tableau node. Sets are keyed by closure subformula id.
+type gnode struct {
+	id       int
+	incoming map[int]bool // predecessor node ids; -1 marks initial
+	new      map[int]bool
+	old      map[int]bool
+	next     map[int]bool
+}
+
+const initMark = -1
+
+func setClone(m map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(m))
+	for k := range m {
+		c[k] = true
+	}
+	return c
+}
+
+func (g *gpvw) run() {
+	root := &gnode{
+		incoming: map[int]bool{initMark: true},
+		new:      map[int]bool{g.clo.Root(): true},
+		old:      map[int]bool{},
+		next:     map[int]bool{},
+	}
+	g.expand(root)
+}
+
+// pop removes and returns an arbitrary (smallest, for determinism)
+// formula id from new.
+func (n *gnode) pop() int {
+	min := -1
+	for id := range n.new {
+		if min == -1 || id < min {
+			min = id
+		}
+	}
+	delete(n.new, min)
+	return min
+}
+
+func (g *gpvw) expand(n *gnode) {
+	if len(n.new) == 0 {
+		// Merge with an existing node having identical old/next.
+		for _, m := range g.nodes {
+			if setsEqual(m.old, n.old) && setsEqual(m.next, n.next) {
+				for p := range n.incoming {
+					m.incoming[p] = true
+				}
+				return
+			}
+		}
+		n.id = len(g.nodes)
+		g.nodes = append(g.nodes, n)
+		succ := &gnode{
+			incoming: map[int]bool{n.id: true},
+			new:      setClone(n.next),
+			old:      map[int]bool{},
+			next:     map[int]bool{},
+		}
+		g.expand(succ)
+		return
+	}
+	eta := n.pop()
+	f := g.clo.Sub(eta)
+	switch f.Op {
+	case ltl.OpTrue:
+		g.expand(n)
+	case ltl.OpFalse:
+		return // contradiction: discard node
+	case ltl.OpAtom, ltl.OpNot:
+		if n.old[g.negationOf(eta)] {
+			return // inconsistent literal set
+		}
+		n.old[eta] = true
+		g.expand(n)
+	case ltl.OpAnd:
+		l, r := g.childIDs(f)
+		if !n.old[l] {
+			n.new[l] = true
+		}
+		if !n.old[r] {
+			n.new[r] = true
+		}
+		n.old[eta] = true
+		g.expand(n)
+	case ltl.OpOr:
+		l, r := g.childIDs(f)
+		n2 := &gnode{incoming: setClone(n.incoming), new: setClone(n.new),
+			old: setClone(n.old), next: setClone(n.next)}
+		n.old[eta] = true
+		n2.old[eta] = true
+		if !n.old[l] {
+			n.new[l] = true
+		}
+		if !n2.old[r] {
+			n2.new[r] = true
+		}
+		g.expand(n)
+		g.expand(n2)
+	case ltl.OpNext:
+		l, _ := g.childIDs(f)
+		n.old[eta] = true
+		n.next[l] = true
+		g.expand(n)
+	case ltl.OpUntil:
+		l, r := g.childIDs(f)
+		n2 := &gnode{incoming: setClone(n.incoming), new: setClone(n.new),
+			old: setClone(n.old), next: setClone(n.next)}
+		n.old[eta] = true
+		n2.old[eta] = true
+		// Branch 1: l holds now, obligation carries to the next state.
+		if !n.old[l] {
+			n.new[l] = true
+		}
+		n.next[eta] = true
+		// Branch 2: r holds now, obligation discharged.
+		if !n2.old[r] {
+			n2.new[r] = true
+		}
+		g.expand(n)
+		g.expand(n2)
+	case ltl.OpRelease:
+		l, r := g.childIDs(f)
+		n2 := &gnode{incoming: setClone(n.incoming), new: setClone(n.new),
+			old: setClone(n.old), next: setClone(n.next)}
+		n.old[eta] = true
+		n2.old[eta] = true
+		// Branch 1: r holds now, obligation carries.
+		if !n.old[r] {
+			n.new[r] = true
+		}
+		n.next[eta] = true
+		// Branch 2: l and r hold now, obligation discharged.
+		if !n2.old[l] {
+			n2.new[l] = true
+		}
+		if !n2.old[r] {
+			n2.new[r] = true
+		}
+		g.expand(n)
+		g.expand(n2)
+	}
+}
+
+// negationOf returns the closure id of the NNF negation of a literal, or
+// -1 if the negation is not in the closure (then no clash is possible).
+func (g *gpvw) negationOf(id int) int {
+	f := g.clo.Sub(id)
+	var neg *ltl.Formula
+	if f.Op == ltl.OpAtom {
+		neg = ltl.Not(f)
+	} else { // OpNot over an atom
+		neg = f.L
+	}
+	// Linear scan: closures are small and this runs once per literal pop.
+	for i := 0; i < g.clo.Size(); i++ {
+		if g.clo.Sub(i).Equal(neg) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (g *gpvw) childIDs(f *ltl.Formula) (int, int) {
+	l, r := -1, -1
+	if f.L != nil {
+		l = g.mustID(f.L)
+	}
+	if f.R != nil {
+		r = g.mustID(f.R)
+	}
+	return l, r
+}
+
+func (g *gpvw) mustID(f *ltl.Formula) int {
+	for i := 0; i < g.clo.Size(); i++ {
+		if g.clo.Sub(i).Equal(f) {
+			return i
+		}
+	}
+	panic("buchi: subformula missing from closure")
+}
+
+func setsEqual(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// degeneralize converts the tableau's generalized acceptance (one set per
+// until subformula) into an ordinary Büchi automaton via the standard
+// copy construction.
+func (g *gpvw) degeneralize() *Automaton {
+	// Collect until subformulas; acceptance set for u = l U r is the set
+	// of nodes where u not in old, or r in old.
+	var untils []int
+	for i := 0; i < g.clo.Size(); i++ {
+		if g.clo.Sub(i).Op == ltl.OpUntil {
+			untils = append(untils, i)
+		}
+	}
+	k := len(untils)
+	if k == 0 {
+		k = 1 // single trivially-full acceptance set
+	}
+	inF := func(node *gnode, j int) bool {
+		if len(untils) == 0 {
+			return true
+		}
+		u := untils[j]
+		if !node.old[u] {
+			return true
+		}
+		_, r := g.childIDs(g.clo.Sub(u))
+		return node.old[r]
+	}
+	nNodes := len(g.nodes)
+	idx := func(node, copy int) int { return node*k + copy }
+	a := &Automaton{
+		Pos:     make([][]int, nNodes*k),
+		Neg:     make([][]int, nNodes*k),
+		Succ:    make([][]int, nNodes*k),
+		Accept:  make([]bool, nNodes*k),
+		Closure: g.clo,
+	}
+	// Literals per node.
+	pos := make([][]int, nNodes)
+	neg := make([][]int, nNodes)
+	for i, node := range g.nodes {
+		for id := range node.old {
+			switch g.clo.Sub(id).Op {
+			case ltl.OpAtom:
+				pos[i] = append(pos[i], id)
+			case ltl.OpNot:
+				neg[i] = append(neg[i], g.mustID(g.clo.Sub(id).L))
+			}
+		}
+		sort.Ints(pos[i])
+		sort.Ints(neg[i])
+	}
+	// Edges: node m -> node n iff m in n.incoming. Copy transition: from
+	// copy j, advance to (j+1)%k when the source node is in F_j.
+	for ni, node := range g.nodes {
+		for j := 0; j < k; j++ {
+			s := idx(ni, j)
+			a.Pos[s], a.Neg[s] = pos[ni], neg[ni]
+			a.Accept[s] = j == 0 && inF(node, 0)
+		}
+		for p := range node.incoming {
+			if p == initMark {
+				for j := 0; j < 1; j++ { // initial states start in copy 0
+					a.Init = append(a.Init, idx(ni, 0))
+				}
+				continue
+			}
+			for j := 0; j < k; j++ {
+				jn := j
+				if inF(g.nodes[p], j) {
+					jn = (j + 1) % k
+				}
+				a.Succ[idx(p, j)] = append(a.Succ[idx(p, j)], idx(ni, jn))
+			}
+		}
+	}
+	return a
+}
+
+// NumStates returns the number of automaton states.
+func (a *Automaton) NumStates() int { return len(a.Succ) }

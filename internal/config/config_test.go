@@ -1,0 +1,293 @@
+package config
+
+import (
+	"testing"
+
+	"netupdate/internal/ltl"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+func fwdRule(pri int, pat network.Pattern, pt topology.Port) network.Rule {
+	return network.Rule{Priority: pri, Match: pat, Actions: []network.Action{network.Forward(pt)}}
+}
+
+func TestConfigBasics(t *testing.T) {
+	c := New()
+	if got := c.Table(3); got != nil {
+		t.Fatalf("empty config table = %v", got)
+	}
+	r := fwdRule(1, network.AnyPacket(), 1)
+	c.AddRule(3, r)
+	if len(c.Table(3)) != 1 {
+		t.Fatal("AddRule failed")
+	}
+	if got := c.Switches(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Switches = %v", got)
+	}
+	if c.NumRules() != 1 {
+		t.Fatalf("NumRules = %d", c.NumRules())
+	}
+	if !c.RemoveRule(3, r) {
+		t.Fatal("RemoveRule failed")
+	}
+	if c.RemoveRule(3, r) {
+		t.Fatal("RemoveRule should fail on missing rule")
+	}
+	if len(c.Switches()) != 0 {
+		t.Fatal("empty table should be dropped from Switches")
+	}
+}
+
+func TestConfigCloneIsDeep(t *testing.T) {
+	c := New()
+	c.AddRule(1, fwdRule(1, network.AnyPacket(), 1))
+	d := c.Clone()
+	d.AddRule(1, fwdRule(2, network.AnyPacket(), 2))
+	if len(c.Table(1)) != 1 || len(d.Table(1)) != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := New(), New()
+	a.AddRule(1, fwdRule(1, network.AnyPacket(), 1))
+	a.AddRule(2, fwdRule(1, network.AnyPacket(), 1))
+	b.AddRule(1, fwdRule(1, network.AnyPacket(), 1))
+	b.AddRule(2, fwdRule(1, network.AnyPacket(), 2)) // differs
+	b.AddRule(3, fwdRule(1, network.AnyPacket(), 1)) // only in b
+	got := Diff(a, b)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Diff = %v, want [2 3]", got)
+	}
+	if d := Diff(a, a.Clone()); len(d) != 0 {
+		t.Fatalf("self diff = %v", d)
+	}
+}
+
+func TestInstallPathAndPathOf(t *testing.T) {
+	topo := topology.New("line", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddHost(10, 0)
+	topo.AddHost(11, 2)
+	cl := Class{SrcHost: 10, DstHost: 11}
+	cfg := New()
+	if err := InstallPath(cfg, topo, cl, []int{0, 1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	path, err := PathOf(cfg, topo, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != 0 || path[2] != 2 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestInstallPathErrors(t *testing.T) {
+	topo := topology.New("line", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddHost(10, 0)
+	topo.AddHost(11, 2)
+	cl := Class{SrcHost: 10, DstHost: 11}
+	cases := []struct {
+		name string
+		path []int
+	}{
+		{"empty", nil},
+		{"wrong start", []int{1, 2}},
+		{"wrong end", []int{0, 1}},
+		{"not adjacent", []int{0, 2}},
+	}
+	for _, c := range cases {
+		if err := InstallPath(New(), topo, cl, c.path, 10); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if err := InstallPath(New(), topo, Class{SrcHost: 99, DstHost: 11}, []int{0, 1, 2}, 10); err == nil {
+		t.Error("missing src host: expected error")
+	}
+	if err := InstallPath(New(), topo, Class{SrcHost: 10, DstHost: 99}, []int{0, 1, 2}, 10); err == nil {
+		t.Error("missing dst host: expected error")
+	}
+}
+
+func TestPathOfDetectsLoop(t *testing.T) {
+	topo := topology.New("tri", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddLink(2, 0)
+	topo.AddHost(10, 0)
+	topo.AddHost(11, 2)
+	cl := Class{SrcHost: 10, DstHost: 11}
+	cfg := New()
+	p01, _ := topo.PortToward(0, 1)
+	p12, _ := topo.PortToward(1, 2)
+	p20, _ := topo.PortToward(2, 0)
+	cfg.AddRule(0, fwdRule(1, cl.Pattern(), p01))
+	cfg.AddRule(1, fwdRule(1, cl.Pattern(), p12))
+	cfg.AddRule(2, fwdRule(1, cl.Pattern(), p20))
+	if _, err := PathOf(cfg, topo, cl); err == nil {
+		t.Fatal("expected loop error")
+	}
+}
+
+func TestPathOfDetectsDropAndWrongHost(t *testing.T) {
+	topo := topology.New("line", 2)
+	topo.AddLink(0, 1)
+	topo.AddHost(10, 0)
+	topo.AddHost(11, 1)
+	topo.AddHost(12, 1)
+	cl := Class{SrcHost: 10, DstHost: 11}
+	cfg := New()
+	if _, err := PathOf(cfg, topo, cl); err == nil {
+		t.Fatal("expected drop error on empty config")
+	}
+	p01, _ := topo.PortToward(0, 1)
+	cfg.AddRule(0, fwdRule(1, cl.Pattern(), p01))
+	wrong, _ := topo.HostByID(12)
+	cfg.AddRule(1, fwdRule(1, cl.Pattern(), wrong.Port))
+	if _, err := PathOf(cfg, topo, cl); err == nil {
+		t.Fatal("expected wrong-host error")
+	}
+}
+
+func TestFig1Scenarios(t *testing.T) {
+	for _, s := range []*Scenario{Fig1RedGreen(), Fig1RedBlue(), Fig1RedBlueWaypoint()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	rg := Fig1RedGreen()
+	_, n := Fig1Topology()
+	diff := rg.UpdatingSwitches()
+	want := []int{n.A1, n.C2}
+	if len(diff) != 2 || diff[0] != want[0] || diff[1] != want[1] {
+		t.Fatalf("red-green diff = %v, want %v (A1, C2)", diff, want)
+	}
+	rb := Fig1RedBlue()
+	diff = rb.UpdatingSwitches()
+	if len(diff) != 4 {
+		t.Fatalf("red-blue diff = %v, want 4 switches (T1, A2, C1, A4)", diff)
+	}
+}
+
+func TestDiamondsReachability(t *testing.T) {
+	topo := topology.SmallWorld(60, 4, 0.3, 7)
+	s, err := Diamonds(topo, DiamondOptions{Pairs: 3, Property: Reachability, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Specs) != 3 {
+		t.Fatalf("specs = %d", len(s.Specs))
+	}
+	if len(s.UpdatingSwitches()) == 0 {
+		t.Fatal("diamond scenario should update some switches")
+	}
+	// Each pair's init and final paths must differ somewhere.
+	for _, cs := range s.Specs {
+		pi, _ := PathOf(s.Init, s.Topo, cs.Class)
+		pf, _ := PathOf(s.Final, s.Topo, cs.Class)
+		if len(pi) == len(pf) {
+			same := true
+			for i := range pi {
+				if pi[i] != pf[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("pair %v: init and final paths identical: %v", cs.Class, pi)
+			}
+		}
+	}
+}
+
+func TestDiamondsWaypointAndChain(t *testing.T) {
+	for _, prop := range []Property{Waypointing, ServiceChaining} {
+		topo := topology.SmallWorld(100, 4, 0.3, 11)
+		s, err := Diamonds(topo, DiamondOptions{Pairs: 2, Property: prop, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", prop, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%v: %v", prop, err)
+		}
+		// The property must hold on both endpoint configurations' actual
+		// paths (checked via trace evaluation).
+		for _, cs := range s.Specs {
+			for _, cfg := range []*Config{s.Init, s.Final} {
+				path, err := PathOf(cfg, s.Topo, cs.Class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !evalOnPath(cs.Formula, path) {
+					t.Fatalf("%v: property %v fails on its own path %v", prop, cs.Formula, path)
+				}
+			}
+		}
+	}
+}
+
+func TestDiamondsDisjointAcrossPairs(t *testing.T) {
+	topo := topology.SmallWorld(80, 4, 0.3, 5)
+	s, err := Diamonds(topo, DiamondOptions{Pairs: 4, Property: Reachability, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]string{}
+	for _, cs := range s.Specs {
+		for _, cfg := range []*Config{s.Init, s.Final} {
+			path, _ := PathOf(cfg, s.Topo, cs.Class)
+			for _, sw := range path {
+				if other, ok := seen[sw]; ok && other != cs.Class.Name {
+					t.Fatalf("switch %d shared between %s and %s", sw, other, cs.Class.Name)
+				}
+				seen[sw] = cs.Class.Name
+			}
+		}
+	}
+}
+
+func TestInfeasibleScenarioShape(t *testing.T) {
+	topo := topology.SmallWorld(60, 4, 0.3, 13)
+	s, err := Infeasible(topo, InfeasibleOptions{Gadgets: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Feasible {
+		t.Fatal("infeasible scenario marked feasible")
+	}
+	if len(s.Specs) != 4 {
+		t.Fatalf("specs = %d, want 4 (two classes per gadget)", len(s.Specs))
+	}
+	// Both branch interiors must be non-empty for the circular dependency.
+	for i := 0; i < len(s.Specs); i += 2 {
+		pi, _ := PathOf(s.Init, s.Topo, s.Specs[i].Class)
+		pf, _ := PathOf(s.Final, s.Topo, s.Specs[i].Class)
+		if len(pi) < 3 || len(pf) < 3 {
+			t.Fatalf("gadget branch without interior: init %v final %v", pi, pf)
+		}
+	}
+}
+
+// evalOnPath checks an LTL formula on a switch path using the trace
+// evaluator (the path's last state repeats).
+func evalOnPath(f *ltl.Formula, path []int) bool {
+	trace := make([]ltl.Env, len(path))
+	for i, sw := range path {
+		sw := sw
+		trace[i] = ltl.EnvFunc(func(p ltl.Prop) bool {
+			return p.Field == ltl.FieldSwitch && p.Value == sw
+		})
+	}
+	return f.EvalTrace(trace)
+}

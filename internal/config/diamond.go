@@ -1,0 +1,345 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netupdate/internal/ltl"
+	"netupdate/internal/topology"
+)
+
+// DiamondOptions parameterizes the diamond-scenario generator, which
+// reproduces the paper's evaluation workload: random (s, d) pairs joined
+// by disjoint initial/final paths, with one of the three property
+// families asserted per pair (Section 6, "Configurations and properties").
+type DiamondOptions struct {
+	Pairs     int      // number of (s, d) pairs (diamonds)
+	Property  Property // property asserted for each pair
+	Waypoints int      // waypoints per pair for ServiceChaining (default 2)
+	Seed      int64
+	// HostBase is the first host id to allocate for endpoints; host ids
+	// must not collide with existing hosts.
+	HostBase int
+	// BackgroundFlows installs shortest-path routing for this many extra
+	// random host pairs in both configurations. Background rules are
+	// identical in init and final (they are not part of the update) but
+	// give switches realistically sized tables, which matters for the
+	// rule-granularity experiments (Figures 7d-f and 8i).
+	BackgroundFlows int
+}
+
+// Diamonds builds a diamond scenario on topo. Each diamond occupies
+// switches disjoint from every other diamond, so per-pair sub-problems are
+// independent (as in the paper, where properties are asserted per pair).
+// It returns an error if the topology cannot fit the requested diamonds.
+func Diamonds(topo *topology.Topology, opts DiamondOptions) (*Scenario, error) {
+	if opts.Pairs <= 0 {
+		return nil, fmt.Errorf("config: Diamonds: need at least one pair")
+	}
+	wp := 0
+	switch opts.Property {
+	case Waypointing:
+		wp = 1
+	case ServiceChaining:
+		wp = opts.Waypoints
+		if wp <= 0 {
+			wp = 2
+		}
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	s := &Scenario{
+		Name:     fmt.Sprintf("diamonds-%s-%d", opts.Property, opts.Pairs),
+		Topo:     topo,
+		Init:     New(),
+		Final:    New(),
+		Feasible: true,
+	}
+	used := map[int]bool{} // switches already claimed by any diamond
+	hostID := opts.HostBase
+	if hostID == 0 {
+		hostID = nextHostID(topo)
+	}
+	for p := 0; p < opts.Pairs; p++ {
+		d, err := buildDiamond(topo, r, used, wp, 2)
+		if err != nil {
+			return nil, fmt.Errorf("config: Diamonds: pair %d: %w", p, err)
+		}
+		srcHost := topo.AddHost(hostID, d.anchors[0])
+		dstHost := topo.AddHost(hostID+1, d.anchors[len(d.anchors)-1])
+		hostID += 2
+		cl := Class{
+			Name:    fmt.Sprintf("pair%d", p),
+			SrcHost: srcHost.ID,
+			DstHost: dstHost.ID,
+		}
+		if err := InstallPath(s.Init, topo, cl, d.initPath, 10); err != nil {
+			return nil, err
+		}
+		if err := InstallPath(s.Final, topo, cl, d.finalPath, 10); err != nil {
+			return nil, err
+		}
+		var f *ltl.Formula
+		src, dst := d.anchors[0], d.anchors[len(d.anchors)-1]
+		switch opts.Property {
+		case Reachability:
+			f = ltl.Reachability(src, dst)
+		case Waypointing:
+			f = ltl.Waypoint(src, d.anchors[1], dst)
+		case ServiceChaining:
+			f = ltl.ServiceChain(src, d.anchors[1:len(d.anchors)-1], dst)
+		default:
+			return nil, fmt.Errorf("config: unknown property %v", opts.Property)
+		}
+		s.Specs = append(s.Specs, ClassSpec{Class: cl, Formula: f})
+	}
+	if err := addBackgroundFlows(s, r, opts.BackgroundFlows, &hostID); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// addBackgroundFlows routes n extra host pairs along shortest paths in
+// both configurations (identical rules, so they never join the diff).
+func addBackgroundFlows(s *Scenario, r *rand.Rand, n int, hostID *int) error {
+	nsw := s.Topo.NumSwitches()
+	for i := 0; i < n; i++ {
+		var path []int
+		for attempt := 0; attempt < 16 && path == nil; attempt++ {
+			a, b := r.Intn(nsw), r.Intn(nsw)
+			if a == b {
+				continue
+			}
+			path = s.Topo.ShortestPath(a, b)
+		}
+		if path == nil {
+			continue
+		}
+		src := s.Topo.AddHost(*hostID, path[0])
+		dst := s.Topo.AddHost(*hostID+1, path[len(path)-1])
+		*hostID += 2
+		cl := Class{
+			Name:    fmt.Sprintf("bg%d", i),
+			SrcHost: src.ID,
+			DstHost: dst.ID,
+		}
+		if err := InstallPath(s.Init, s.Topo, cl, path, 5); err != nil {
+			return err
+		}
+		if err := InstallPath(s.Final, s.Topo, cl, path, 5); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextHostID returns an id strictly above every existing host id, so
+// generator-attached hosts never collide with existing ones.
+func nextHostID(topo *topology.Topology) int {
+	max := 999 // keep generated ids visually distinct from switch ids
+	for _, h := range topo.Hosts() {
+		if h.ID > max {
+			max = h.ID
+		}
+	}
+	return max + 1
+}
+
+// diamond is one generated diamond: anchor nodes [s, w1..wk, d] shared by
+// both paths, with internally disjoint branch segments between consecutive
+// anchors.
+type diamond struct {
+	anchors   []int
+	initPath  []int
+	finalPath []int
+}
+
+// buildDiamond finds k+2 anchors and, between each consecutive anchor
+// pair, two internally disjoint segments avoiding all switches already in
+// used. minSeg is the minimum number of switches per segment (3 forces an
+// interior switch on every branch, required by the infeasible gadget). On
+// success the claimed switches are added to used.
+func buildDiamond(topo *topology.Topology, r *rand.Rand, used map[int]bool, waypoints, minSeg int) (*diamond, error) {
+	const attempts = 400
+	n := topo.NumSwitches()
+	for try := 0; try < attempts; try++ {
+		anchors := make([]int, waypoints+2)
+		ok := true
+		taken := map[int]bool{}
+		for i := range anchors {
+			anchors[i] = r.Intn(n)
+			if used[anchors[i]] || taken[anchors[i]] {
+				ok = false
+				break
+			}
+			taken[anchors[i]] = true
+		}
+		if !ok {
+			continue
+		}
+		d, ok := carveDiamond(topo, anchors, used, minSeg)
+		if !ok {
+			continue
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("no room for a %d-waypoint diamond after %d attempts", waypoints, attempts)
+}
+
+// carveDiamond attempts to route the two branch paths through anchors,
+// avoiding used switches. On success it marks the claimed switches used.
+func carveDiamond(topo *topology.Topology, anchors []int, used map[int]bool, minSeg int) (*diamond, bool) {
+	avoid := func(extra map[int]bool, exceptA, exceptB int) []int {
+		var out []int
+		for sw := range used {
+			if sw != exceptA && sw != exceptB {
+				out = append(out, sw)
+			}
+		}
+		for sw := range extra {
+			if sw != exceptA && sw != exceptB {
+				out = append(out, sw)
+			}
+		}
+		return out
+	}
+	claimed := map[int]bool{}
+	for _, a := range anchors {
+		claimed[a] = true
+	}
+	initPath := []int{anchors[0]}
+	finalPath := []int{anchors[0]}
+	for i := 0; i+1 < len(anchors); i++ {
+		a, b := anchors[i], anchors[i+1]
+		segA := topo.ShortestPath(a, b, avoid(claimed, a, b)...)
+		if len(segA) == 0 || len(segA) < minSeg {
+			return nil, false
+		}
+		for _, sw := range segA {
+			claimed[sw] = true
+		}
+		segB := topo.ShortestPath(a, b, avoid(claimed, a, b)...)
+		if len(segB) == 0 || len(segB) < minSeg {
+			return nil, false
+		}
+		// Both branches being the direct edge a-b would make the two
+		// configurations identical for this segment; reject.
+		if len(segA) == 2 && len(segB) == 2 {
+			return nil, false
+		}
+		for _, sw := range segB {
+			claimed[sw] = true
+		}
+		initPath = append(initPath, segA[1:]...)
+		finalPath = append(finalPath, segB[1:]...)
+	}
+	for sw := range claimed {
+		used[sw] = true
+	}
+	return &diamond{anchors: anchors, initPath: initPath, finalPath: finalPath}, true
+}
+
+// InfeasibleOptions parameterizes the double-diamond generator for the
+// Figure 8(h) experiments: scenarios with no switch-granularity ordering
+// update, solvable only at rule granularity.
+type InfeasibleOptions struct {
+	Gadgets  int      // number of double-diamond gadgets
+	Property Property // property family asserted per gadget
+	// Waypoints per gadget for ServiceChaining (default 2); waypoints are
+	// shared anchors so the property holds in both endpoint
+	// configurations.
+	Waypoints int
+	Seed      int64
+	HostBase  int
+	// BackgroundFlows adds identical shortest-path routing state to both
+	// configurations, as in DiamondOptions.
+	BackgroundFlows int
+}
+
+// Infeasible builds a scenario with opposing traffic swapped between the
+// two branches of each diamond: class A moves from branch X to branch Y
+// while class B (flowing in the opposite direction) moves from branch Y to
+// branch X. Any switch-granularity order creates a circular dependency
+// s < x < d < y < s (see DESIGN.md), so no ordering update exists; at rule
+// granularity the adds can precede the deletes and the update succeeds.
+func Infeasible(topo *topology.Topology, opts InfeasibleOptions) (*Scenario, error) {
+	if opts.Gadgets <= 0 {
+		return nil, fmt.Errorf("config: Infeasible: need at least one gadget")
+	}
+	wp := 0
+	switch opts.Property {
+	case Waypointing:
+		wp = 1
+	case ServiceChaining:
+		wp = opts.Waypoints
+		if wp <= 0 {
+			wp = 2
+		}
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	s := &Scenario{
+		Name:     fmt.Sprintf("infeasible-%s-%d", opts.Property, opts.Gadgets),
+		Topo:     topo,
+		Init:     New(),
+		Final:    New(),
+		Feasible: false,
+	}
+	used := map[int]bool{}
+	hostID := opts.HostBase
+	if hostID == 0 {
+		hostID = nextHostID(topo)
+	}
+	for g := 0; g < opts.Gadgets; g++ {
+		d, err := buildDiamond(topo, r, used, wp, 3)
+		if err != nil {
+			return nil, fmt.Errorf("config: Infeasible: gadget %d: %w", g, err)
+		}
+		src, dst := d.anchors[0], d.anchors[len(d.anchors)-1]
+		hA := topo.AddHost(hostID, src)
+		hB := topo.AddHost(hostID+1, dst)
+		hostID += 2
+		clA := Class{Name: fmt.Sprintf("g%dA", g), SrcHost: hA.ID, DstHost: hB.ID}
+		clB := Class{Name: fmt.Sprintf("g%dB", g), SrcHost: hB.ID, DstHost: hA.ID}
+		rev := func(p []int) []int {
+			out := make([]int, len(p))
+			for i, v := range p {
+				out[len(p)-1-i] = v
+			}
+			return out
+		}
+		// Class A: init over branch X, final over branch Y.
+		if err := InstallPath(s.Init, topo, clA, d.initPath, 10); err != nil {
+			return nil, err
+		}
+		if err := InstallPath(s.Final, topo, clA, d.finalPath, 10); err != nil {
+			return nil, err
+		}
+		// Class B: opposite direction, init over branch Y, final over X.
+		if err := InstallPath(s.Init, topo, clB, rev(d.finalPath), 10); err != nil {
+			return nil, err
+		}
+		if err := InstallPath(s.Final, topo, clB, rev(d.initPath), 10); err != nil {
+			return nil, err
+		}
+		mid := d.anchors[1 : len(d.anchors)-1]
+		var fA, fB *ltl.Formula
+		switch opts.Property {
+		case Waypointing:
+			fA = ltl.Waypoint(src, mid[0], dst)
+			fB = ltl.Waypoint(dst, mid[0], src)
+		case ServiceChaining:
+			fA = ltl.ServiceChain(src, mid, dst)
+			fB = ltl.ServiceChain(dst, rev(mid), src)
+		default:
+			fA = ltl.Reachability(src, dst)
+			fB = ltl.Reachability(dst, src)
+		}
+		s.Specs = append(s.Specs,
+			ClassSpec{Class: clA, Formula: fA},
+			ClassSpec{Class: clB, Formula: fB},
+		)
+	}
+	if err := addBackgroundFlows(s, r, opts.BackgroundFlows, &hostID); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,114 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netupdate/internal/ltl"
+	"netupdate/internal/topology"
+)
+
+// ScenarioFile is the JSON representation of a synthesis problem consumed
+// by cmd/netupdate:
+//
+//	{
+//	  "name": "my-update",
+//	  "topology": {
+//	    "switches": 4,
+//	    "links": [[0,1],[0,2],[1,3],[2,3]],
+//	    "hosts": [{"id":100,"switch":0},{"id":101,"switch":3}]
+//	  },
+//	  "classes": [{
+//	    "name": "h100->h101", "src": 100, "dst": 101,
+//	    "initPath": [0,1,3], "finalPath": [0,2,3],
+//	    "spec": "sw=0 -> F sw=3"
+//	  }]
+//	}
+type ScenarioFile struct {
+	Name     string       `json:"name"`
+	Topology TopologyFile `json:"topology"`
+	Classes  []ClassFile  `json:"classes"`
+}
+
+// TopologyFile describes the switch graph and hosts.
+type TopologyFile struct {
+	Switches int        `json:"switches"`
+	Links    [][2]int   `json:"links"`
+	Hosts    []HostFile `json:"hosts"`
+}
+
+// HostFile attaches a host to a switch.
+type HostFile struct {
+	ID     int `json:"id"`
+	Switch int `json:"switch"`
+}
+
+// ClassFile describes one traffic class: its endpoints, initial and final
+// paths, and LTL specification in the textual syntax of internal/ltl.
+type ClassFile struct {
+	Name      string `json:"name"`
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	InitPath  []int  `json:"initPath"`
+	FinalPath []int  `json:"finalPath"`
+	Spec      string `json:"spec"`
+}
+
+// LoadScenario parses and validates a JSON scenario.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	var sf ScenarioFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("config: parsing scenario: %w", err)
+	}
+	return sf.Build()
+}
+
+// Build converts the parsed file into a validated Scenario.
+func (sf *ScenarioFile) Build() (*Scenario, error) {
+	if sf.Topology.Switches <= 0 {
+		return nil, fmt.Errorf("config: scenario needs at least one switch")
+	}
+	topo := topology.New(sf.Name, sf.Topology.Switches)
+	for _, l := range sf.Topology.Links {
+		if l[0] < 0 || l[0] >= sf.Topology.Switches || l[1] < 0 || l[1] >= sf.Topology.Switches {
+			return nil, fmt.Errorf("config: link %v out of range", l)
+		}
+		topo.AddLink(l[0], l[1])
+	}
+	seen := map[int]bool{}
+	for _, h := range sf.Topology.Hosts {
+		if seen[h.ID] {
+			return nil, fmt.Errorf("config: duplicate host id %d", h.ID)
+		}
+		seen[h.ID] = true
+		if h.Switch < 0 || h.Switch >= sf.Topology.Switches {
+			return nil, fmt.Errorf("config: host %d on out-of-range switch %d", h.ID, h.Switch)
+		}
+		topo.AddHost(h.ID, h.Switch)
+	}
+	s := &Scenario{Name: sf.Name, Topo: topo, Init: New(), Final: New(), Feasible: true}
+	for i, cf := range sf.Classes {
+		cl := Class{Name: cf.Name, SrcHost: cf.Src, DstHost: cf.Dst}
+		if cl.Name == "" {
+			cl.Name = fmt.Sprintf("class%d", i)
+		}
+		if err := InstallPath(s.Init, topo, cl, cf.InitPath, 10); err != nil {
+			return nil, fmt.Errorf("config: class %s init: %w", cl.Name, err)
+		}
+		if err := InstallPath(s.Final, topo, cl, cf.FinalPath, 10); err != nil {
+			return nil, fmt.Errorf("config: class %s final: %w", cl.Name, err)
+		}
+		spec, err := ltl.Parse(cf.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("config: class %s spec: %w", cl.Name, err)
+		}
+		s.Specs = append(s.Specs, ClassSpec{Class: cl, Formula: spec})
+	}
+	if len(s.Specs) == 0 {
+		return nil, fmt.Errorf("config: scenario has no traffic classes")
+	}
+	return s, s.Validate()
+}

@@ -1,0 +1,60 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleScenario = `{
+  "name": "diamond",
+  "topology": {
+    "switches": 4,
+    "links": [[0,1],[0,2],[1,3],[2,3]],
+    "hosts": [{"id":100,"switch":0},{"id":101,"switch":3}]
+  },
+  "classes": [{
+    "name": "flow", "src": 100, "dst": 101,
+    "initPath": [0,1,3], "finalPath": [0,2,3],
+    "spec": "sw=0 -> F sw=3"
+  }]
+}`
+
+func TestLoadScenario(t *testing.T) {
+	sc, err := LoadScenario(strings.NewReader(sampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "diamond" || len(sc.Specs) != 1 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	if got := sc.UpdatingSwitches(); len(got) != 3 {
+		// sw0 flips ports, sw1 loses its rule, sw2 gains one.
+		t.Fatalf("updating = %v, want 3 switches", got)
+	}
+}
+
+func TestLoadScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"empty", `{}`},
+		{"bad json", `{`},
+		{"unknown field", `{"bogus": 1}`},
+		{"no classes", `{"topology":{"switches":2,"links":[[0,1]]}}`},
+		{"link out of range", `{"topology":{"switches":2,"links":[[0,5]]},"classes":[]}`},
+		{"host out of range", `{"topology":{"switches":1,"hosts":[{"id":1,"switch":9}]},"classes":[]}`},
+		{"dup host", `{"topology":{"switches":1,"hosts":[{"id":1,"switch":0},{"id":1,"switch":0}]},"classes":[]}`},
+		{"bad spec", `{
+			"topology":{"switches":2,"links":[[0,1]],"hosts":[{"id":1,"switch":0},{"id":2,"switch":1}]},
+			"classes":[{"src":1,"dst":2,"initPath":[0,1],"finalPath":[0,1],"spec":"sw="}]}`},
+		{"bad path", `{
+			"topology":{"switches":2,"links":[[0,1]],"hosts":[{"id":1,"switch":0},{"id":2,"switch":1}]},
+			"classes":[{"src":1,"dst":2,"initPath":[1,0],"finalPath":[0,1],"spec":"true"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := LoadScenario(strings.NewReader(c.json)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

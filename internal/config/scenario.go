@@ -1,0 +1,68 @@
+package config
+
+import (
+	"fmt"
+
+	"netupdate/internal/ltl"
+	"netupdate/internal/topology"
+)
+
+// Property selects one of the paper's specification families (Section 6).
+type Property int
+
+// Property kinds used in the evaluation.
+const (
+	Reachability Property = iota
+	Waypointing
+	ServiceChaining
+)
+
+func (p Property) String() string {
+	switch p {
+	case Reachability:
+		return "reachability"
+	case Waypointing:
+		return "waypointing"
+	case ServiceChaining:
+		return "service-chaining"
+	}
+	return fmt.Sprintf("property(%d)", int(p))
+}
+
+// ClassSpec pairs a traffic class with the LTL property its packets must
+// satisfy throughout the update.
+type ClassSpec struct {
+	Class   Class
+	Formula *ltl.Formula
+}
+
+// Scenario is a complete update-synthesis problem instance: a topology,
+// initial and final configurations, and a per-class specification.
+type Scenario struct {
+	Name  string
+	Topo  *topology.Topology
+	Init  *Config
+	Final *Config
+	Specs []ClassSpec
+	// Feasible records whether the generator believes a switch-granularity
+	// ordering update exists (used by tests and the experiment harness).
+	Feasible bool
+}
+
+// Validate checks that both configurations route every class loop-free to
+// its destination — the precondition of the synthesis problem.
+func (s *Scenario) Validate() error {
+	for _, cs := range s.Specs {
+		if _, err := PathOf(s.Init, s.Topo, cs.Class); err != nil {
+			return fmt.Errorf("scenario %s: init: %w", s.Name, err)
+		}
+		if _, err := PathOf(s.Final, s.Topo, cs.Class); err != nil {
+			return fmt.Errorf("scenario %s: final: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// UpdatingSwitches returns the switches whose tables differ between the
+// initial and final configuration.
+func (s *Scenario) UpdatingSwitches() []int { return Diff(s.Init, s.Final) }

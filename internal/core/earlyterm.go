@@ -1,0 +1,176 @@
+package core
+
+import "netupdate/internal/sat"
+
+// earlyTerm implements the early-search-termination optimization of
+// Section 4.2.B: every counterexample constrains the order in which units
+// may be applied ("some unit of U-minus must precede some unit of
+// U-plus"); the constraints accumulate in an incremental SAT solver over
+// ordering variables, and unsatisfiability proves that no simple careful
+// sequence can avoid all known-wrong configurations, so the search can
+// stop and report "impossible".
+//
+// Transitivity of the ordering is enforced lazily (CEGAR-style): the
+// solver runs without transitivity axioms, and whenever its model
+// contains a precedence cycle, a single clause forbidding that cycle is
+// added and the solver re-runs. Feasible instances almost always produce
+// an acyclic model immediately, so the eager O(m^3) axiom instantiation
+// is avoided.
+type earlyTerm struct {
+	s         *sat.Solver
+	vars      map[[2]int]int // (i, j) with i < j -> solver variable
+	mentioned []int
+	inSAT     map[int]bool
+	unsat     bool
+}
+
+func newEarlyTerm() *earlyTerm {
+	return &earlyTerm{s: sat.New(), vars: map[[2]int]int{}, inSAT: map[int]bool{}}
+}
+
+// before returns the literal encoding "unit i is updated before unit j".
+// Antisymmetry and totality are built into the encoding (one variable per
+// unordered pair).
+func (et *earlyTerm) before(i, j int) sat.Lit {
+	if i == j {
+		panic("core: before(i, i)")
+	}
+	neg := false
+	if i > j {
+		i, j = j, i
+		neg = true
+	}
+	v, ok := et.vars[[2]int{i, j}]
+	if !ok {
+		v = et.s.NewVar()
+		et.vars[[2]int{i, j}] = v
+	}
+	if neg {
+		return sat.Lit(-v)
+	}
+	return sat.Lit(v)
+}
+
+func (et *earlyTerm) mention(u int) {
+	if !et.inSAT[u] {
+		et.inSAT[u] = true
+		et.mentioned = append(et.mentioned, u)
+	}
+}
+
+// addCexConstraint records a counterexample pattern: the bad
+// configuration has units in applied updated and units in unapplied not
+// yet updated; every valid order must place some unapplied unit before
+// some applied unit. It returns false when the accumulated constraints
+// are unsatisfiable (no ordering can work).
+func (et *earlyTerm) addCexConstraint(applied, unapplied []int) bool {
+	if et.unsat {
+		return false
+	}
+	if len(applied) == 0 || len(unapplied) == 0 {
+		// A pattern matching the initial (no unit applied) or final (all
+		// applied) configuration: those configurations are fixed ends of
+		// every simple sequence, so no ordering can avoid the pattern.
+		et.unsat = true
+		return false
+	}
+	for _, u := range applied {
+		et.mention(u)
+	}
+	for _, u := range unapplied {
+		et.mention(u)
+	}
+	var lits []sat.Lit
+	for _, b := range unapplied {
+		for _, a := range applied {
+			lits = append(lits, et.before(b, a))
+		}
+	}
+	if !et.s.AddClause(lits...) {
+		et.unsat = true
+		return false
+	}
+	return et.solveAcyclic()
+}
+
+// solveAcyclic runs the solver, lazily excluding models whose precedence
+// relation is cyclic, until either an acyclic model is found (some update
+// order may still exist) or the constraints become unsatisfiable.
+func (et *earlyTerm) solveAcyclic() bool {
+	for {
+		if !et.s.Solve() {
+			et.unsat = true
+			return false
+		}
+		cycle := et.modelCycle()
+		if cycle == nil {
+			return true
+		}
+		var lits []sat.Lit
+		for i := range cycle {
+			j := (i + 1) % len(cycle)
+			lits = append(lits, et.before(cycle[i], cycle[j]).Neg())
+		}
+		if !et.s.AddClause(lits...) {
+			et.unsat = true
+			return false
+		}
+	}
+}
+
+// modelCycle returns a precedence cycle in the current model over the
+// mentioned units, or nil if the model is a valid (acyclic) order. Only
+// edges whose variables exist (i.e. appear in some constraint) matter:
+// absent pairs are unconstrained and can always be ordered consistently
+// with a topological order of the constrained edges.
+func (et *earlyTerm) modelCycle() []int {
+	succ := map[int][]int{}
+	for pair, v := range et.vars {
+		switch et.s.Value(v) {
+		case 1:
+			succ[pair[0]] = append(succ[pair[0]], pair[1])
+		case -1:
+			succ[pair[1]] = append(succ[pair[1]], pair[0])
+		}
+	}
+	const (
+		gray  = 1
+		black = 2
+	)
+	color := map[int]uint8{}
+	parent := map[int]int{}
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = gray
+		for _, u := range succ[v] {
+			switch color[u] {
+			case 0:
+				parent[u] = v
+				if dfs(u) {
+					return true
+				}
+			case gray:
+				cycle = append(cycle, u)
+				for w := v; w != u; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				// Reverse into cycle order u -> ... -> v -> u.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, u := range et.mentioned {
+		if color[u] == 0 {
+			if dfs(u) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}

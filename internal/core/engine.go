@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/kripke"
+	"netupdate/internal/mc"
+	"netupdate/internal/network"
+)
+
+// Synthesize runs ORDERUPDATE (Figure 4): it searches for a sequence of
+// updates transforming the scenario's initial configuration into its
+// final configuration such that every intermediate configuration
+// satisfies every class specification, inserting waits between updates
+// (careful sequences, Definition 5) and then removing unnecessary waits.
+// It returns ErrNoOrdering if no simple careful sequence exists at the
+// requested granularity.
+func Synthesize(sc *config.Scenario, opts Options) (*Plan, error) {
+	start := time.Now()
+	e, err := newEngine(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	steps, err := e.run()
+	if err != nil {
+		return nil, err
+	}
+	e.stats.WaitsBefore = countWaits(steps)
+	if !opts.NoWaitRemoval {
+		wrStart := time.Now()
+		steps = e.removeWaits(steps)
+		e.stats.WaitRemovalTime = time.Since(wrStart)
+	}
+	e.stats.WaitsAfter = countWaits(steps)
+	e.collectCheckerStats()
+	e.stats.Elapsed = time.Since(start)
+	return &Plan{Steps: steps, Stats: e.stats}, nil
+}
+
+// errNotFound signals exhaustion of a subtree (not a terminal failure).
+var errNotFound = errors.New("core: subtree exhausted")
+
+type frame struct {
+	class int
+	delta *kripke.Delta
+	token mc.Token
+}
+
+type pattern struct {
+	relevant, value bitset
+}
+
+type engine struct {
+	sc    *config.Scenario
+	opts  Options
+	units []unit
+	order []int
+
+	ks       []*kripke.K
+	checkers []mc.Checker
+
+	curTables map[int]network.Table
+
+	visited map[string]bool
+	wrong   []pattern
+	et      *earlyTerm
+
+	deadline    time.Time
+	hasDeadline bool
+
+	stats Stats
+}
+
+func newEngine(sc *config.Scenario, opts Options) (*engine, error) {
+	units, err := computeUnits(sc, opts.RuleGranularity, opts.TwoSimple)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		sc:        sc,
+		opts:      opts,
+		units:     units,
+		visited:   map[string]bool{},
+		et:        newEarlyTerm(),
+		curTables: map[int]network.Table{},
+	}
+	e.stats.Units = len(units)
+	if opts.NoHeuristicOrder {
+		e.order = make([]int, len(units))
+		for i := range e.order {
+			e.order[i] = i
+		}
+	} else {
+		e.order = orderUnits(units)
+	}
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+		e.hasDeadline = true
+	}
+	for _, u := range units {
+		e.curTables[u.sw] = sc.Init.Table(u.sw)
+	}
+	factory := opts.Checker.factory()
+	// Verify the final configuration first: if it violates the spec, no
+	// sequence can be correct.
+	for _, cs := range sc.Specs {
+		kf, err := kripke.Build(sc.Topo, sc.Final, cs.Class)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFinalViolation, err)
+		}
+		chk, err := mc.NewIncremental(kf, cs.Formula)
+		if err != nil {
+			return nil, err
+		}
+		if !chk.Check().OK {
+			return nil, fmt.Errorf("%w: class %v", ErrFinalViolation, cs.Class)
+		}
+	}
+	// Build the per-class structures over the initial configuration and
+	// run the initial full check (Figure 4, line 7).
+	for _, cs := range sc.Specs {
+		k, err := kripke.Build(sc.Topo, sc.Init, cs.Class)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInitialViolation, err)
+		}
+		chk, err := factory(k, cs.Formula)
+		if err != nil {
+			return nil, err
+		}
+		e.stats.Checks++
+		if !chk.Check().OK {
+			return nil, fmt.Errorf("%w: class %v", ErrInitialViolation, cs.Class)
+		}
+		e.ks = append(e.ks, k)
+		e.checkers = append(e.checkers, chk)
+	}
+	return e, nil
+}
+
+func (e *engine) run() ([]Step, error) {
+	empty := newBitset(len(e.units))
+	e.visited[empty.key()] = true
+	steps, err := e.dfs(empty, 0)
+	if err != nil {
+		if errors.Is(err, errNotFound) {
+			return nil, ErrNoOrdering
+		}
+		return nil, err
+	}
+	return steps, nil
+}
+
+// dfs explores update orders from the current configuration (encoded by
+// the applied bitmask). It returns the remaining steps on success,
+// errNotFound when the subtree is exhausted, or a terminal error.
+func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
+	if depth == len(e.units) {
+		return nil, nil
+	}
+	if e.hasDeadline && time.Now().After(e.deadline) {
+		return nil, ErrTimeout
+	}
+	for _, ui := range e.order {
+		if applied.get(ui) {
+			continue
+		}
+		u := e.units[ui]
+		if u.requires >= 0 && !applied.get(u.requires) {
+			continue // finalize steps wait for their merge step
+		}
+		next := applied.set(ui)
+		key := next.key()
+		if e.visited[key] {
+			e.stats.VisitedPruned++
+			continue
+		}
+		if e.matchesWrong(next) {
+			e.stats.WrongPruned++
+			e.visited[key] = true
+			continue
+		}
+		e.visited[key] = true
+
+		newTbl := e.unitTable(u)
+		oldTbl := e.curTables[u.sw]
+		frames, failed, cexSwitches, err := e.applyAndCheck(u.sw, newTbl)
+		if err != nil {
+			e.revert(frames)
+			return nil, err
+		}
+		if failed {
+			e.revert(frames)
+			if len(cexSwitches) > 0 && !e.opts.NoCexLearning {
+				if terminate := e.learn(cexSwitches, next); terminate {
+					e.stats.EarlyTerminate = true
+					return nil, ErrNoOrdering
+				}
+			}
+			continue
+		}
+		e.curTables[u.sw] = newTbl
+		rest, err := e.dfs(next, depth+1)
+		if err == nil {
+			step := Step{
+				Switch: u.sw, Table: newTbl.Clone(),
+				IsRule: u.isRule, RuleAdd: u.add, Rule: u.rule,
+			}
+			if len(rest) == 0 {
+				return []Step{step}, nil
+			}
+			return append([]Step{step, {Wait: true}}, rest...), nil
+		}
+		e.curTables[u.sw] = oldTbl
+		e.revert(frames)
+		e.stats.Backtracks++
+		if !errors.Is(err, errNotFound) {
+			return nil, err
+		}
+	}
+	return nil, errNotFound
+}
+
+// applyAndCheck installs the new table for sw in every class structure
+// and re-checks each. On failure it reports the counterexample switches
+// (if any) and leaves reverting to the caller via the returned frames.
+func (e *engine) applyAndCheck(sw int, tbl network.Table) (frames []frame, failed bool, cexSwitches []int, err error) {
+	for ci := range e.ks {
+		delta, uerr := e.ks[ci].UpdateSwitch(sw, tbl)
+		if uerr != nil {
+			var loop *kripke.ErrLoop
+			if errors.As(uerr, &loop) {
+				// The update is applied; roll it back after learning.
+				e.ks[ci].Revert(delta)
+				return frames, true, switchesOfStates(loop.Cycle), nil
+			}
+			return frames, false, nil, uerr
+		}
+		verdict, tok := e.checkers[ci].Update(delta)
+		e.stats.Checks++
+		frames = append(frames, frame{class: ci, delta: delta, token: tok})
+		if !verdict.OK {
+			var sws []int
+			if verdict.HasCex && len(verdict.Cex) > 0 {
+				sws = switchesOfIDs(e.ks[ci], verdict.Cex)
+			}
+			return frames, true, sws, nil
+		}
+	}
+	return frames, false, nil, nil
+}
+
+// revert undoes applied frames in reverse order.
+func (e *engine) revert(frames []frame) {
+	for i := len(frames) - 1; i >= 0; i-- {
+		f := frames[i]
+		e.checkers[f.class].Revert(f.token)
+		e.ks[f.class].Revert(f.delta)
+	}
+}
+
+// unitTable computes the table installed on u.sw when u is applied on top
+// of the current table state.
+func (e *engine) unitTable(u unit) network.Table {
+	if !u.isRule {
+		return u.newTable
+	}
+	cur := e.curTables[u.sw]
+	if u.add {
+		out := cur.Clone()
+		return append(out, u.rule)
+	}
+	out := make(network.Table, 0, len(cur))
+	removed := false
+	for _, r := range cur {
+		if !removed && ruleEq(r, u.rule) {
+			removed = true
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// learn records a wrong-configuration pattern from a counterexample
+// (Section 4.2.A) and feeds the ordering constraint to the SAT solver
+// (4.2.B). It returns true when the solver proves no ordering can exist.
+func (e *engine) learn(cexSwitches []int, cfg bitset) bool {
+	e.stats.CexLearned++
+	relevant := newBitset(len(e.units))
+	value := newBitset(len(e.units))
+	var appliedUnits, unappliedUnits []int
+	swSet := map[int]bool{}
+	for _, sw := range cexSwitches {
+		swSet[sw] = true
+	}
+	for _, u := range e.units {
+		if !swSet[u.sw] {
+			continue
+		}
+		relevant = relevant.set(u.id)
+		if cfg.get(u.id) {
+			value = value.set(u.id)
+			appliedUnits = append(appliedUnits, u.id)
+		} else {
+			unappliedUnits = append(unappliedUnits, u.id)
+		}
+	}
+	if relevant.count() == 0 {
+		return false // counterexample mentions no updating switch: ignore
+	}
+	e.wrong = append(e.wrong, pattern{relevant: relevant, value: value})
+	if e.opts.NoEarlyTermination {
+		return false
+	}
+	e.stats.SATCalls++
+	return !e.et.addCexConstraint(appliedUnits, unappliedUnits)
+}
+
+func (e *engine) matchesWrong(cfg bitset) bool {
+	for _, p := range e.wrong {
+		if cfg.matchesPattern(p.relevant, p.value) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) collectCheckerStats() {
+	for _, c := range e.checkers {
+		s := c.Stats()
+		e.stats.StatesLabeled += s.StatesLabeled
+	}
+}
+
+func switchesOfStates(states []kripke.State) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range states {
+		if !seen[s.Sw] {
+			seen[s.Sw] = true
+			out = append(out, s.Sw)
+		}
+	}
+	return out
+}
+
+func switchesOfIDs(k *kripke.K, ids []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, id := range ids {
+		sw := k.StateAt(id).Sw
+		if !seen[sw] {
+			seen[sw] = true
+			out = append(out, sw)
+		}
+	}
+	return out
+}
+
+func countWaits(steps []Step) int {
+	n := 0
+	for _, s := range steps {
+		if s.Wait {
+			n++
+		}
+	}
+	return n
+}

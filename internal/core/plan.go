@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+)
+
+// Step is one element of a synthesized update plan: either a wait barrier
+// or the application of one update unit.
+type Step struct {
+	Wait bool
+	// For update steps:
+	Switch int
+	// Table is the full table installed on Switch by this step (for rule
+	// granularity this is the cumulative table after the rule change).
+	Table network.Table
+	// Rule-granularity detail: the rule added or removed, if any.
+	IsRule  bool
+	RuleAdd bool
+	Rule    network.Rule
+}
+
+func (s Step) String() string {
+	if s.Wait {
+		return "wait"
+	}
+	if s.IsRule {
+		op := "del"
+		if s.RuleAdd {
+			op = "add"
+		}
+		return fmt.Sprintf("%s(sw%d, %v)", op, s.Switch, s.Rule)
+	}
+	return fmt.Sprintf("update(sw%d)", s.Switch)
+}
+
+// Plan is a synthesized update sequence together with run statistics.
+type Plan struct {
+	Steps []Step
+	Stats Stats
+}
+
+// Commands lowers the plan to the operational model's command list
+// (Section 3.1): table replacements with incr/flush pairs for waits.
+func (p *Plan) Commands() []network.Command {
+	var out []network.Command
+	for _, s := range p.Steps {
+		if s.Wait {
+			out = append(out, network.Wait()...)
+		} else {
+			out = append(out, network.Update(s.Switch, s.Table))
+		}
+	}
+	return out
+}
+
+// Updates returns the non-wait steps in order.
+func (p *Plan) Updates() []Step {
+	var out []Step
+	for _, s := range p.Steps {
+		if !s.Wait {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Waits returns the number of wait barriers in the plan.
+func (p *Plan) Waits() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Wait {
+			n++
+		}
+	}
+	return n
+}
+
+// Configs reconstructs the sequence of static configurations the plan
+// steps through, starting from init (inclusive of both endpoints).
+func (p *Plan) Configs(init *config.Config) []*config.Config {
+	out := []*config.Config{init.Clone()}
+	cur := init.Clone()
+	for _, s := range p.Steps {
+		if s.Wait {
+			continue
+		}
+		cur = cur.Clone()
+		cur.SetTable(s.Switch, s.Table.Clone())
+		out = append(out, cur)
+	}
+	return out
+}
+
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/ltl"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// replayCheckTraces executes a plan on the operational machine under
+// random interleavings with live traffic and evaluates every packet's
+// observed trace against its class formula — the strongest end-to-end
+// soundness check available: it exercises the real concurrency the
+// careful-sequence theory (Lemmas 2 and 7) and the wait-removal heuristic
+// claim to handle.
+func replayCheckTraces(t *testing.T, sc *config.Scenario, plan *Plan, seeds int) {
+	t.Helper()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		n := network.NewNet(sc.Topo, sc.Init.Tables(), plan.Commands())
+		r := rand.New(rand.NewSource(seed))
+		type sent struct {
+			id   int
+			spec config.ClassSpec
+		}
+		var packets []sent
+		n.RunRandom(r, func(step int) bool {
+			if step%2 == 0 && len(packets) < 20 {
+				cs := sc.Specs[len(packets)%len(sc.Specs)]
+				id := n.Inject(cs.Class.SrcHost, cs.Class.Packet())
+				packets = append(packets, sent{id: id, spec: cs})
+			}
+			return len(packets) < 20
+		})
+		n.Drain()
+		for _, p := range packets {
+			obs := n.TraceOf(p.id)
+			if len(obs) == 0 {
+				t.Fatalf("seed %d: packet %d produced no observations", seed, p.id)
+			}
+			env := make([]ltl.Env, len(obs))
+			for i, o := range obs {
+				o := o
+				env[i] = ltl.EnvFunc(func(pr ltl.Prop) bool {
+					switch pr.Field {
+					case ltl.FieldSwitch:
+						return o.Sw == pr.Value
+					case ltl.FieldPort:
+						return int(o.Pt) == pr.Value
+					default:
+						if f, ok := network.FieldByName(pr.Field); ok {
+							return o.Pkt.Field(f) == pr.Value
+						}
+						return false
+					}
+				})
+			}
+			if !p.spec.Formula.EvalTrace(env) {
+				t.Fatalf("seed %d: packet %d trace violates %v: %v",
+					seed, p.id, p.spec.Formula, obs)
+			}
+		}
+	}
+}
+
+// TestReplayTracesWaypoint: the red-to-blue waypoint plan, executed with
+// its (possibly wait-free) synthesized schedule, must produce only traces
+// satisfying reachability AND the A3-or-A4 middlebox property.
+func TestReplayTracesWaypoint(t *testing.T) {
+	sc := config.Fig1RedBlueWaypoint()
+	plan, err := Synthesize(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCheckTraces(t, sc, plan, 25)
+}
+
+// TestReplayTracesPaperOrderWithWait: the paper's own sequence (A2, A4,
+// T1, wait, C1) must also be trace-correct when executed, including the
+// load-bearing wait.
+func TestReplayTracesPaperOrderWithWait(t *testing.T) {
+	sc := config.Fig1RedBlueWaypoint()
+	_, n := config.Fig1Topology()
+	var steps []Step
+	for i, sw := range []int{n.A2, n.A4, n.T1} {
+		if i > 0 {
+			steps = append(steps, Step{Wait: true})
+		}
+		steps = append(steps, Step{Switch: sw, Table: sc.Final.Table(sw)})
+	}
+	steps = append(steps, Step{Wait: true}, Step{Switch: n.C1, Table: sc.Final.Table(n.C1)})
+	plan := &Plan{Steps: steps}
+	replayCheckTraces(t, sc, plan, 25)
+}
+
+// TestReplayTracesRuleGranularity: rule-granularity plans for the
+// infeasible gadget must deliver both opposing flows throughout.
+func TestReplayTracesRuleGranularity(t *testing.T) {
+	topo := topology.SmallWorld(40, 4, 0.3, 21)
+	sc, err := config.Infeasible(topo, config.InfeasibleOptions{Gadgets: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Synthesize(sc, Options{RuleGranularity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCheckTraces(t, sc, plan, 15)
+}
+
+// TestReplayTracesTwoSimple: 2-simple plans on the same gadget are also
+// trace-correct under execution.
+func TestReplayTracesTwoSimple(t *testing.T) {
+	topo := topology.SmallWorld(40, 4, 0.3, 21)
+	sc, err := config.Infeasible(topo, config.InfeasibleOptions{Gadgets: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Synthesize(sc, Options{TwoSimple: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCheckTraces(t, sc, plan, 15)
+}
+
+// TestReplayTracesServiceChain: service-chaining diamonds replayed on the
+// operational model keep their ordered-waypoint guarantee.
+func TestReplayTracesServiceChain(t *testing.T) {
+	topo := topology.SmallWorld(120, 4, 0.3, 15)
+	sc, err := config.Diamonds(topo, config.DiamondOptions{
+		Pairs: 2, Property: config.ServiceChaining, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Synthesize(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCheckTraces(t, sc, plan, 15)
+}

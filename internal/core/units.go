@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+)
+
+// unit is one atomic update: at switch granularity, the replacement of a
+// switch's whole table with its final table; at rule granularity, the
+// insertion or removal of a single rule; in 2-simple mode, the
+// installation of a merged (init+final) table followed by a finalize
+// step.
+type unit struct {
+	id int
+	sw int
+	// switch granularity:
+	newTable network.Table
+	// rule granularity:
+	isRule bool
+	add    bool
+	rule   network.Rule
+	// requires is the id of a prerequisite unit (-1 if none): a finalize
+	// step may only run after its merge step.
+	requires int
+	// rank orders candidates: lower ranks are tried first.
+	rank int
+}
+
+func (u unit) String() string {
+	if !u.isRule {
+		return fmt.Sprintf("u%d:update(sw%d)", u.id, u.sw)
+	}
+	op := "del"
+	if u.add {
+		op = "add"
+	}
+	return fmt.Sprintf("u%d:%s(sw%d)", u.id, op, u.sw)
+}
+
+// lateRank offsets units that should be tried after every final-path
+// switch: switches/rules present only in the initial configuration (their
+// update removes forwarding state, which is safe only once upstream has
+// been redirected).
+const lateRank = 1_000_000
+
+// computeUnits derives the update units from the configuration diff and
+// assigns the destination-first search ranks (see engine.go). With
+// twoSimple set (Options.TwoSimple), every switch-granularity update is
+// split into a merge step (install the union of both generations) and a
+// finalize step (install the final table), realizing the paper's
+// "k-simple" generalization for k = 2: each switch may be touched twice,
+// which recovers the power of rule-granularity add-before-delete orders
+// while keeping whole-table commands.
+func computeUnits(sc *config.Scenario, ruleGranularity, twoSimple bool) ([]unit, error) {
+	diff := config.Diff(sc.Init, sc.Final)
+	rank := destinationRank(sc)
+	unitRank := func(sw int) int {
+		if r, ok := rank[sw]; ok {
+			return r
+		}
+		// Not on any final path: this switch only loses state. Order
+		// these after everything else.
+		return lateRank
+	}
+	var units []unit
+	if !ruleGranularity && twoSimple {
+		for _, sw := range diff {
+			merged := mergeTables(sc.Init.Table(sw), sc.Final.Table(sw))
+			mergeID := len(units)
+			units = append(units, unit{
+				id: mergeID, sw: sw, newTable: merged,
+				requires: -1, rank: unitRank(sw),
+			})
+			units = append(units, unit{
+				id: mergeID + 1, sw: sw, newTable: sc.Final.Table(sw).Clone(),
+				requires: mergeID, rank: lateRank + unitRank(sw),
+			})
+		}
+		return units, nil
+	}
+	if !ruleGranularity {
+		for _, sw := range diff {
+			units = append(units, unit{
+				id:       len(units),
+				sw:       sw,
+				newTable: sc.Final.Table(sw).Clone(),
+				requires: -1,
+				rank:     unitRank(sw),
+			})
+		}
+		return units, nil
+	}
+	for _, sw := range diff {
+		removed, added := diffTables(sc.Init.Table(sw), sc.Final.Table(sw))
+		for _, r := range added {
+			units = append(units, unit{
+				id: len(units), sw: sw, isRule: true, add: true, rule: r,
+				requires: -1, rank: unitRank(sw),
+			})
+		}
+		for _, r := range removed {
+			// Removals come after all additions: deleting a rule can only
+			// break paths. Within removals, "flip" deletes (the switch
+			// also gains a replacement rule for the same match, so the
+			// delete redirects live traffic) come before pure dismantling
+			// deletes of abandoned branches — grouping all flips before
+			// all dismantles lets wait removal keep a single barrier
+			// between the two phases.
+			band := 2 * lateRank
+			for _, a := range added {
+				if a.Match == r.Match {
+					band = lateRank
+					break
+				}
+			}
+			units = append(units, unit{
+				id: len(units), sw: sw, isRule: true, add: false, rule: r,
+				requires: -1, rank: band + unitRank(sw),
+			})
+		}
+	}
+	return units, nil
+}
+
+// mergeTables unions two rule generations, keeping one copy of rules
+// present in both.
+func mergeTables(a, b network.Table) network.Table {
+	out := a.Clone()
+outer:
+	for _, rb := range b {
+		for _, ra := range a {
+			if ruleEq(ra, rb) {
+				continue outer
+			}
+		}
+		out = append(out, rb)
+	}
+	return out
+}
+
+// diffTables returns rules only in a (removed) and only in b (added),
+// multiset semantics.
+func diffTables(a, b network.Table) (removed, added []network.Rule) {
+	used := make([]bool, len(b))
+outer:
+	for _, ra := range a {
+		for i, rb := range b {
+			if !used[i] && ruleEq(ra, rb) {
+				used[i] = true
+				continue outer
+			}
+		}
+		removed = append(removed, ra)
+	}
+	for i, rb := range b {
+		if !used[i] {
+			added = append(added, rb)
+		}
+	}
+	return
+}
+
+func ruleEq(a, b network.Rule) bool {
+	if a.Priority != b.Priority || a.Match != b.Match || len(a.Actions) != len(b.Actions) {
+		return false
+	}
+	for i := range a.Actions {
+		if a.Actions[i] != b.Actions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// destinationRank ranks every switch by its distance from the end of the
+// final forwarding paths: switches nearer the destinations get smaller
+// ranks, encoding the classic enable-downstream-before-upstream order as
+// a search heuristic (completeness is preserved by backtracking).
+func destinationRank(sc *config.Scenario) map[int]int {
+	rank := map[int]int{}
+	for _, cs := range sc.Specs {
+		path, err := config.PathOf(sc.Final, sc.Topo, cs.Class)
+		if err != nil {
+			continue // validated earlier; be permissive here
+		}
+		for i, sw := range path {
+			r := len(path) - 1 - i
+			if old, ok := rank[sw]; !ok || r < old {
+				rank[sw] = r
+			}
+		}
+	}
+	return rank
+}
+
+// orderUnits returns unit indexes sorted by rank (stable on id).
+func orderUnits(units []unit) []int {
+	idx := make([]int, len(units))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if units[idx[a]].rank != units[idx[b]].rank {
+			return units[idx[a]].rank < units[idx[b]].rank
+		}
+		return units[idx[a]].id < units[idx[b]].id
+	})
+	return idx
+}
+
+// bitset is a fixed-capacity bitmask over unit ids.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	c[i>>6] |= 1 << (uint(i) & 63)
+	return c
+}
+
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) key() string { return string(bitsetBytes(b)) }
+
+func bitsetBytes(b bitset) []byte {
+	out := make([]byte, 8*len(b))
+	for i, w := range b {
+		for j := 0; j < 8; j++ {
+			out[8*i+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return out
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// matchesPattern reports whether the configuration bitmask agrees with
+// the wrong-configuration pattern: every relevant unit has the recorded
+// applied/unapplied flag.
+func (b bitset) matchesPattern(relevant, value bitset) bool {
+	for i := range b {
+		if b[i]&relevant[i] != value[i] {
+			return false
+		}
+	}
+	return true
+}

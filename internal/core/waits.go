@@ -1,0 +1,250 @@
+package core
+
+import (
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+)
+
+// removeWaits implements the reachability-based wait-removal heuristic of
+// Section 4.2.C. The synthesized sequence is careful (a wait between
+// every pair of updates); a wait before updating switch s is unnecessary
+// if no packet that was forwarded by an earlier-updated switch s0 under
+// s0's pre-update rules can still reach s. Two refinements keep the
+// heuristic from fencing harmless updates, both justified by the
+// per-class trace argument of Lemma 7:
+//
+//   - class-awareness: an update taints (or endangers) only the classes
+//     whose forwarding behavior it actually changes — adding a rule for
+//     class B cannot create a mixed trace for class A;
+//   - liveness: a switch that was unreachable for a class throughout the
+//     window since the last retained wait forwarded none of its packets,
+//     so its old rules need no fence.
+//
+// oldEntry remembers a switch updated since the last retained wait, its
+// pre-update table, and which classes that update affected.
+type oldEntry struct {
+	sw       int
+	tbl      network.Table
+	affected []bool // indexed like sc.Specs
+}
+
+func (e *engine) removeWaits(steps []Step) []Step {
+	cur := e.sc.Init.Clone()
+	var pending []oldEntry
+	out := make([]Step, 0, len(steps))
+	for _, st := range steps {
+		if st.Wait {
+			continue // re-derived below
+		}
+		affected := e.affectedClasses(cur.Table(st.Switch), st.Table)
+		if len(pending) > 0 && e.waitNeeded(cur, pending, st.Switch, affected) {
+			out = append(out, Step{Wait: true})
+			pending = pending[:0]
+		}
+		if anyTrue(affected) && e.liveSinceWait(cur, pending, st.Switch) {
+			pending = append(pending, oldEntry{
+				sw: st.Switch, tbl: cur.Table(st.Switch), affected: affected,
+			})
+		}
+		cur.SetTable(st.Switch, st.Table)
+		out = append(out, st)
+	}
+	return out
+}
+
+// waitNeeded reports whether updating s without a barrier could let an
+// in-flight packet (forwarded under the old rules of some switch in
+// pending) observe both an old and the new configuration at s. Classes
+// unaffected by s's change are ignored, as are pending switches whose
+// change did not affect the class.
+func (e *engine) waitNeeded(cur *config.Config, pending []oldEntry, s int, affected []bool) bool {
+	for ci, cs := range e.sc.Specs {
+		if !affected[ci] {
+			continue
+		}
+		pkt := cs.Class.Packet()
+		var starts []int
+		for _, p := range pending {
+			if !p.affected[ci] {
+				continue
+			}
+			starts = append(starts, e.classSuccessors(p.tbl, p.sw, pkt)...)
+		}
+		if len(starts) == 0 {
+			continue
+		}
+		if e.reaches(cur, pkt, starts, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// affectedClasses reports, per spec class, whether replacing old with new
+// changes the class's forwarding behavior. The comparison is on the sets
+// of forwarding outputs of matching rules; any in-port-constrained rule
+// makes the answer conservatively "changed".
+func (e *engine) affectedClasses(old, new network.Table) []bool {
+	out := make([]bool, len(e.sc.Specs))
+	for ci, cs := range e.sc.Specs {
+		pkt := cs.Class.Packet()
+		out[ci] = !sameClassBehavior(old, new, pkt)
+	}
+	return out
+}
+
+func sameClassBehavior(a, b network.Table, pkt network.Packet) bool {
+	oa, oka := classOutputs(a, pkt)
+	ob, okb := classOutputs(b, pkt)
+	if !oka || !okb {
+		return false // in-port-sensitive rules: assume changed
+	}
+	if len(oa) != len(ob) {
+		return false
+	}
+	for p := range oa {
+		if !ob[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// classOutputs collects the output ports of the best-priority rules
+// matching the class packet, ignoring in-ports; ok is false when a
+// matching rule is in-port-constrained (behavior then depends on the
+// arrival port and cannot be summarized).
+func classOutputs(t network.Table, pkt network.Packet) (map[network.Action]bool, bool) {
+	best := -1 << 31
+	found := false
+	for _, r := range t {
+		if !headerMatches(r.Match, pkt) {
+			continue
+		}
+		if r.Match.InPort != 0 {
+			return nil, false
+		}
+		if r.Priority > best {
+			best = r.Priority
+		}
+		found = true
+	}
+	out := map[network.Action]bool{}
+	if !found {
+		return out, true // drop in both tables compares equal
+	}
+	for _, r := range t {
+		if r.Priority == best && headerMatches(r.Match, pkt) {
+			for _, a := range r.Actions {
+				out[a] = true
+			}
+			// Deterministic tie-break uses the first matching rule only.
+			break
+		}
+	}
+	return out, true
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// liveSinceWait reports whether packets of some class could have reached
+// switch sw at any point since the last retained wait. The reachability
+// query runs from each class's ingress over the union of the current
+// configuration's edges and the pre-update edges of every switch updated
+// in the window — a superset of every configuration the window contained.
+func (e *engine) liveSinceWait(cur *config.Config, pending []oldEntry, sw int) bool {
+	oldTbl := map[int]network.Table{}
+	for _, p := range pending {
+		oldTbl[p.sw] = p.tbl
+	}
+	for _, cs := range e.sc.Specs {
+		pkt := cs.Class.Packet()
+		src, ok := e.sc.Topo.HostByID(cs.Class.SrcHost)
+		if !ok {
+			continue
+		}
+		if src.Switch == sw {
+			return true // ingress switches always see fresh packets
+		}
+		seen := map[int]bool{}
+		queue := []int{src.Switch}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if v == sw {
+				return true
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			queue = append(queue, e.classSuccessors(cur.Table(v), v, pkt)...)
+			if old, ok := oldTbl[v]; ok {
+				queue = append(queue, e.classSuccessors(old, v, pkt)...)
+			}
+		}
+	}
+	return false
+}
+
+// reaches runs BFS over the class's switch-level forwarding graph under
+// configuration cur, from the given start switches, looking for target.
+func (e *engine) reaches(cur *config.Config, pkt network.Packet, starts []int, target int) bool {
+	seen := map[int]bool{}
+	queue := append([]int(nil), starts...)
+	for len(queue) > 0 {
+		sw := queue[0]
+		queue = queue[1:]
+		if sw == target {
+			return true
+		}
+		if seen[sw] {
+			continue
+		}
+		seen[sw] = true
+		queue = append(queue, e.classSuccessors(cur.Table(sw), sw, pkt)...)
+	}
+	return false
+}
+
+// classSuccessors over-approximates the switches a class packet can be
+// forwarded to by the given table on switch sw (in-port constraints are
+// ignored, which only keeps more waits — a safe direction).
+func (e *engine) classSuccessors(tbl network.Table, sw int, pkt network.Packet) []int {
+	var out []int
+	for _, r := range tbl {
+		if !headerMatches(r.Match, pkt) {
+			continue
+		}
+		for _, a := range r.Actions {
+			if a.Kind != network.ActForward {
+				continue
+			}
+			if l, ok := e.sc.Topo.LinkAt(sw, a.Port); ok {
+				out = append(out, l.Peer)
+			}
+		}
+	}
+	return out
+}
+
+// headerMatches tests a pattern against a packet ignoring the in-port.
+func headerMatches(pat network.Pattern, pkt network.Packet) bool {
+	if pat.Src != network.Wildcard && pat.Src != pkt.Src {
+		return false
+	}
+	if pat.Dst != network.Wildcard && pat.Dst != pkt.Dst {
+		return false
+	}
+	if pat.Typ != network.Wildcard && pat.Typ != pkt.Typ {
+		return false
+	}
+	return true
+}

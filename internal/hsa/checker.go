@@ -1,0 +1,135 @@
+package hsa
+
+import (
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+	"netupdate/internal/mc"
+	"netupdate/internal/network"
+)
+
+// Checker adapts the plumbing-graph engine to the synthesis backend
+// interface. Like NetPlumber, it maintains reachability bookkeeping
+// incrementally across rule insertions/removals but reports only pass or
+// fail — no counterexamples — so the synthesizer cannot learn wrong-
+// configuration patterns from it (Section 6 notes the same limitation).
+type Checker struct {
+	k     *kripke.K
+	p     *Plumber
+	spec  *ltl.Formula
+	stats mc.Stats
+}
+
+// New builds the checker over the class structure's current tables.
+func New(k *kripke.K, spec *ltl.Formula) (mc.Checker, error) {
+	tables := map[int]network.Table{}
+	for sw := 0; sw < k.Topo.NumSwitches(); sw++ {
+		if tbl := k.Table(sw); len(tbl) > 0 {
+			tables[sw] = tbl
+		}
+	}
+	p := NewPlumber(k.Topo, tables, FromPacket(k.Class.Packet()))
+	return &Checker{k: k, p: p, spec: spec}, nil
+}
+
+// Name implements mc.Checker.
+func (c *Checker) Name() string { return "netplumber-like" }
+
+// Check implements mc.Checker: every maximal flow path must satisfy the
+// specification, and no flow may loop.
+func (c *Checker) Check() mc.Verdict {
+	c.stats.Checks++
+	if c.p.HasLoop() {
+		return mc.Verdict{OK: false}
+	}
+	for _, t := range c.p.Terminals() {
+		c.stats.StatesLabeled += len(t.Switches)
+		if !c.pathSatisfies(t) {
+			return mc.Verdict{OK: false}
+		}
+	}
+	return mc.Verdict{OK: true}
+}
+
+// pathSatisfies evaluates the spec over one flow path using the standard
+// finite-trace semantics (final state repeats).
+func (c *Checker) pathSatisfies(t PathTerminal) bool {
+	env := make([]ltl.Env, len(t.Switches))
+	pkt := c.k.Class.Packet()
+	for i := range t.Switches {
+		sw, pt := t.Switches[i], t.InPorts[i]
+		env[i] = ltl.EnvFunc(func(p ltl.Prop) bool {
+			switch p.Field {
+			case ltl.FieldSwitch:
+				return sw == p.Value
+			case ltl.FieldPort:
+				return int(pt) == p.Value
+			default:
+				if f, ok := network.FieldByName(p.Field); ok {
+					return pkt.Field(f) == p.Value
+				}
+				return false
+			}
+		})
+	}
+	return c.spec.EvalTrace(env)
+}
+
+// hsaToken records the rule operations applied by one Update, for Revert.
+type hsaToken struct {
+	sw      int
+	added   []network.Rule
+	removed []network.Rule
+}
+
+// Update implements mc.Checker: translate the switch update into rule
+// insertions/removals (NetPlumber's native operations) and re-check.
+func (c *Checker) Update(delta *kripke.Delta) (mc.Verdict, mc.Token) {
+	oldT := delta.OldTable()
+	newT := c.k.Table(delta.Switch)
+	removed, added := diffRules(oldT, newT)
+	for _, r := range removed {
+		c.p.RemoveRule(delta.Switch, r)
+	}
+	for _, r := range added {
+		c.p.AddRule(delta.Switch, r)
+	}
+	return c.Check(), &hsaToken{sw: delta.Switch, added: added, removed: removed}
+}
+
+// Revert implements mc.Checker by applying the inverse rule operations.
+func (c *Checker) Revert(t mc.Token) {
+	tok := t.(*hsaToken)
+	for _, r := range tok.added {
+		c.p.RemoveRule(tok.sw, r)
+	}
+	for _, r := range tok.removed {
+		c.p.AddRule(tok.sw, r)
+	}
+}
+
+// Stats implements mc.Checker.
+func (c *Checker) Stats() mc.Stats { return c.stats }
+
+// diffRules returns the rules present in a but not b, and in b but not a
+// (multiset semantics).
+func diffRules(a, b network.Table) (onlyA, onlyB []network.Rule) {
+	used := make([]bool, len(b))
+outer:
+	for _, ra := range a {
+		for i, rb := range b {
+			if !used[i] && rulesEqual(ra, rb) {
+				used[i] = true
+				continue outer
+			}
+		}
+		onlyA = append(onlyA, ra)
+	}
+	for i, rb := range b {
+		if !used[i] {
+			onlyB = append(onlyB, rb)
+		}
+	}
+	return
+}
+
+var _ mc.Checker = (*Checker)(nil)

@@ -1,0 +1,388 @@
+// Package kripke builds the network Kripke structures of Section 3.3
+// (Definition 9): for one traffic class, states are switch-port locations
+// the class packet can occupy, transitions follow the forwarding tables,
+// and sinks (egress and drop states) carry implicit self-loops. The state
+// set is fixed by the topology — only the transition relation changes when
+// a switch is updated — which is exactly the update model (K, K', U) that
+// the incremental model checker of Section 5 requires.
+package kripke
+
+import (
+	"fmt"
+
+	"netupdate/internal/config"
+	"netupdate/internal/ltl"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// StateKind distinguishes packet-arrival states from egress states.
+type StateKind uint8
+
+// State kinds. An Arrival state (sw, pt) is a packet being processed by
+// switch sw having arrived on port pt; an Egress state (sw, pt) is a
+// packet on the host-facing link out of port pt (Definition 9's fourth
+// case), which is a sink.
+const (
+	Arrival StateKind = iota
+	Egress
+)
+
+// State identifies a Kripke state.
+type State struct {
+	Kind StateKind
+	Sw   int
+	Pt   topology.Port
+}
+
+func (s State) String() string {
+	k := "arr"
+	if s.Kind == Egress {
+		k = "egr"
+	}
+	return fmt.Sprintf("%s(sw%d,pt%d)", k, s.Sw, s.Pt)
+}
+
+// ErrLoop is returned when a configuration induces a forwarding loop for
+// the class; the states on the cycle are reported for counterexample
+// learning.
+type ErrLoop struct {
+	Class config.Class
+	Cycle []State
+}
+
+func (e *ErrLoop) Error() string {
+	return fmt.Sprintf("kripke: forwarding loop for class %v through %v", e.Class, e.Cycle)
+}
+
+// K is the Kripke structure of one traffic class under a mutable
+// configuration. States never change; UpdateSwitch changes only the
+// outgoing transitions of the updated switch's arrival states.
+type K struct {
+	Class config.Class
+	Topo  *topology.Topology
+
+	states []State
+	index  map[State]int
+	init   []int
+	// succ[i] lists successors of state i. nil means sink (implicit
+	// self-loop), matching the complete DAG-like structures of Section 5.
+	succ [][]int
+	pred [][]int
+	// statesOf[sw] lists the arrival-state ids of switch sw.
+	statesOf map[int][]int
+	// tables holds the current forwarding table of each switch.
+	tables map[int]network.Table
+}
+
+// Build constructs the Kripke structure of class cl under cfg. It returns
+// *ErrLoop if the configuration forwards the class in a cycle.
+func Build(topo *topology.Topology, cfg *config.Config, cl config.Class) (*K, error) {
+	k := &K{
+		Class:    cl,
+		Topo:     topo,
+		index:    map[State]int{},
+		statesOf: map[int][]int{},
+		tables:   map[int]network.Table{},
+	}
+	addState := func(s State) int {
+		if id, ok := k.index[s]; ok {
+			return id
+		}
+		id := len(k.states)
+		k.states = append(k.states, s)
+		k.index[s] = id
+		k.succ = append(k.succ, nil)
+		k.pred = append(k.pred, nil)
+		if s.Kind == Arrival {
+			k.statesOf[s.Sw] = append(k.statesOf[s.Sw], id)
+		}
+		return id
+	}
+	// Fixed state space: one arrival state per (switch, port), one egress
+	// state per host-facing port.
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		for _, pt := range topo.Ports(sw) {
+			addState(State{Kind: Arrival, Sw: sw, Pt: pt})
+		}
+		for _, h := range topo.HostsOn(sw) {
+			addState(State{Kind: Egress, Sw: sw, Pt: h.Port})
+		}
+	}
+	// Initial states: arrival states adjacent to an ingress (host) link.
+	for _, h := range topo.Hosts() {
+		k.init = append(k.init, k.index[State{Kind: Arrival, Sw: h.Switch, Pt: h.Port}])
+	}
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		k.tables[sw] = cfg.Table(sw)
+		if err := k.recomputeSwitch(sw); err != nil {
+			return nil, err
+		}
+	}
+	if cyc := k.findCycle(nil); cyc != nil {
+		return nil, &ErrLoop{Class: cl, Cycle: k.statesFor(cyc)}
+	}
+	return k, nil
+}
+
+// recomputeSwitch rewires the outgoing transitions of sw's arrival states
+// from its current table, updating predecessor lists. It returns an error
+// if a rule would modify the class packet (packet modification is outside
+// the checked fragment, per Section 3.3).
+func (k *K) recomputeSwitch(sw int) error {
+	pkt := k.Class.Packet()
+	tbl := k.tables[sw]
+	for _, id := range k.statesOf[sw] {
+		st := k.states[id]
+		var next []int
+		outs := tbl.Apply(pkt, st.Pt)
+		for _, o := range outs {
+			if o.Pkt != pkt {
+				return fmt.Errorf("kripke: class %v: rule on sw%d modifies packet headers", k.Class, sw)
+			}
+			if h, ok := k.Topo.HostAtPort(sw, o.Port); ok {
+				// Egress: any host-facing output port delivers; only the
+				// class destination is "correct", but the structure must
+				// reflect actual behavior either way.
+				_ = h
+				next = append(next, k.index[State{Kind: Egress, Sw: sw, Pt: o.Port}])
+				continue
+			}
+			if l, ok := k.Topo.LinkAt(sw, o.Port); ok {
+				next = append(next, k.index[State{Kind: Arrival, Sw: l.Peer, Pt: l.PeerPort}])
+				continue
+			}
+			// Dangling port: the packet is lost; treat as drop (no edge).
+		}
+		k.setSucc(id, next)
+	}
+	return nil
+}
+
+// setSucc replaces the successor list of state id, maintaining pred.
+func (k *K) setSucc(id int, next []int) {
+	for _, t := range k.succ[id] {
+		k.pred[t] = removeOne(k.pred[t], id)
+	}
+	k.succ[id] = next
+	for _, t := range next {
+		k.pred[t] = append(k.pred[t], id)
+	}
+}
+
+func removeOne(xs []int, v int) []int {
+	for i, x := range xs {
+		if x == v {
+			xs[i] = xs[len(xs)-1]
+			return xs[:len(xs)-1]
+		}
+	}
+	return xs
+}
+
+// Delta describes an applied update: the states whose outgoing transitions
+// changed, with enough information to revert.
+type Delta struct {
+	Switch   int
+	oldTable network.Table
+	oldSucc  map[int][]int
+}
+
+// OldTable returns the table that was installed on the switch before the
+// update (used by rule-level backends to compute rule diffs).
+func (d *Delta) OldTable() network.Table { return d.oldTable }
+
+// Changed returns the ids of states whose transition function changed.
+func (d *Delta) Changed() []int {
+	out := make([]int, 0, len(d.oldSucc))
+	for id := range d.oldSucc {
+		out = append(out, id)
+	}
+	return out
+}
+
+// UpdateSwitch installs tbl on sw, rewiring transitions. It returns the
+// delta for incremental re-checking and reverting. If the new structure
+// contains a cycle (forwarding loop), the update is applied and an
+// *ErrLoop is returned alongside the delta: callers treat the
+// configuration as wrong, learn from the cycle, and revert.
+func (k *K) UpdateSwitch(sw int, tbl network.Table) (*Delta, error) {
+	d := &Delta{Switch: sw, oldTable: k.tables[sw], oldSucc: map[int][]int{}}
+	for _, id := range k.statesOf[sw] {
+		d.oldSucc[id] = k.succ[id]
+	}
+	k.tables[sw] = tbl
+	if err := k.recomputeSwitch(sw); err != nil {
+		// Restore and fail; modification errors are programming errors.
+		k.Revert(d)
+		return nil, err
+	}
+	// A new cycle must pass through a rewired state.
+	if cyc := k.findCycle(k.statesOf[sw]); cyc != nil {
+		return d, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc)}
+	}
+	return d, nil
+}
+
+// Revert undoes an update returned by UpdateSwitch.
+func (k *K) Revert(d *Delta) {
+	k.tables[d.Switch] = d.oldTable
+	for id, old := range d.oldSucc {
+		k.setSucc(id, old)
+	}
+}
+
+// findCycle looks for a cycle. With from == nil it scans the whole
+// structure; otherwise it only looks for cycles reachable from (and
+// hence, for fresh updates, passing through) the given states — in that
+// mode the work and memory are proportional to the part of the structure
+// actually reachable from the update, which keeps per-update costs
+// sublinear (the property the incremental checker depends on). It
+// returns the state ids on the cycle, or nil.
+func (k *K) findCycle(from []int) []int {
+	const (
+		gray  = 1
+		black = 2
+	)
+	var colorArr []uint8
+	var colorMap map[int]uint8
+	if from == nil {
+		colorArr = make([]uint8, len(k.states))
+	} else {
+		colorMap = make(map[int]uint8, 4*len(from))
+	}
+	colorOf := func(v int) uint8 {
+		if colorArr != nil {
+			return colorArr[v]
+		}
+		return colorMap[v]
+	}
+	setColor := func(v int, c uint8) {
+		if colorArr != nil {
+			colorArr[v] = c
+		} else {
+			colorMap[v] = c
+		}
+	}
+	parent := map[int]int{}
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		setColor(v, gray)
+		for _, u := range k.succ[v] {
+			switch colorOf(u) {
+			case 0:
+				parent[u] = v
+				if dfs(u) {
+					return true
+				}
+			case gray:
+				// Found a cycle u ... v -> u.
+				cycle = append(cycle, u)
+				for w := v; w != u; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				return true
+			}
+		}
+		setColor(v, black)
+		return false
+	}
+	roots := from
+	if roots == nil {
+		roots = make([]int, len(k.states))
+		for i := range roots {
+			roots[i] = i
+		}
+	}
+	for _, v := range roots {
+		if colorOf(v) == 0 {
+			parent[v] = v
+			if dfs(v) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+func (k *K) statesFor(ids []int) []State {
+	out := make([]State, len(ids))
+	for i, id := range ids {
+		out[i] = k.states[id]
+	}
+	return out
+}
+
+// NumStates returns the number of states.
+func (k *K) NumStates() int { return len(k.states) }
+
+// StateAt returns the state with the given id.
+func (k *K) StateAt(id int) State { return k.states[id] }
+
+// Init returns the initial state ids.
+func (k *K) Init() []int { return k.init }
+
+// Succ returns the successors of state id; empty means sink (implicit
+// self-loop).
+func (k *K) Succ(id int) []int { return k.succ[id] }
+
+// Pred returns the predecessors of state id.
+func (k *K) Pred(id int) []int { return k.pred[id] }
+
+// IsSink reports whether state id is a sink (self-loop only).
+func (k *K) IsSink(id int) bool { return len(k.succ[id]) == 0 }
+
+// StatesOf returns the arrival-state ids of switch sw.
+func (k *K) StatesOf(sw int) []int { return k.statesOf[sw] }
+
+// Table returns the table currently installed on sw in this structure.
+func (k *K) Table(sw int) network.Table { return k.tables[sw] }
+
+// HoldsAt evaluates an atomic proposition at state id: sw=n and pt=n test
+// the state's location; header-field propositions test the class packet.
+func (k *K) HoldsAt(id int, p ltl.Prop) bool {
+	st := k.states[id]
+	switch p.Field {
+	case ltl.FieldSwitch:
+		return st.Sw == p.Value
+	case ltl.FieldPort:
+		return int(st.Pt) == p.Value
+	default:
+		if f, ok := network.FieldByName(p.Field); ok {
+			return k.Class.Packet().Field(f) == p.Value
+		}
+		return false
+	}
+}
+
+// Env returns an ltl.Env evaluating propositions at state id.
+func (k *K) Env(id int) ltl.Env {
+	return ltl.EnvFunc(func(p ltl.Prop) bool { return k.HoldsAt(id, p) })
+}
+
+// Traces enumerates every trace from the given state as switch/port state
+// sequences, up to the first sink (which repeats implicitly). It is
+// exponential and intended for tests and counterexample printing on small
+// structures; maxTraces bounds the enumeration.
+func (k *K) Traces(from int, maxTraces int) [][]int {
+	var out [][]int
+	var path []int
+	var walk func(v int)
+	walk = func(v int) {
+		if len(out) >= maxTraces {
+			return
+		}
+		path = append(path, v)
+		defer func() { path = path[:len(path)-1] }()
+		if k.IsSink(v) {
+			out = append(out, append([]int(nil), path...))
+			return
+		}
+		for _, u := range k.succ[v] {
+			walk(u)
+		}
+	}
+	walk(from)
+	return out
+}

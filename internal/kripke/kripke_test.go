@@ -1,0 +1,290 @@
+package kripke
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/ltl"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// lineScene: h100 - sw0 - sw1 - sw2 - h101, class routed along the line.
+func lineScene() (*topology.Topology, *config.Config, config.Class) {
+	topo := topology.New("line", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 2)
+	cl := config.Class{SrcHost: 100, DstHost: 101}
+	cfg := config.New()
+	if err := config.InstallPath(cfg, topo, cl, []int{0, 1, 2}, 10); err != nil {
+		panic(err)
+	}
+	return topo, cfg, cl
+}
+
+func TestBuildStructure(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: sw0 has ports {1(link),2(host)} => 2 arrival; sw1 ports
+	// {1,2} => 2; sw2 ports {1,2(host)} => 2; plus 2 egress states.
+	if k.NumStates() != 8 {
+		t.Fatalf("states = %d, want 8", k.NumStates())
+	}
+	if len(k.Init()) != 2 {
+		t.Fatalf("init = %v, want 2 host ingress states", k.Init())
+	}
+	// Walk the forwarding chain from the source ingress state.
+	src, _ := topo.HostByID(100)
+	q := k.index[State{Kind: Arrival, Sw: src.Switch, Pt: src.Port}]
+	var seq []State
+	for !k.IsSink(q) {
+		if n := len(k.Succ(q)); n != 1 {
+			t.Fatalf("state %v has %d successors", k.StateAt(q), n)
+		}
+		q = k.Succ(q)[0]
+		seq = append(seq, k.StateAt(q))
+	}
+	last := k.StateAt(q)
+	if last.Kind != Egress || last.Sw != 2 {
+		t.Fatalf("chain ends at %v, want egress at sw2", last)
+	}
+	if len(seq) != 3 { // sw1 arrival, sw2 arrival, egress
+		t.Fatalf("chain = %v", seq)
+	}
+}
+
+func TestDropStateIsSink(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	cfg.SetTable(1, nil) // sw1 drops
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := topo.HostByID(100)
+	q := k.index[State{Kind: Arrival, Sw: src.Switch, Pt: src.Port}]
+	q = k.Succ(q)[0] // sw1 arrival
+	if !k.IsSink(q) || k.StateAt(q).Sw != 1 {
+		t.Fatalf("drop state should be a sink at sw1, got %v", k.StateAt(q))
+	}
+}
+
+func TestBuildRejectsLoop(t *testing.T) {
+	topo := topology.New("tri", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddLink(2, 0)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 2)
+	cl := config.Class{SrcHost: 100, DstHost: 101}
+	cfg := config.New()
+	for _, hop := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		pt, _ := topo.PortToward(hop[0], hop[1])
+		cfg.AddRule(hop[0], network.Rule{
+			Priority: 10, Match: cl.Pattern(),
+			Actions: []network.Action{network.Forward(pt)},
+		})
+	}
+	_, err := Build(topo, cfg, cl)
+	var loop *ErrLoop
+	if !errors.As(err, &loop) {
+		t.Fatalf("err = %v, want ErrLoop", err)
+	}
+	if len(loop.Cycle) == 0 {
+		t.Fatal("loop error should carry the cycle")
+	}
+}
+
+func TestBuildRejectsModification(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	tbl := cfg.Table(1).Clone()
+	tbl[0].Actions = append([]network.Action{network.SetField(network.FieldTyp, 9)}, tbl[0].Actions...)
+	cfg.SetTable(1, tbl)
+	if _, err := Build(topo, cfg, cl); err == nil {
+		t.Fatal("expected modification error")
+	}
+}
+
+func TestUpdateSwitchAndRevert(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotSuccs(k)
+	delta, err := k.UpdateSwitch(1, nil) // sw1 now drops
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Changed()) != len(k.StatesOf(1)) {
+		t.Fatalf("changed = %v", delta.Changed())
+	}
+	src, _ := topo.HostByID(100)
+	q := k.index[State{Kind: Arrival, Sw: src.Switch, Pt: src.Port}]
+	q = k.Succ(q)[0]
+	if !k.IsSink(q) {
+		t.Fatal("sw1 should drop after update")
+	}
+	k.Revert(delta)
+	if !succsEqual(before, snapshotSuccs(k)) {
+		t.Fatal("revert did not restore transitions")
+	}
+}
+
+func TestUpdateDetectsLoop(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point sw1 back at sw0: sw0 forwards to sw1, sw1 forwards to sw0.
+	p10, _ := topo.PortToward(1, 0)
+	tbl := network.Table{{
+		Priority: 10, Match: cl.Pattern(),
+		Actions: []network.Action{network.Forward(p10)},
+	}}
+	delta, err := k.UpdateSwitch(1, tbl)
+	var loop *ErrLoop
+	if !errors.As(err, &loop) {
+		t.Fatalf("err = %v, want ErrLoop", err)
+	}
+	k.Revert(delta)
+	if _, err := k.UpdateSwitch(1, k.Table(1)); err != nil {
+		t.Fatalf("revert left structure broken: %v", err)
+	}
+}
+
+func TestHoldsAt(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := topo.HostByID(100)
+	q := k.index[State{Kind: Arrival, Sw: src.Switch, Pt: src.Port}]
+	if !k.HoldsAt(q, ltl.Prop{Field: ltl.FieldSwitch, Value: 0}) {
+		t.Error("sw=0 should hold at ingress")
+	}
+	if k.HoldsAt(q, ltl.Prop{Field: ltl.FieldSwitch, Value: 1}) {
+		t.Error("sw=1 should not hold at ingress")
+	}
+	if !k.HoldsAt(q, ltl.Prop{Field: ltl.FieldPort, Value: int(src.Port)}) {
+		t.Error("pt should hold at ingress")
+	}
+	if !k.HoldsAt(q, ltl.Prop{Field: "src", Value: 100}) {
+		t.Error("class src field should hold")
+	}
+	if !k.HoldsAt(q, ltl.Prop{Field: "dst", Value: 101}) {
+		t.Error("class dst field should hold")
+	}
+	if k.HoldsAt(q, ltl.Prop{Field: "bogus", Value: 1}) {
+		t.Error("unknown fields are false")
+	}
+}
+
+func TestTracesEnumeration(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := topo.HostByID(100)
+	q := k.index[State{Kind: Arrival, Sw: src.Switch, Pt: src.Port}]
+	traces := k.Traces(q, 10)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1 (deterministic line)", len(traces))
+	}
+	if len(traces[0]) != 4 {
+		t.Fatalf("trace = %v, want length 4", traces[0])
+	}
+}
+
+func TestPredConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	topo := topology.WAN("w", 8, 3)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 5)
+	cl := config.Class{SrcHost: 100, DstHost: 101}
+	cfg := config.New()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []*Delta
+	for step := 0; step < 40; step++ {
+		sw := r.Intn(8)
+		var tbl network.Table
+		if r.Intn(2) == 0 {
+			ports := topo.Ports(sw)
+			tbl = network.Table{{
+				Priority: 10, Match: cl.Pattern(),
+				Actions: []network.Action{network.Forward(ports[r.Intn(len(ports))])},
+			}}
+		}
+		d, err := k.UpdateSwitch(sw, tbl)
+		if err != nil {
+			k.Revert(d)
+			continue
+		}
+		deltas = append(deltas, d)
+		checkPredInvariant(t, k)
+		if len(deltas) > 2 && r.Intn(3) == 0 {
+			last := deltas[len(deltas)-1]
+			deltas = deltas[:len(deltas)-1]
+			k.Revert(last)
+			checkPredInvariant(t, k)
+		}
+	}
+}
+
+func checkPredInvariant(t *testing.T, k *K) {
+	t.Helper()
+	// pred must be exactly the inverse of succ.
+	count := map[[2]int]int{}
+	for v := 0; v < k.NumStates(); v++ {
+		for _, u := range k.Succ(v) {
+			count[[2]int{v, u}]++
+		}
+	}
+	for u := 0; u < k.NumStates(); u++ {
+		for _, v := range k.Pred(u) {
+			count[[2]int{v, u}]--
+		}
+	}
+	for e, c := range count {
+		if c != 0 {
+			t.Fatalf("pred/succ mismatch on edge %v: %d", e, c)
+		}
+	}
+}
+
+func snapshotSuccs(k *K) [][]int {
+	out := make([][]int, k.NumStates())
+	for i := range out {
+		out[i] = append([]int(nil), k.Succ(i)...)
+	}
+	return out
+}
+
+func succsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

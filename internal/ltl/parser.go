@@ -1,0 +1,338 @@
+package ltl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a formula in the concrete syntax produced by
+// (*Formula).String:
+//
+//	phi ::= phi '->' phi          (implication, right associative, lowest)
+//	      | phi '|' phi           (disjunction)
+//	      | phi '&' phi           (conjunction)
+//	      | phi 'U' phi           (until, right associative)
+//	      | phi 'R' phi           (release, right associative)
+//	      | '!' phi | 'X' phi | 'F' phi | 'G' phi
+//	      | 'true' | 'false'
+//	      | ident '=' int | ident '!=' int
+//	      | '(' phi ')'
+//
+// where ident names a state component ("sw", "pt", or a header field).
+func Parse(input string) (*Formula, error) {
+	p := &parser{input: input}
+	p.next()
+	f, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("ltl: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return f, nil
+}
+
+// MustParse is Parse but panics on error; for statically known formulas.
+func MustParse(input string) *Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLParen
+	tokRParen
+	tokNot    // !
+	tokAnd    // &
+	tokOr     // |
+	tokEq     // =
+	tokNeq    // !=
+	tokArrow  // ->
+	tokKwTrue // true
+	tokKwFalse
+	tokKwX
+	tokKwF
+	tokKwG
+	tokKwU
+	tokKwR
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	input string
+	off   int
+	tok   token
+}
+
+func (p *parser) next() {
+	for p.off < len(p.input) && unicode.IsSpace(rune(p.input[p.off])) {
+		p.off++
+	}
+	start := p.off
+	if p.off >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.input[p.off]
+	switch {
+	case c == '(':
+		p.off++
+		p.tok = token{tokLParen, "(", start}
+	case c == ')':
+		p.off++
+		p.tok = token{tokRParen, ")", start}
+	case c == '&':
+		p.off++
+		if p.off < len(p.input) && p.input[p.off] == '&' {
+			p.off++
+		}
+		p.tok = token{tokAnd, "&", start}
+	case c == '|':
+		p.off++
+		if p.off < len(p.input) && p.input[p.off] == '|' {
+			p.off++
+		}
+		p.tok = token{tokOr, "|", start}
+	case c == '=':
+		p.off++
+		if p.off < len(p.input) && p.input[p.off] == '>' { // '=>' synonym for '->'
+			p.off++
+			p.tok = token{tokArrow, "=>", start}
+			return
+		}
+		p.tok = token{tokEq, "=", start}
+	case c == '!':
+		p.off++
+		if p.off < len(p.input) && p.input[p.off] == '=' {
+			p.off++
+			p.tok = token{tokNeq, "!=", start}
+			return
+		}
+		p.tok = token{tokNot, "!", start}
+	case c == '-':
+		p.off++
+		if p.off < len(p.input) && p.input[p.off] == '>' {
+			p.off++
+			p.tok = token{tokArrow, "->", start}
+			return
+		}
+		p.tok = token{kind: tokEOF, text: "-", pos: start} // reported by caller
+	case c >= '0' && c <= '9':
+		for p.off < len(p.input) && p.input[p.off] >= '0' && p.input[p.off] <= '9' {
+			p.off++
+		}
+		p.tok = token{tokInt, p.input[start:p.off], start}
+	case isIdentStart(c):
+		for p.off < len(p.input) && isIdentChar(p.input[p.off]) {
+			p.off++
+		}
+		text := p.input[start:p.off]
+		kind := tokIdent
+		switch text {
+		case "true":
+			kind = tokKwTrue
+		case "false":
+			kind = tokKwFalse
+		case "X":
+			kind = tokKwX
+		case "F":
+			kind = tokKwF
+		case "G":
+			kind = tokKwG
+		case "U":
+			kind = tokKwU
+		case "R":
+			kind = tokKwR
+		}
+		p.tok = token{kind, text, start}
+	default:
+		p.tok = token{kind: tokEOF, text: string(c), pos: start}
+		p.off++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *parser) parseImplies() (*Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokArrow {
+		p.next()
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (*Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (*Formula, error) {
+	l, err := p.parseTemporal()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAnd {
+		p.next()
+		r, err := p.parseTemporal()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseTemporal() (*Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tokKwU:
+		p.next()
+		r, err := p.parseTemporal()
+		if err != nil {
+			return nil, err
+		}
+		return Until(l, r), nil
+	case tokKwR:
+		p.next()
+		r, err := p.parseTemporal()
+		if err != nil {
+			return nil, err
+		}
+		return Release(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (*Formula, error) {
+	switch p.tok.kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case tokKwX:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Next(f), nil
+	case tokKwF:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Eventually(f), nil
+	case tokKwG:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Always(f), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*Formula, error) {
+	switch p.tok.kind {
+	case tokKwTrue:
+		p.next()
+		return True(), nil
+	case tokKwFalse:
+		p.next()
+		return False(), nil
+	case tokLParen:
+		p.next()
+		f, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("ltl: expected ')' at offset %d, found %q", p.tok.pos, p.tok.text)
+		}
+		p.next()
+		return f, nil
+	case tokIdent:
+		field := p.tok.text
+		p.next()
+		neq := false
+		switch p.tok.kind {
+		case tokEq:
+		case tokNeq:
+			neq = true
+		default:
+			return nil, fmt.Errorf("ltl: expected '=' or '!=' after %q at offset %d", field, p.tok.pos)
+		}
+		p.next()
+		if p.tok.kind != tokInt {
+			return nil, fmt.Errorf("ltl: expected integer at offset %d, found %q", p.tok.pos, p.tok.text)
+		}
+		v, err := strconv.Atoi(p.tok.text)
+		if err != nil {
+			return nil, fmt.Errorf("ltl: bad integer %q: %v", p.tok.text, err)
+		}
+		p.next()
+		a := Atom(field, v)
+		if neq {
+			return Not(a), nil
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("ltl: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+}
+
+// FormatList renders a list of formulas one per line (for CLI output).
+func FormatList(fs []*Formula) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package mc
+
+import (
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+)
+
+// Batch is the monolithic variant of the labeling checker (Section 5.2's
+// "naive approach"): every call relabels the entire Kripke structure from
+// scratch, ignoring previous results. It exists as the paper's Batch
+// baseline for Figure 7.
+type Batch struct {
+	*labeler
+}
+
+// NewBatch builds the batch checker.
+func NewBatch(k *kripke.K, spec *ltl.Formula) (Checker, error) {
+	l, err := newLabeler(k, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{labeler: l}, nil
+}
+
+// Name implements Checker.
+func (c *Batch) Name() string { return "batch" }
+
+// Check implements Checker: full relabel then scan.
+func (c *Batch) Check() Verdict {
+	c.relabelAll()
+	return c.verdict()
+}
+
+// Update implements Checker by re-checking from scratch.
+func (c *Batch) Update(delta *kripke.Delta) (Verdict, Token) {
+	return c.Check(), batchToken{}
+}
+
+// Revert implements Checker. The batch checker keeps no incremental
+// state: the next call relabels everything anyway.
+func (c *Batch) Revert(t Token) {}
+
+// Stats implements Checker.
+func (c *Batch) Stats() Stats { return c.stats }
+
+type batchToken struct{}
+
+var (
+	_ Checker = (*Batch)(nil)
+	_         = ltl.Valuation{}
+	_         = kripke.State{}
+)

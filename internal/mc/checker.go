@@ -1,0 +1,80 @@
+// Package mc implements the LTL model checkers of Section 5: state
+// labeling with maximally-consistent sets of the extended closure
+// (following Wolper-Vardi-Sistla), an incremental checker that relabels
+// only the ancestors of updated states, and a batch variant that relabels
+// the whole structure on every call. Both operate on the complete,
+// DAG-like network Kripke structures built by package kripke.
+package mc
+
+import (
+	"fmt"
+
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+)
+
+// Verdict is the outcome of a model-checking call.
+type Verdict struct {
+	OK bool
+	// Cex is a violating trace prefix (state ids, from an initial state to
+	// a sink) when OK is false and the checker supports counterexamples.
+	Cex []int
+	// HasCex reports whether this checker produces counterexamples at all
+	// (NetPlumber-style checkers do not).
+	HasCex bool
+}
+
+// Token is an opaque undo token returned by Update and consumed by Revert.
+type Token interface{}
+
+// Checker verifies one traffic class's Kripke structure against one LTL
+// formula across a sequence of switch updates. Implementations:
+// Incremental (the paper's contribution), Batch, the automaton-theoretic
+// checker in package buchi (NuSMV stand-in), and the header-space checker
+// in package hsa (NetPlumber stand-in).
+type Checker interface {
+	// Name identifies the checker in benchmark output.
+	Name() string
+	// Check performs a full check of the current structure.
+	Check() Verdict
+	// Update re-checks after the Kripke structure was updated with the
+	// given delta (see kripke.K.UpdateSwitch). The returned token undoes
+	// the checker's internal state when the update is reverted.
+	Update(delta *kripke.Delta) (Verdict, Token)
+	// Revert undoes a previous Update's effect on internal state. Tokens
+	// must be reverted in LIFO order. The caller separately reverts the
+	// Kripke structure itself.
+	Revert(t Token)
+	// Stats returns cumulative work counters for benchmark reporting.
+	Stats() Stats
+}
+
+// Stats counts the work a checker has performed.
+type Stats struct {
+	Checks        int // model-checking calls
+	StatesLabeled int // state (re)labelings performed
+}
+
+// Factory constructs a checker for a structure/formula pair; the synthesis
+// engine uses one checker per traffic class.
+type Factory func(k *kripke.K, spec *ltl.Formula) (Checker, error)
+
+// trueVerdict is the verdict for a passing check.
+func trueVerdict() Verdict { return Verdict{OK: true, HasCex: true} }
+
+// Describe renders a counterexample trace for error messages.
+func Describe(k *kripke.K, cex []int) string {
+	if len(cex) == 0 {
+		return "<no counterexample>"
+	}
+	s := ""
+	for i, id := range cex {
+		if i > 0 {
+			s += " -> "
+		}
+		s += k.StateAt(id).String()
+	}
+	return s
+}
+
+var _ = fmt.Sprintf // keep fmt for Describe extensions

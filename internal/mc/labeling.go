@@ -1,0 +1,145 @@
+package mc
+
+import (
+	"sort"
+
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+)
+
+// labeler holds the shared state-labeling machinery (Section 5.1): each
+// state is labeled with the set of valuations (maximally-consistent
+// subsets of ecl(phi)) witnessed by some trace from that state. Labels are
+// kept as sorted slices so that equality comparison — the incremental
+// algorithm's stopping condition — is cheap.
+type labeler struct {
+	k     *kripke.K
+	clo   *ltl.Closure
+	atoms []ltl.Valuation   // per-state truth of atomic subformulas (fixed)
+	label [][]ltl.Valuation // per-state sorted label
+	stats Stats
+}
+
+func newLabeler(k *kripke.K, spec *ltl.Formula) (*labeler, error) {
+	clo, err := ltl.NewClosure(spec)
+	if err != nil {
+		return nil, err
+	}
+	l := &labeler{k: k, clo: clo}
+	l.atoms = make([]ltl.Valuation, k.NumStates())
+	for id := 0; id < k.NumStates(); id++ {
+		l.atoms[id] = clo.AtomValuation(k.Env(id))
+	}
+	l.label = make([][]ltl.Valuation, k.NumStates())
+	return l, nil
+}
+
+// computeLabel computes the label of state id from its successors' labels,
+// which must already be correct.
+func (l *labeler) computeLabel(id int) []ltl.Valuation {
+	l.stats.StatesLabeled++
+	if l.k.IsSink(id) {
+		return []ltl.Valuation{l.clo.Sink(l.atoms[id])}
+	}
+	set := map[ltl.Valuation]struct{}{}
+	for _, s := range l.k.Succ(id) {
+		for _, v := range l.label[s] {
+			set[l.clo.Extend(l.atoms[id], v)] = struct{}{}
+		}
+	}
+	out := make([]ltl.Valuation, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// postorder returns the states of the sub-DAG induced on member (nil =
+// all states) in DFS postorder over successor edges, so every state
+// appears after all of its in-member successors.
+func (l *labeler) postorder(member []bool) []int {
+	n := l.k.NumStates()
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	var dfs func(v int)
+	dfs = func(v int) {
+		visited[v] = true
+		for _, u := range l.k.Succ(v) {
+			if (member == nil || member[u]) && !visited[u] {
+				dfs(u)
+			}
+		}
+		order = append(order, v)
+	}
+	for v := 0; v < n; v++ {
+		if (member == nil || member[v]) && !visited[v] {
+			dfs(v)
+		}
+	}
+	return order
+}
+
+// relabelAll computes labels for every state from scratch.
+func (l *labeler) relabelAll() {
+	for _, v := range l.postorder(nil) {
+		l.label[v] = l.computeLabel(v)
+	}
+}
+
+// labelsEqual compares two sorted labels.
+func labelsEqual(a, b []ltl.Valuation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verdict checks the initial states against the root formula and extracts
+// a counterexample trace if some initial valuation refutes it.
+func (l *labeler) verdict() Verdict {
+	l.stats.Checks++
+	for _, q0 := range l.k.Init() {
+		for _, v := range l.label[q0] {
+			if !l.clo.Holds(v) {
+				return Verdict{OK: false, Cex: l.extractCex(q0, v), HasCex: true}
+			}
+		}
+	}
+	return trueVerdict()
+}
+
+// extractCex reconstructs a violating trace witnessing valuation v at
+// state q0: repeatedly find a successor whose label contains a valuation
+// that extends to the current one (Section 5.2, "Counterexamples").
+func (l *labeler) extractCex(q0 int, v ltl.Valuation) []int {
+	trace := []int{q0}
+	q, cur := q0, v
+	for !l.k.IsSink(q) {
+		found := false
+		for _, s := range l.k.Succ(q) {
+			for _, vs := range l.label[s] {
+				if l.clo.Extend(l.atoms[q], vs) == cur {
+					trace = append(trace, s)
+					q, cur = s, vs
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			// Labels are correct by construction; reaching here indicates
+			// stale labels. Fail loudly in tests rather than mislead.
+			panic("mc: counterexample reconstruction failed — stale labeling")
+		}
+	}
+	return trace
+}

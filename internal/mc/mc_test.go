@@ -1,0 +1,269 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// randomScene builds a random topology with one traffic class and a
+// random, possibly partial, forwarding configuration. It retries until
+// the configuration is loop-free (Build succeeds).
+func randomScene(r *rand.Rand) (*topology.Topology, *config.Config, config.Class, *kripke.K) {
+	for {
+		n := 4 + r.Intn(6)
+		topo := topology.WAN("t", n, r.Int63())
+		src := r.Intn(n)
+		dst := r.Intn(n)
+		hs := topo.AddHost(100, src)
+		hd := topo.AddHost(101, dst)
+		_ = hs
+		_ = hd
+		cl := config.Class{SrcHost: 100, DstHost: 101}
+		cfg := config.New()
+		for sw := 0; sw < n; sw++ {
+			if r.Intn(4) == 0 {
+				continue // no rule: drop
+			}
+			ports := topo.Ports(sw)
+			pt := ports[r.Intn(len(ports))]
+			cfg.AddRule(sw, fwdRule(cl, pt))
+		}
+		k, err := kripke.Build(topo, cfg, cl)
+		if err != nil {
+			continue
+		}
+		return topo, cfg, cl, k
+	}
+}
+
+func fwdRule(cl config.Class, pt topology.Port) network.Rule {
+	return network.Rule{
+		Priority: 10,
+		Match:    cl.Pattern(),
+		Actions:  []network.Action{network.Forward(pt)},
+	}
+}
+
+// randomFormula produces a small NNF-able formula over switch atoms.
+func randomFormula(r *rand.Rand, n int) *ltl.Formula {
+	var gen func(d int) *ltl.Formula
+	gen = func(d int) *ltl.Formula {
+		if d <= 0 {
+			return ltl.At(r.Intn(n))
+		}
+		switch r.Intn(7) {
+		case 0:
+			return ltl.Not(gen(d - 1))
+		case 1:
+			return ltl.And(gen(d-1), gen(d-1))
+		case 2:
+			return ltl.Or(gen(d-1), gen(d-1))
+		case 3:
+			return ltl.Next(gen(d - 1))
+		case 4:
+			return ltl.Until(gen(d-1), gen(d-1))
+		case 5:
+			return ltl.Release(gen(d-1), gen(d-1))
+		default:
+			return ltl.At(r.Intn(n))
+		}
+	}
+	return gen(2 + r.Intn(2))
+}
+
+// bruteForce checks the property by enumerating every trace from every
+// initial state and evaluating the formula directly.
+func bruteForce(k *kripke.K, f *ltl.Formula) bool {
+	for _, q0 := range k.Init() {
+		for _, tr := range k.Traces(q0, 100000) {
+			env := make([]ltl.Env, len(tr))
+			for i, id := range tr {
+				env[i] = k.Env(id)
+			}
+			if !f.EvalTrace(env) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestIncrementalMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		topo, _, _, k := randomScene(r)
+		f := randomFormula(r, topo.NumSwitches())
+		chk, err := NewIncremental(k, f)
+		if err != nil {
+			continue // oversized closure
+		}
+		got := chk.Check()
+		want := bruteForce(k, f)
+		if got.OK != want {
+			t.Fatalf("iter %d: incremental=%v bruteforce=%v formula=%v", iter, got.OK, want, f)
+		}
+		if !got.OK {
+			validateCex(t, k, f, got.Cex)
+		}
+	}
+}
+
+// validateCex checks that a counterexample trace is a real trace of the
+// structure and genuinely violates the formula.
+func validateCex(t *testing.T, k *kripke.K, f *ltl.Formula, cex []int) {
+	t.Helper()
+	if len(cex) == 0 {
+		t.Fatal("empty counterexample")
+	}
+	isInit := false
+	for _, q0 := range k.Init() {
+		if q0 == cex[0] {
+			isInit = true
+			break
+		}
+	}
+	if !isInit {
+		t.Fatalf("counterexample does not start at an initial state: %v", Describe(k, cex))
+	}
+	for i := 0; i+1 < len(cex); i++ {
+		ok := false
+		for _, s := range k.Succ(cex[i]) {
+			if s == cex[i+1] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("counterexample has non-edge %d -> %d", cex[i], cex[i+1])
+		}
+	}
+	if !k.IsSink(cex[len(cex)-1]) {
+		t.Fatalf("counterexample does not end at a sink")
+	}
+	env := make([]ltl.Env, len(cex))
+	for i, id := range cex {
+		env[i] = k.Env(id)
+	}
+	if f.EvalTrace(env) {
+		t.Fatalf("counterexample satisfies the formula: %v", Describe(k, cex))
+	}
+}
+
+func TestBatchMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 100; iter++ {
+		topo, _, _, k := randomScene(r)
+		f := randomFormula(r, topo.NumSwitches())
+		inc, err := NewIncremental(k, f)
+		if err != nil {
+			continue
+		}
+		bat, err := NewBatch(k, f)
+		if err != nil {
+			continue
+		}
+		if inc.Check().OK != bat.Check().OK {
+			t.Fatalf("iter %d: incremental and batch disagree on %v", iter, f)
+		}
+	}
+}
+
+// TestIncrementalUpdateMatchesFresh applies a random sequence of switch
+// updates and reverts, comparing the incremental verdict against a
+// freshly-built checker at every step.
+func TestIncrementalUpdateMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 60; iter++ {
+		topo, cfg, cl, k := randomScene(r)
+		f := randomFormula(r, topo.NumSwitches())
+		chk, err := NewIncremental(k, f)
+		if err != nil {
+			continue
+		}
+		type frame struct {
+			delta *kripke.Delta
+			tok   Token
+		}
+		var stack []frame
+		for step := 0; step < 12; step++ {
+			if len(stack) > 0 && r.Intn(3) == 0 {
+				// Backtrack.
+				fr := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				chk.Revert(fr.tok)
+				k.Revert(fr.delta)
+			} else {
+				sw := r.Intn(topo.NumSwitches())
+				var tbl network.Table
+				if r.Intn(3) > 0 {
+					ports := topo.Ports(sw)
+					tbl = network.Table{fwdRule(cl, ports[r.Intn(len(ports))])}
+				}
+				delta, err := k.UpdateSwitch(sw, tbl)
+				if err != nil {
+					// Loop introduced: revert and skip.
+					k.Revert(delta)
+					continue
+				}
+				v, tok := chk.Update(delta)
+				stack = append(stack, frame{delta, tok})
+				// Compare against a fresh checker on the same structure.
+				fresh, ferr := NewIncremental(k, f)
+				if ferr != nil {
+					t.Fatal(ferr)
+				}
+				fv := fresh.Check()
+				if v.OK != fv.OK {
+					t.Fatalf("iter %d step %d: incremental=%v fresh=%v formula=%v",
+						iter, step, v.OK, fv.OK, f)
+				}
+				if !v.OK {
+					validateCex(t, k, f, v.Cex)
+				}
+				want := bruteForce(k, f)
+				if v.OK != want {
+					t.Fatalf("iter %d step %d: incremental=%v brute=%v", iter, step, v.OK, want)
+				}
+			}
+		}
+		// Unwind fully and confirm we are back to the initial verdict.
+		initial := bruteForce(k2Initial(topo, cfg, cl), f)
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			chk.Revert(fr.tok)
+			k.Revert(fr.delta)
+		}
+		if got := chk.Check(); got.OK != initial {
+			t.Fatalf("iter %d: after full revert, verdict %v != initial %v", iter, got.OK, initial)
+		}
+	}
+}
+
+func k2Initial(topo *topology.Topology, cfg *config.Config, cl config.Class) *kripke.K {
+	k, err := kripke.Build(topo, cfg, cl)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	_, _, _, k := randomScene(r)
+	chk, err := NewIncremental(k, ltl.Reachability(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk.Check()
+	st := chk.Stats()
+	if st.Checks == 0 || st.StatesLabeled == 0 {
+		t.Fatalf("stats not counted: %+v", st)
+	}
+}

@@ -1,0 +1,174 @@
+package network
+
+import (
+	"fmt"
+
+	"netupdate/internal/topology"
+)
+
+// CommandKind discriminates controller commands.
+type CommandKind uint8
+
+// Controller commands (Section 3.1). Wait is the derived command
+// incr;flush and is expanded by NewController.
+const (
+	CmdUpdate CommandKind = iota
+	CmdIncr
+	CmdFlush
+)
+
+// Command is a control-plane command: a switch-granularity table
+// replacement, an epoch increment, or a flush barrier.
+type Command struct {
+	Kind   CommandKind
+	Switch int   // for CmdUpdate
+	Table  Table // for CmdUpdate
+}
+
+// Update returns the command (sw, tbl).
+func Update(sw int, tbl Table) Command {
+	return Command{Kind: CmdUpdate, Switch: sw, Table: tbl}
+}
+
+// Wait returns the two commands incr;flush that make up the derived wait
+// command.
+func Wait() []Command {
+	return []Command{{Kind: CmdIncr}, {Kind: CmdFlush}}
+}
+
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdUpdate:
+		return fmt.Sprintf("update(sw%d)", c.Switch)
+	case CmdIncr:
+		return "incr"
+	case CmdFlush:
+		return "flush"
+	}
+	return "?"
+}
+
+// Loc is a packet location: either a host or a switch-port pair.
+type Loc struct {
+	AtHost bool
+	Host   int
+	Sw     int
+	Pt     topology.Port
+}
+
+// HostLoc returns the location of host h.
+func HostLoc(h int) Loc { return Loc{AtHost: true, Host: h} }
+
+// SwLoc returns the location (sw, pt).
+func SwLoc(sw int, pt topology.Port) Loc { return Loc{Sw: sw, Pt: pt} }
+
+func (l Loc) String() string {
+	if l.AtHost {
+		return fmt.Sprintf("h%d", l.Host)
+	}
+	return fmt.Sprintf("(sw%d,pt%d)", l.Sw, l.Pt)
+}
+
+// annot is a packet annotated with its ingress epoch and a unique id used
+// to reconstruct single-packet traces.
+type annot struct {
+	pkt Packet
+	ep  int
+	id  int
+}
+
+// bufEntry is a processed packet buffered on a switch awaiting FORWARD.
+type bufEntry struct {
+	pkt annot
+	out topology.Port
+}
+
+// swState is the runtime state of one switch (the paper's S element).
+type swState struct {
+	id    int
+	table Table
+	buf   []bufEntry // the prs multiset
+}
+
+// linkState is one direction of a link (the paper's L element).
+type linkState struct {
+	from, to Loc
+	queue    []annot
+}
+
+// Obs is an observation (sw, pt, pkt) emitted by a PROCESS transition,
+// tagged with the packet id so that per-packet traces can be extracted.
+type Obs struct {
+	Sw  int
+	Pt  topology.Port
+	Pkt Packet
+	ID  int
+}
+
+// Delivery records a packet leaving the network at a host (OUT).
+type Delivery struct {
+	Host int
+	Pkt  Packet
+	ID   int
+}
+
+// Net is the runtime network state: switches, directed link queues, and
+// the controller. It implements the small-step rules of Figure 3.
+type Net struct {
+	topo     *topology.Topology
+	switches []*swState
+	links    []*linkState
+	outLink  map[Loc]*linkState // outgoing link keyed by source location
+	cmds     []Command
+	epoch    int
+	nextID   int
+
+	log       []Obs
+	delivered []Delivery
+	dropped   []Delivery // packets dropped at a switch (no matching rule)
+}
+
+// NewNet builds a runtime network over the topology with the given initial
+// per-switch tables (tables may be nil, meaning drop-everything). The
+// command list is executed by StepCommand / Run.
+func NewNet(topo *topology.Topology, tables map[int]Table, cmds []Command) *Net {
+	n := &Net{topo: topo, cmds: append([]Command(nil), cmds...), outLink: map[Loc]*linkState{}}
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		n.switches = append(n.switches, &swState{id: sw, table: tables[sw].Clone()})
+	}
+	addDir := func(from, to Loc) {
+		l := &linkState{from: from, to: to}
+		n.links = append(n.links, l)
+		n.outLink[from] = l
+	}
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		for _, l := range topo.Neighbors(sw) {
+			// Each undirected link appears in both adjacency lists; add the
+			// direction leaving sw only.
+			addDir(SwLoc(sw, l.LocalPort), SwLoc(l.Peer, l.PeerPort))
+		}
+	}
+	for _, h := range topo.Hosts() {
+		addDir(HostLoc(h.ID), SwLoc(h.Switch, h.Port))
+		addDir(SwLoc(h.Switch, h.Port), HostLoc(h.ID))
+	}
+	return n
+}
+
+// Epoch returns the controller's current epoch.
+func (n *Net) Epoch() int { return n.epoch }
+
+// TableOf returns the current table installed on sw.
+func (n *Net) TableOf(sw int) Table { return n.switches[sw].table }
+
+// Log returns the observation log so far.
+func (n *Net) Log() []Obs { return n.log }
+
+// Delivered returns the packets that have exited at hosts.
+func (n *Net) Delivered() []Delivery { return n.delivered }
+
+// Dropped returns the packets dropped by switches with no matching rule.
+func (n *Net) Dropped() []Delivery { return n.dropped }
+
+// PendingCommands returns the number of unexecuted controller commands.
+func (n *Net) PendingCommands() int { return len(n.cmds) }

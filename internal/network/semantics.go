@@ -1,0 +1,257 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the small-step rules of Figure 3. Each rule is a
+// method that fires the transition if enabled and reports whether it
+// fired. Run and RunRandom drive the machine with deterministic or
+// randomized schedulers; both respect the rules' enabling conditions, so
+// every execution they produce is a valid run of the paper's semantics.
+
+// Inject fires the IN rule: a packet enters the network from host h,
+// stamped with the current epoch. It returns the packet id used in
+// observations and deliveries.
+func (n *Net) Inject(h int, pkt Packet) int {
+	l, ok := n.outLink[HostLoc(h)]
+	if !ok {
+		panic(fmt.Sprintf("network: host %d has no ingress link", h))
+	}
+	id := n.nextID
+	n.nextID++
+	l.queue = append(l.queue, annot{pkt: pkt, ep: n.epoch, id: id})
+	return id
+}
+
+// stepOut fires the OUT rule on link l if its head packet is arriving at a
+// host.
+func (n *Net) stepOut(l *linkState) bool {
+	if !l.to.AtHost || len(l.queue) == 0 {
+		return false
+	}
+	a := l.queue[0]
+	l.queue = l.queue[1:]
+	n.delivered = append(n.delivered, Delivery{Host: l.to.Host, Pkt: a.pkt, ID: a.id})
+	return true
+}
+
+// stepProcess fires the PROCESS rule on link l if its head packet is
+// arriving at a switch: the packet is removed from the link, the table is
+// applied, and the outputs are buffered on the switch. An observation is
+// recorded; a packet with no matching rule is dropped.
+func (n *Net) stepProcess(l *linkState) bool {
+	if l.to.AtHost || len(l.queue) == 0 {
+		return false
+	}
+	a := l.queue[0]
+	l.queue = l.queue[1:]
+	sw := n.switches[l.to.Sw]
+	n.log = append(n.log, Obs{Sw: sw.id, Pt: l.to.Pt, Pkt: a.pkt, ID: a.id})
+	outs := sw.table.Apply(a.pkt, l.to.Pt)
+	if len(outs) == 0 {
+		n.dropped = append(n.dropped, Delivery{Host: -1, Pkt: a.pkt, ID: a.id})
+		return true
+	}
+	for _, o := range outs {
+		sw.buf = append(sw.buf, bufEntry{pkt: annot{pkt: o.Pkt, ep: a.ep, id: a.id}, out: o.Port})
+	}
+	return true
+}
+
+// stepForward fires the FORWARD rule on switch sw if it has a buffered
+// packet whose output port leads to a link.
+func (n *Net) stepForward(sw *swState) bool {
+	if len(sw.buf) == 0 {
+		return false
+	}
+	e := sw.buf[0]
+	sw.buf = sw.buf[1:]
+	l, ok := n.outLink[SwLoc(sw.id, e.out)]
+	if !ok {
+		// Forwarding out a dangling port loses the packet; record as drop.
+		n.dropped = append(n.dropped, Delivery{Host: -1, Pkt: e.pkt.pkt, ID: e.pkt.id})
+		return true
+	}
+	l.queue = append(l.queue, e.pkt)
+	return true
+}
+
+// minEpoch returns the smallest epoch annotation on any packet in the
+// network (the paper's ep(S1..Sk, L1..Lm)), or current epoch if empty.
+func (n *Net) minEpoch() int {
+	min := n.epoch
+	for _, s := range n.switches {
+		for _, e := range s.buf {
+			if e.pkt.ep < min {
+				min = e.pkt.ep
+			}
+		}
+	}
+	for _, l := range n.links {
+		for _, a := range l.queue {
+			if a.ep < min {
+				min = a.ep
+			}
+		}
+	}
+	return min
+}
+
+// StepCommand executes the next controller command if enabled (UPDATE and
+// INCR are always enabled; FLUSH is enabled only when every packet in the
+// network carries the current epoch). It reports whether a command ran.
+func (n *Net) StepCommand() bool {
+	if len(n.cmds) == 0 {
+		return false
+	}
+	c := n.cmds[0]
+	switch c.Kind {
+	case CmdUpdate:
+		n.switches[c.Switch].table = c.Table.Clone()
+	case CmdIncr:
+		n.epoch++
+	case CmdFlush:
+		if n.minEpoch() < n.epoch {
+			return false // blocked until in-flight packets drain
+		}
+	}
+	n.cmds = n.cmds[1:]
+	return true
+}
+
+// Quiescent reports whether no data-plane transition is enabled: all link
+// queues and switch buffers are empty.
+func (n *Net) Quiescent() bool {
+	for _, s := range n.switches {
+		if len(s.buf) > 0 {
+			return false
+		}
+	}
+	for _, l := range n.links {
+		if len(l.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StepData fires one enabled data-plane transition in a fixed scan order,
+// reporting whether anything fired.
+func (n *Net) StepData() bool {
+	for _, l := range n.links {
+		if l.to.AtHost {
+			if n.stepOut(l) {
+				return true
+			}
+		} else if n.stepProcess(l) {
+			return true
+		}
+	}
+	for _, s := range n.switches {
+		if n.stepForward(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain runs data-plane transitions until quiescence.
+func (n *Net) Drain() {
+	for n.StepData() {
+	}
+}
+
+// Run executes the whole command list, draining the data plane whenever
+// the controller blocks (so FLUSH always eventually fires) and once more
+// at the end. It is the deterministic scheduler used by integration tests.
+func (n *Net) Run() {
+	for len(n.cmds) > 0 {
+		if !n.StepCommand() {
+			if !n.StepData() {
+				// Flush is blocked but nothing can move: impossible under
+				// failure-freedom; guard against scheduler bugs.
+				panic("network: deadlock — flush blocked on an empty network")
+			}
+		}
+	}
+	n.Drain()
+}
+
+// RunRandom executes commands and data-plane transitions under a random
+// interleaving driven by r, injecting packets via inject (which is called
+// between steps and may return false to stop injecting). This explores the
+// concurrency the synthesis algorithm must be correct under.
+func (n *Net) RunRandom(r *rand.Rand, inject func(step int) bool) {
+	injecting := true
+	for step := 0; ; step++ {
+		if injecting && inject != nil {
+			injecting = inject(step)
+		}
+		type choice func() bool
+		var choices []choice
+		if len(n.cmds) > 0 {
+			choices = append(choices, n.StepCommand)
+		}
+		for _, l := range n.links {
+			if len(l.queue) == 0 {
+				continue
+			}
+			l := l
+			if l.to.AtHost {
+				choices = append(choices, func() bool { return n.stepOut(l) })
+			} else {
+				choices = append(choices, func() bool { return n.stepProcess(l) })
+			}
+		}
+		for _, s := range n.switches {
+			if len(s.buf) == 0 {
+				continue
+			}
+			s := s
+			choices = append(choices, func() bool { return n.stepForward(s) })
+		}
+		if len(choices) == 0 {
+			if !injecting || inject == nil {
+				return
+			}
+			continue
+		}
+		// Shuffle and fire the first enabled choice (flush may be blocked).
+		r.Shuffle(len(choices), func(i, j int) { choices[i], choices[j] = choices[j], choices[i] })
+		fired := false
+		for _, c := range choices {
+			if c() {
+				fired = true
+				break
+			}
+		}
+		if !fired && (!injecting || inject == nil) && n.Quiescent() && len(n.cmds) == 0 {
+			return
+		}
+	}
+}
+
+// TraceOf returns the single-packet trace of packet id as the sequence of
+// (sw, pt) observations, in order. The final OUT/drop is not part of the
+// observation sequence.
+func (n *Net) TraceOf(id int) []Obs {
+	var out []Obs
+	for _, o := range n.log {
+		if o.ID == id {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// DeliveredTo reports whether packet id was delivered to host h.
+func (n *Net) DeliveredTo(id, h int) bool {
+	for _, d := range n.delivered {
+		if d.ID == id && d.Host == h {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,298 @@
+// Package network implements the paper's operational network model
+// (Section 3, Figure 3): packets, prioritized forwarding tables, switches,
+// links, hosts, a controller executing update/incr/flush commands, and the
+// small-step Chemical-Abstract-Machine semantics that drives both the
+// formal tests and the discrete-event simulator.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netupdate/internal/topology"
+)
+
+// FieldID identifies a packet header field.
+type FieldID uint8
+
+// Packet header fields. The model fixes a small set of representative
+// header fields; the paper's model is generic over fields f1..fk.
+const (
+	FieldSrc FieldID = iota
+	FieldDst
+	FieldTyp
+	NumFields
+)
+
+func (f FieldID) String() string {
+	switch f {
+	case FieldSrc:
+		return "src"
+	case FieldDst:
+		return "dst"
+	case FieldTyp:
+		return "typ"
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// FieldByName maps a field name to its id.
+func FieldByName(name string) (FieldID, bool) {
+	switch name {
+	case "src":
+		return FieldSrc, true
+	case "dst":
+		return FieldDst, true
+	case "typ":
+		return FieldTyp, true
+	}
+	return 0, false
+}
+
+// Packet is a record of header field values.
+type Packet struct {
+	Src, Dst, Typ int
+}
+
+// Field projects a header field.
+func (p Packet) Field(f FieldID) int {
+	switch f {
+	case FieldSrc:
+		return p.Src
+	case FieldDst:
+		return p.Dst
+	case FieldTyp:
+		return p.Typ
+	}
+	panic(fmt.Sprintf("network: bad field %d", f))
+}
+
+// WithField returns a copy of p with field f set to v (the paper's
+// {r with f = v} functional update).
+func (p Packet) WithField(f FieldID, v int) Packet {
+	switch f {
+	case FieldSrc:
+		p.Src = v
+	case FieldDst:
+		p.Dst = v
+	case FieldTyp:
+		p.Typ = v
+	default:
+		panic(fmt.Sprintf("network: bad field %d", f))
+	}
+	return p
+}
+
+func (p Packet) String() string {
+	return fmt.Sprintf("{src=%d dst=%d typ=%d}", p.Src, p.Dst, p.Typ)
+}
+
+// Wildcard marks a pattern field as unconstrained.
+const Wildcard = -1
+
+// Pattern is a record of optional header fields plus an optional ingress
+// port. A zero port means "any port"; Wildcard (-1) in a header field
+// means "any value".
+type Pattern struct {
+	InPort topology.Port // 0 = any
+	Src    int
+	Dst    int
+	Typ    int
+}
+
+// AnyPacket is the fully wildcarded pattern.
+func AnyPacket() Pattern {
+	return Pattern{Src: Wildcard, Dst: Wildcard, Typ: Wildcard}
+}
+
+// MatchFlow returns a pattern matching packets with the given src and dst.
+func MatchFlow(src, dst int) Pattern {
+	return Pattern{Src: src, Dst: dst, Typ: Wildcard}
+}
+
+// Matches reports whether the pattern matches a packet arriving on port pt.
+func (pat Pattern) Matches(pkt Packet, pt topology.Port) bool {
+	if pat.InPort != 0 && pat.InPort != pt {
+		return false
+	}
+	if pat.Src != Wildcard && pat.Src != pkt.Src {
+		return false
+	}
+	if pat.Dst != Wildcard && pat.Dst != pkt.Dst {
+		return false
+	}
+	if pat.Typ != Wildcard && pat.Typ != pkt.Typ {
+		return false
+	}
+	return true
+}
+
+func (pat Pattern) String() string {
+	var parts []string
+	if pat.InPort != 0 {
+		parts = append(parts, fmt.Sprintf("pt=%d", pat.InPort))
+	}
+	for f, v := range map[string]int{"src": pat.Src, "dst": pat.Dst, "typ": pat.Typ} {
+		if v != Wildcard {
+			parts = append(parts, fmt.Sprintf("%s=%d", f, v))
+		}
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "*"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ActionKind discriminates forwarding from field modification.
+type ActionKind uint8
+
+// Action kinds.
+const (
+	ActForward ActionKind = iota
+	ActSetField
+)
+
+// Action is either "fwd pt" or "f := n".
+type Action struct {
+	Kind  ActionKind
+	Port  topology.Port // for ActForward
+	Field FieldID       // for ActSetField
+	Value int           // for ActSetField
+}
+
+// Forward returns the action "fwd pt".
+func Forward(pt topology.Port) Action { return Action{Kind: ActForward, Port: pt} }
+
+// SetField returns the action "f := v".
+func SetField(f FieldID, v int) Action {
+	return Action{Kind: ActSetField, Field: f, Value: v}
+}
+
+func (a Action) String() string {
+	if a.Kind == ActForward {
+		return fmt.Sprintf("fwd %d", a.Port)
+	}
+	return fmt.Sprintf("%s:=%d", a.Field, a.Value)
+}
+
+// Rule is a prioritized forwarding rule. Higher priority wins.
+type Rule struct {
+	Priority int
+	Match    Pattern
+	Actions  []Action
+}
+
+func (r Rule) String() string {
+	acts := make([]string, len(r.Actions))
+	for i, a := range r.Actions {
+		acts[i] = a.String()
+	}
+	return fmt.Sprintf("[%d] %s -> %s", r.Priority, r.Match, strings.Join(acts, "; "))
+}
+
+// equalRule compares rules structurally.
+func equalRule(a, b Rule) bool {
+	if a.Priority != b.Priority || a.Match != b.Match || len(a.Actions) != len(b.Actions) {
+		return false
+	}
+	for i := range a.Actions {
+		if a.Actions[i] != b.Actions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is a forwarding table: a set of prioritized rules.
+type Table []Rule
+
+// PortPacket is an output pair (packet, port) produced by table
+// application.
+type PortPacket struct {
+	Pkt  Packet
+	Port topology.Port
+}
+
+// Apply implements the semantic function [[tbl]]: it finds the
+// highest-priority rule matching (pkt, pt) and applies its actions,
+// producing the multiset of output (packet, port) pairs. If no rule
+// matches, the packet is dropped (empty result). Ties between rules of
+// equal priority are broken by table order, a deterministic refinement of
+// the paper's "free to pick any".
+func (t Table) Apply(pkt Packet, pt topology.Port) []PortPacket {
+	best := -1
+	for i, r := range t {
+		if !r.Match.Matches(pkt, pt) {
+			continue
+		}
+		if best == -1 || r.Priority > t[best].Priority {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	var out []PortPacket
+	cur := pkt
+	for _, a := range t[best].Actions {
+		switch a.Kind {
+		case ActSetField:
+			cur = cur.WithField(a.Field, a.Value)
+		case ActForward:
+			out = append(out, PortPacket{Pkt: cur, Port: a.Port})
+		}
+	}
+	return out
+}
+
+// Canonical returns a copy of the table sorted by descending priority,
+// then pattern and action order; two tables with the same canonical form
+// are semantically identical under deterministic tie-breaking.
+func (t Table) Canonical() Table {
+	c := make(Table, len(t))
+	copy(c, t)
+	sort.SliceStable(c, func(i, j int) bool {
+		if c[i].Priority != c[j].Priority {
+			return c[i].Priority > c[j].Priority
+		}
+		return c[i].String() < c[j].String()
+	})
+	return c
+}
+
+// Equal reports whether two tables have identical canonical forms.
+func (t Table) Equal(u Table) bool {
+	a, b := t.Canonical(), u.Canonical()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !equalRule(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the table.
+func (t Table) Clone() Table {
+	c := make(Table, len(t))
+	for i, r := range t {
+		c[i] = r
+		c[i].Actions = append([]Action(nil), r.Actions...)
+	}
+	return c
+}
+
+func (t Table) String() string {
+	var b strings.Builder
+	for i, r := range t {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

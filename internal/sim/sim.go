@@ -1,0 +1,306 @@
+// Package sim is a discrete-event network simulator standing in for the
+// paper's Mininet/OpenFlow testbed (Figure 2): hosts emit probe packets
+// at a fixed rate while the controller executes an update command
+// schedule with realistic per-command latency, and the simulator reports
+// the fraction of probes delivered over time. Forwarding semantics reuse
+// the operational model's tables; waits (incr/flush) block the controller
+// until in-flight packets drain, exactly as in Section 3.1.
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// Params configures a simulation run. Zero fields take defaults.
+type Params struct {
+	LinkLatency   time.Duration // per-hop latency (default 50us)
+	UpdateLatency time.Duration // per switch-update command (default 10ms)
+	ProbeInterval time.Duration // probe period per class (default 1ms)
+	Duration      time.Duration // injection window (default 6s)
+	BucketWidth   time.Duration // reporting bucket (default 250ms)
+	CommandStart  time.Duration // controller start time (default 1s)
+	MaxHops       int           // loop guard (default 64)
+}
+
+func (p *Params) fill() {
+	if p.LinkLatency == 0 {
+		p.LinkLatency = 50 * time.Microsecond
+	}
+	if p.UpdateLatency == 0 {
+		p.UpdateLatency = 10 * time.Millisecond
+	}
+	if p.ProbeInterval == 0 {
+		p.ProbeInterval = time.Millisecond
+	}
+	if p.Duration == 0 {
+		p.Duration = 6 * time.Second
+	}
+	if p.BucketWidth == 0 {
+		p.BucketWidth = 250 * time.Millisecond
+	}
+	if p.CommandStart == 0 {
+		p.CommandStart = time.Second
+	}
+	if p.MaxHops == 0 {
+		p.MaxHops = 64
+	}
+}
+
+// Bucket aggregates probes by send time.
+type Bucket struct {
+	Start     time.Duration
+	Sent      int
+	Delivered int
+}
+
+// Fraction is the delivery fraction for the bucket (1 when nothing sent).
+func (b Bucket) Fraction() float64 {
+	if b.Sent == 0 {
+		return 1
+	}
+	return float64(b.Delivered) / float64(b.Sent)
+}
+
+// Result of a simulation run.
+type Result struct {
+	Buckets   []Bucket
+	Sent      int
+	Delivered int
+	Lost      int
+	// End is the simulated time when the last event fired.
+	End time.Duration
+}
+
+// MinFraction returns the worst per-bucket delivery fraction.
+func (r *Result) MinFraction() float64 {
+	min := 1.0
+	for _, b := range r.Buckets {
+		if f := b.Fraction(); f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+type evKind uint8
+
+const (
+	evProbe evKind = iota
+	evArrive
+	evCommand
+)
+
+type event struct {
+	at   time.Duration
+	seq  int
+	kind evKind
+	// evArrive:
+	sw     int
+	pt     topology.Port
+	pkt    network.Packet
+	sentAt time.Duration
+	hops   int
+	epoch  int
+	class  int
+}
+
+type evHeap []*event
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *evHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+type sim struct {
+	topo    *topology.Topology
+	tables  map[int]network.Table
+	cmds    []network.Command
+	cmdIdx  int
+	blocked bool // controller waiting on flush
+	epoch   int
+	// inflight counts packets per ingress epoch.
+	inflight map[int]int
+	classes  []config.Class
+	p        Params
+
+	events evHeap
+	seq    int
+	now    time.Duration
+
+	res Result
+}
+
+// Run simulates the command schedule against continuous probe traffic for
+// every class and returns the delivery time series.
+func Run(topo *topology.Topology, init *config.Config, cmds []network.Command, classes []config.Class, p Params) *Result {
+	p.fill()
+	s := &sim{
+		topo:     topo,
+		tables:   map[int]network.Table{},
+		cmds:     cmds,
+		inflight: map[int]int{},
+		classes:  classes,
+		p:        p,
+	}
+	for _, sw := range init.Switches() {
+		s.tables[sw] = init.Table(sw).Clone()
+	}
+	nBuckets := int(p.Duration/p.BucketWidth) + 1
+	s.res.Buckets = make([]Bucket, nBuckets)
+	for i := range s.res.Buckets {
+		s.res.Buckets[i].Start = time.Duration(i) * p.BucketWidth
+	}
+	s.push(&event{at: 0, kind: evProbe})
+	if len(cmds) > 0 {
+		s.push(&event{at: p.CommandStart, kind: evCommand})
+	}
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		switch ev.kind {
+		case evProbe:
+			s.probe()
+		case evArrive:
+			s.arrive(ev)
+		case evCommand:
+			s.command()
+		}
+	}
+	s.res.End = s.now
+	return &s.res
+}
+
+func (s *sim) push(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+func (s *sim) bucket(t time.Duration) *Bucket {
+	i := int(t / s.p.BucketWidth)
+	if i >= len(s.res.Buckets) {
+		i = len(s.res.Buckets) - 1
+	}
+	return &s.res.Buckets[i]
+}
+
+// probe injects one packet per class and reschedules itself until the
+// injection window closes.
+func (s *sim) probe() {
+	for ci, cl := range s.classes {
+		h, ok := s.topo.HostByID(cl.SrcHost)
+		if !ok {
+			continue
+		}
+		s.res.Sent++
+		s.bucket(s.now).Sent++
+		s.inflight[s.epoch]++
+		s.push(&event{
+			at: s.now + s.p.LinkLatency, kind: evArrive,
+			sw: h.Switch, pt: h.Port, pkt: cl.Packet(),
+			sentAt: s.now, epoch: s.epoch, class: ci,
+		})
+	}
+	if next := s.now + s.p.ProbeInterval; next < s.p.Duration {
+		s.push(&event{at: next, kind: evProbe})
+	}
+}
+
+// exit retires a packet, unblocking a pending flush when the last stale
+// packet drains.
+func (s *sim) exit(ev *event, delivered bool) {
+	s.inflight[ev.epoch]--
+	if s.inflight[ev.epoch] == 0 {
+		delete(s.inflight, ev.epoch)
+	}
+	if delivered {
+		s.res.Delivered++
+		s.bucket(ev.sentAt).Delivered++
+	} else {
+		s.res.Lost++
+	}
+	if s.blocked && s.flushed() {
+		s.blocked = false
+		s.push(&event{at: s.now, kind: evCommand})
+	}
+}
+
+// flushed reports whether all packets from epochs before the current one
+// have left the network.
+func (s *sim) flushed() bool {
+	for ep, n := range s.inflight {
+		if ep < s.epoch && n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sim) arrive(ev *event) {
+	outs := s.tables[ev.sw].Apply(ev.pkt, ev.pt)
+	if len(outs) == 0 || ev.hops >= s.p.MaxHops {
+		s.exit(ev, false)
+		return
+	}
+	// Probes are unicast; take the first output (deterministic tie-break
+	// mirrors the operational model).
+	o := outs[0]
+	if h, ok := s.topo.HostAtPort(ev.sw, o.Port); ok {
+		s.exit(ev, h.ID == s.classes[ev.class].DstHost)
+		return
+	}
+	l, ok := s.topo.LinkAt(ev.sw, o.Port)
+	if !ok {
+		s.exit(ev, false)
+		return
+	}
+	s.push(&event{
+		at: s.now + s.p.LinkLatency, kind: evArrive,
+		sw: l.Peer, pt: l.PeerPort, pkt: o.Pkt,
+		sentAt: ev.sentAt, hops: ev.hops + 1, epoch: ev.epoch, class: ev.class,
+	})
+}
+
+// command executes the next controller command; updates take
+// UpdateLatency, incr is immediate, flush blocks until drained.
+func (s *sim) command() {
+	if s.cmdIdx >= len(s.cmds) {
+		return
+	}
+	c := s.cmds[s.cmdIdx]
+	switch c.Kind {
+	case network.CmdUpdate:
+		s.tables[c.Switch] = c.Table.Clone()
+		s.cmdIdx++
+		if s.cmdIdx < len(s.cmds) {
+			s.push(&event{at: s.now + s.p.UpdateLatency, kind: evCommand})
+		}
+	case network.CmdIncr:
+		s.epoch++
+		s.cmdIdx++
+		s.push(&event{at: s.now, kind: evCommand})
+	case network.CmdFlush:
+		if !s.flushed() {
+			s.blocked = true
+			return // re-armed by exit()
+		}
+		s.cmdIdx++
+		s.push(&event{at: s.now, kind: evCommand})
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+	"netupdate/internal/network"
+	"netupdate/internal/twophase"
+)
+
+func classes(sc *config.Scenario) []config.Class {
+	out := make([]config.Class, len(sc.Specs))
+	for i, cs := range sc.Specs {
+		out[i] = cs.Class
+	}
+	return out
+}
+
+func fastParams() Params {
+	return Params{
+		LinkLatency:   50 * time.Microsecond,
+		UpdateLatency: 10 * time.Millisecond,
+		ProbeInterval: time.Millisecond,
+		Duration:      500 * time.Millisecond,
+		BucketWidth:   25 * time.Millisecond,
+		CommandStart:  100 * time.Millisecond,
+	}
+}
+
+func TestNoCommandsFullDelivery(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	res := Run(sc.Topo, sc.Init, nil, classes(sc), fastParams())
+	if res.Sent == 0 {
+		t.Fatal("no probes sent")
+	}
+	if res.Lost != 0 || res.Delivered != res.Sent {
+		t.Fatalf("static config lost packets: %+v", res)
+	}
+	if res.MinFraction() != 1 {
+		t.Fatalf("min fraction = %v, want 1", res.MinFraction())
+	}
+}
+
+func TestNaiveUpdateLosesProbes(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	// Widen the loss window so buckets clearly capture it.
+	p := fastParams()
+	p.UpdateLatency = 60 * time.Millisecond
+	res := Run(sc.Topo, sc.Init, twophase.Naive(sc), classes(sc), p)
+	if res.Lost == 0 {
+		t.Fatal("naive update should lose probes in the window")
+	}
+	if res.MinFraction() > 0.5 {
+		t.Fatalf("naive min fraction = %v; expected a deep loss window", res.MinFraction())
+	}
+	// Delivery must recover after the update completes.
+	last := res.Buckets[len(res.Buckets)-1]
+	if last.Sent > 0 && last.Fraction() < 1 {
+		t.Fatalf("delivery did not recover: %+v", last)
+	}
+}
+
+func TestOrderingUpdateKeepsDelivery(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastParams()
+	p.UpdateLatency = 60 * time.Millisecond
+	res := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), p)
+	if res.Lost != 0 {
+		t.Fatalf("ordering update lost %d probes", res.Lost)
+	}
+	if res.MinFraction() != 1 {
+		t.Fatalf("ordering min fraction = %v, want 1", res.MinFraction())
+	}
+}
+
+func TestTwoPhaseUpdateKeepsDelivery(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	p := fastParams()
+	res := Run(sc.Topo, sc.Init, twophase.Build(sc).Commands, classes(sc), p)
+	if res.Lost != 0 {
+		t.Fatalf("two-phase update lost %d probes", res.Lost)
+	}
+}
+
+func TestFlushBlocksAndResumes(t *testing.T) {
+	// A wait (incr/flush) in the middle of the schedule must not deadlock
+	// and must let later updates proceed.
+	sc := config.Fig1RedGreen()
+	plan, err := core.Synthesize(sc, core.Options{NoWaitRemoval: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Waits() == 0 {
+		t.Fatal("expected a careful plan with waits")
+	}
+	res := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), fastParams())
+	if res.Lost != 0 {
+		t.Fatalf("careful plan lost %d probes", res.Lost)
+	}
+	if res.End < fastParams().CommandStart {
+		t.Fatal("simulation ended before commands ran")
+	}
+}
+
+func TestBucketsCoverDuration(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	p := fastParams()
+	res := Run(sc.Topo, sc.Init, nil, classes(sc), p)
+	want := int(p.Duration/p.BucketWidth) + 1
+	if len(res.Buckets) != want {
+		t.Fatalf("buckets = %d, want %d", len(res.Buckets), want)
+	}
+	totalSent := 0
+	for _, b := range res.Buckets {
+		totalSent += b.Sent
+	}
+	if totalSent != res.Sent {
+		t.Fatalf("bucket sent sum %d != total %d", totalSent, res.Sent)
+	}
+}
+
+func TestLoopGuard(t *testing.T) {
+	// A looping configuration must not hang the simulator.
+	sc := config.Fig1RedGreen()
+	_, n := config.Fig1Topology()
+	cl := sc.Specs[0].Class
+	bad := config.New()
+	pTA, _ := sc.Topo.PortToward(n.T1, n.A1)
+	pAT, _ := sc.Topo.PortToward(n.A1, n.T1)
+	bad.AddRule(n.T1, network.Rule{Priority: 1, Match: cl.Pattern(),
+		Actions: []network.Action{network.Forward(pTA)}})
+	bad.AddRule(n.A1, network.Rule{Priority: 1, Match: cl.Pattern(),
+		Actions: []network.Action{network.Forward(pAT)}})
+	p := fastParams()
+	p.Duration = 50 * time.Millisecond
+	res := Run(sc.Topo, bad, nil, classes(sc), p)
+	if res.Delivered != 0 || res.Lost != res.Sent {
+		t.Fatalf("looping config should lose everything: %+v", res)
+	}
+}

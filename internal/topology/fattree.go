@@ -1,0 +1,77 @@
+package topology
+
+import "fmt"
+
+// FatTreeRoles records which switches play which role in a k-ary fat tree.
+type FatTreeRoles struct {
+	K    int
+	Core []int   // (k/2)^2 core switches
+	Agg  [][]int // per pod: k/2 aggregation switches
+	Edge [][]int // per pod: k/2 edge (top-of-rack) switches
+}
+
+// FatTree builds the k-ary fat-tree datacenter topology of Al-Fares et al.
+// [SIGCOMM 2008], the "FatTree" dataset of the paper's evaluation. k must
+// be even and >= 2. Switch ids are assigned core first, then per pod
+// aggregation then edge. One host is attached to every edge switch (hosts
+// get ids 0,1,2,... in edge order); callers needing more hosts can attach
+// them afterwards.
+func FatTree(k int) (*Topology, *FatTreeRoles) {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: FatTree(%d): k must be even and >= 2", k))
+	}
+	half := k / 2
+	numCore := half * half
+	numPods := k
+	n := numCore + numPods*k // each pod has k/2 agg + k/2 edge = k switches
+	t := New(fmt.Sprintf("fattree-%d", k), n)
+	roles := &FatTreeRoles{K: k}
+	for i := 0; i < numCore; i++ {
+		roles.Core = append(roles.Core, i)
+	}
+	next := numCore
+	for p := 0; p < numPods; p++ {
+		var aggs, edges []int
+		for i := 0; i < half; i++ {
+			aggs = append(aggs, next)
+			next++
+		}
+		for i := 0; i < half; i++ {
+			edges = append(edges, next)
+			next++
+		}
+		roles.Agg = append(roles.Agg, aggs)
+		roles.Edge = append(roles.Edge, edges)
+		// Complete bipartite edge<->agg inside the pod.
+		for _, e := range edges {
+			for _, a := range aggs {
+				t.AddLink(e, a)
+			}
+		}
+		// Agg i of each pod connects to core group i (cores i*half..i*half+half-1).
+		for i, a := range aggs {
+			for j := 0; j < half; j++ {
+				t.AddLink(a, roles.Core[i*half+j])
+			}
+		}
+	}
+	hostID := 0
+	for p := 0; p < numPods; p++ {
+		for _, e := range roles.Edge[p] {
+			t.AddHost(hostID, e)
+			hostID++
+		}
+	}
+	return t, roles
+}
+
+// FatTreeForSize returns the smallest even k whose fat tree has at least n
+// switches, and the resulting topology. Used by the benchmark sweeps,
+// which are parameterized by approximate switch count.
+func FatTreeForSize(n int) (*Topology, *FatTreeRoles) {
+	for k := 2; ; k += 2 {
+		if k*k/4+k*k >= n {
+			return FatTree(k)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SmallWorld builds a Watts-Strogatz-style small-world graph over n
+// switches: a ring lattice where every switch links to its k nearest
+// neighbors (k must be even), with each lattice link rewired with
+// probability beta. This is the "Small-World" dataset of the paper's
+// evaluation [Newman, Strogatz, Watts 2001]. The generator retries rewires
+// that would create duplicate links or self-loops, and finally grafts any
+// disconnected component back onto the ring, so the result is always
+// connected and simple. One host is attached to every switch (host id ==
+// switch id).
+func SmallWorld(n, k int, beta float64, seed int64) *Topology {
+	if n < 4 {
+		panic(fmt.Sprintf("topology: SmallWorld(%d): need at least 4 switches", n))
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		panic(fmt.Sprintf("topology: SmallWorld: bad k=%d for n=%d", k, n))
+	}
+	r := rand.New(rand.NewSource(seed))
+	t := New(fmt.Sprintf("smallworld-%d", n), n)
+	type edge struct{ a, b int }
+	have := map[edge]bool{}
+	norm := func(a, b int) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	var edges []edge
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			e := norm(v, (v+j)%n)
+			if !have[e] {
+				have[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	for i, e := range edges {
+		if r.Float64() >= beta {
+			continue
+		}
+		// Rewire the far endpoint to a random switch.
+		for attempt := 0; attempt < 16; attempt++ {
+			c := r.Intn(n)
+			ne := norm(e.a, c)
+			if c == e.a || c == e.b || have[ne] {
+				continue
+			}
+			delete(have, e)
+			have[ne] = true
+			edges[i] = ne
+			break
+		}
+	}
+	for _, e := range edges {
+		t.AddLink(e.a, e.b)
+	}
+	graftComponents(t, r)
+	for v := 0; v < n; v++ {
+		t.AddHost(v, v)
+	}
+	return t
+}
+
+// graftComponents adds links until the switch graph is connected, joining
+// each secondary component to the main one at random attachment points.
+func graftComponents(t *Topology, r *rand.Rand) {
+	comp := make([]int, t.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var compMembers [][]int
+	for v := 0; v < t.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		id := len(compMembers)
+		var members []int
+		stack := []int{v}
+		comp[v] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, l := range t.adj[u] {
+				if comp[l.Peer] == -1 {
+					comp[l.Peer] = id
+					stack = append(stack, l.Peer)
+				}
+			}
+		}
+		compMembers = append(compMembers, members)
+	}
+	for i := 1; i < len(compMembers); i++ {
+		a := compMembers[0][r.Intn(len(compMembers[0]))]
+		b := compMembers[i][r.Intn(len(compMembers[i]))]
+		t.AddLink(a, b)
+		compMembers[0] = append(compMembers[0], compMembers[i]...)
+	}
+}

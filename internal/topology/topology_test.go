@@ -1,0 +1,341 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddLinkAllocatesPorts(t *testing.T) {
+	topo := New("t", 3)
+	pa, pb := topo.AddLink(0, 1)
+	if pa != 1 || pb != 1 {
+		t.Fatalf("first link ports = (%d,%d), want (1,1)", pa, pb)
+	}
+	pa2, pc := topo.AddLink(0, 2)
+	if pa2 != 2 || pc != 1 {
+		t.Fatalf("second link ports = (%d,%d), want (2,1)", pa2, pc)
+	}
+	if topo.NumLinks() != 2 {
+		t.Fatalf("NumLinks = %d, want 2", topo.NumLinks())
+	}
+	if !topo.HasLink(0, 1) || !topo.HasLink(1, 0) || topo.HasLink(1, 2) {
+		t.Fatal("HasLink inconsistent")
+	}
+	l, ok := topo.LinkAt(0, pa2)
+	if !ok || l.Peer != 2 || l.PeerPort != pc {
+		t.Fatalf("LinkAt(0,%d) = %+v, %v", pa2, l, ok)
+	}
+	if _, ok := topo.LinkAt(0, 99); ok {
+		t.Fatal("LinkAt on missing port should fail")
+	}
+}
+
+func TestHosts(t *testing.T) {
+	topo := New("t", 2)
+	topo.AddLink(0, 1)
+	h := topo.AddHost(7, 0)
+	if h.Port != 2 {
+		t.Fatalf("host port = %d, want 2 (after link port)", h.Port)
+	}
+	got, ok := topo.HostByID(7)
+	if !ok || got != h {
+		t.Fatalf("HostByID = %+v, %v", got, ok)
+	}
+	if _, ok := topo.HostByID(8); ok {
+		t.Fatal("HostByID(8) should fail")
+	}
+	hp, ok := topo.HostAtPort(0, h.Port)
+	if !ok || hp.ID != 7 {
+		t.Fatalf("HostAtPort = %+v, %v", hp, ok)
+	}
+	if hs := topo.HostsOn(0); len(hs) != 1 || hs[0].ID != 7 {
+		t.Fatalf("HostsOn(0) = %v", hs)
+	}
+	if hs := topo.HostsOn(1); len(hs) != 0 {
+		t.Fatalf("HostsOn(1) = %v, want empty", hs)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	topo := New("line", 5)
+	for i := 0; i < 4; i++ {
+		topo.AddLink(i, i+1)
+	}
+	p := topo.ShortestPath(0, 4)
+	if len(p) != 5 || p[0] != 0 || p[4] != 4 {
+		t.Fatalf("path = %v", p)
+	}
+	if p := topo.ShortestPath(2, 2); len(p) != 1 || p[0] != 2 {
+		t.Fatalf("self path = %v", p)
+	}
+	if p := topo.ShortestPath(0, 4, 2); p != nil {
+		t.Fatalf("avoiding the cut vertex should fail, got %v", p)
+	}
+	topo2 := New("disconnected", 3)
+	topo2.AddLink(0, 1)
+	if p := topo2.ShortestPath(0, 2); p != nil {
+		t.Fatalf("unreachable path = %v", p)
+	}
+}
+
+func validatePath(t *testing.T, topo *Topology, p []int, a, b int) {
+	t.Helper()
+	if len(p) == 0 || p[0] != a || p[len(p)-1] != b {
+		t.Fatalf("bad endpoints: %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !topo.HasLink(p[i], p[i+1]) {
+			t.Fatalf("non-adjacent hop %d-%d in %v", p[i], p[i+1], p)
+		}
+	}
+}
+
+func TestDisjointPathsDiamond(t *testing.T) {
+	// 0 - 1 - 3 and 0 - 2 - 3.
+	topo := New("diamond", 4)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 3)
+	topo.AddLink(0, 2)
+	topo.AddLink(2, 3)
+	p1, p2, ok := topo.DisjointPaths(0, 3)
+	if !ok {
+		t.Fatal("diamond should have disjoint paths")
+	}
+	validatePath(t, topo, p1, 0, 3)
+	validatePath(t, topo, p2, 0, 3)
+	interior := map[int]bool{}
+	for _, v := range p1[1 : len(p1)-1] {
+		interior[v] = true
+	}
+	for _, v := range p2[1 : len(p2)-1] {
+		if interior[v] {
+			t.Fatalf("paths share interior node %d: %v %v", v, p1, p2)
+		}
+	}
+}
+
+func TestDisjointPathsLineFails(t *testing.T) {
+	topo := New("line", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	if _, _, ok := topo.DisjointPaths(0, 2); ok {
+		t.Fatal("line graph cannot have two disjoint paths")
+	}
+	if _, _, ok := topo.DisjointPaths(1, 1); ok {
+		t.Fatal("self pair should fail")
+	}
+}
+
+func TestDisjointPathsRandom(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 6 + r.Intn(20)
+		topo := WAN("rand", n, seed)
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			return true
+		}
+		p1, p2, ok := topo.DisjointPaths(a, b)
+		if !ok {
+			return true // absence is allowed; presence must be valid
+		}
+		if p1[0] != a || p2[0] != a || p1[len(p1)-1] != b || p2[len(p2)-1] != b {
+			return false
+		}
+		for i := 0; i+1 < len(p1); i++ {
+			if !topo.HasLink(p1[i], p1[i+1]) {
+				return false
+			}
+		}
+		for i := 0; i+1 < len(p2); i++ {
+			if !topo.HasLink(p2[i], p2[i+1]) {
+				return false
+			}
+		}
+		interior := map[int]bool{}
+		for _, v := range p1[1 : len(p1)-1] {
+			if interior[v] {
+				return false // repeated node within the path
+			}
+			interior[v] = true
+		}
+		for _, v := range p2[1 : len(p2)-1] {
+			if interior[v] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8} {
+		topo, roles := FatTree(k)
+		half := k / 2
+		wantSwitches := half*half + k*k
+		if topo.NumSwitches() != wantSwitches {
+			t.Fatalf("k=%d: switches = %d, want %d", k, topo.NumSwitches(), wantSwitches)
+		}
+		// Link count: per pod (k/2)^2 edge-agg + (k/2)^2 agg-core.
+		wantLinks := k*half*half + k*half*half
+		if topo.NumLinks() != wantLinks {
+			t.Fatalf("k=%d: links = %d, want %d", k, topo.NumLinks(), wantLinks)
+		}
+		if !topo.Connected() {
+			t.Fatalf("k=%d: fat tree disconnected", k)
+		}
+		if len(roles.Core) != half*half || len(roles.Agg) != k || len(roles.Edge) != k {
+			t.Fatalf("k=%d: bad roles %+v", k, roles)
+		}
+		// Every edge switch connects to every agg in its pod.
+		for p := 0; p < k; p++ {
+			for _, e := range roles.Edge[p] {
+				for _, a := range roles.Agg[p] {
+					if !topo.HasLink(e, a) {
+						t.Fatalf("k=%d: missing pod link %d-%d", k, e, a)
+					}
+				}
+			}
+		}
+		if len(topo.Hosts()) != k*half {
+			t.Fatalf("k=%d: hosts = %d, want %d", k, len(topo.Hosts()), k*half)
+		}
+	}
+}
+
+func TestFatTreeForSize(t *testing.T) {
+	topo, roles := FatTreeForSize(50)
+	if topo.NumSwitches() < 50 {
+		t.Fatalf("FatTreeForSize(50) gave %d switches", topo.NumSwitches())
+	}
+	if roles.K != 8 { // 6: 45 switches; 8: 80 switches
+		t.Fatalf("FatTreeForSize(50) used k=%d, want 8", roles.K)
+	}
+}
+
+func TestFatTreePanicsOnOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FatTree(3) should panic")
+		}
+	}()
+	FatTree(3)
+}
+
+func TestSmallWorldProperties(t *testing.T) {
+	for _, n := range []int{10, 50, 200} {
+		topo := SmallWorld(n, 4, 0.3, 42)
+		if topo.NumSwitches() != n {
+			t.Fatalf("n=%d: switches = %d", n, topo.NumSwitches())
+		}
+		if !topo.Connected() {
+			t.Fatalf("n=%d: small world disconnected", n)
+		}
+		if len(topo.Hosts()) != n {
+			t.Fatalf("n=%d: hosts = %d", n, len(topo.Hosts()))
+		}
+		// No duplicate links or self loops.
+		for v := 0; v < n; v++ {
+			seen := map[int]bool{}
+			for _, l := range topo.Neighbors(v) {
+				if l.Peer == v {
+					t.Fatalf("self loop at %d", v)
+				}
+				if seen[l.Peer] {
+					t.Fatalf("duplicate link %d-%d", v, l.Peer)
+				}
+				seen[l.Peer] = true
+			}
+		}
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a := SmallWorld(30, 4, 0.5, 7)
+	b := SmallWorld(30, 4, 0.5, 7)
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed must give same graph")
+	}
+	for v := 0; v < 30; v++ {
+		la, lb := a.Neighbors(v), b.Neighbors(v)
+		if len(la) != len(lb) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("link mismatch at %d[%d]", v, i)
+			}
+		}
+	}
+}
+
+func TestZooSizesDistribution(t *testing.T) {
+	sizes := ZooSizes()
+	if len(sizes) != ZooCount {
+		t.Fatalf("len = %d, want %d", len(sizes), ZooCount)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Fatal("sizes not sorted")
+		}
+	}
+	if sizes[0] < 4 {
+		t.Fatalf("min size %d < 4", sizes[0])
+	}
+	if sizes[len(sizes)-1] < 300 {
+		t.Fatalf("max size %d; want a large-WAN tail", sizes[len(sizes)-1])
+	}
+	// Median should be modest like the real zoo.
+	med := sizes[len(sizes)/2]
+	if med < 8 || med > 80 {
+		t.Fatalf("median %d outside zoo-like range", med)
+	}
+}
+
+func TestZooLikeConnectedAndSparse(t *testing.T) {
+	for _, i := range []int{0, 50, 130, 260} {
+		topo := ZooLike(i)
+		if !topo.Connected() {
+			t.Fatalf("zoo %d disconnected", i)
+		}
+		n := topo.NumSwitches()
+		meanDeg := float64(2*topo.NumLinks()) / float64(n)
+		if meanDeg > 4.0 {
+			t.Fatalf("zoo %d too dense: mean degree %.2f", i, meanDeg)
+		}
+	}
+}
+
+func TestAbilene(t *testing.T) {
+	topo := Abilene()
+	if topo.NumSwitches() != 11 || topo.NumLinks() != 14 {
+		t.Fatalf("abilene: %d switches %d links", topo.NumSwitches(), topo.NumLinks())
+	}
+	if !topo.Connected() {
+		t.Fatal("abilene disconnected")
+	}
+	if d := topo.Diameter(); d != 5 {
+		t.Fatalf("abilene diameter = %d, want 5", d)
+	}
+}
+
+func TestWANConnected(t *testing.T) {
+	for _, n := range []int{2, 5, 40, 300} {
+		topo := WAN("w", n, int64(n))
+		if !topo.Connected() {
+			t.Fatalf("WAN(%d) disconnected", n)
+		}
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	topo := New("d", 3)
+	topo.AddLink(0, 1)
+	if d := topo.Diameter(); d != -1 {
+		t.Fatalf("Diameter = %d, want -1", d)
+	}
+}

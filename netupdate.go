@@ -1,0 +1,237 @@
+// Package netupdate synthesizes correct software-defined-network update
+// sequences from formal LTL specifications, reproducing "Efficient
+// Synthesis of Network Updates" (McClurg, Hojjat, Černý, Foster — PLDI
+// 2015).
+//
+// Given an initial configuration, a final configuration, and a Linear
+// Temporal Logic property over single-packet traces, Synthesize returns
+// an ordering update: a sequence of per-switch (or per-rule) updates,
+// separated by wait barriers only where needed, such that every
+// intermediate configuration satisfies the property — or reports that no
+// such ordering exists.
+//
+// The package is a façade over the internal engine:
+//
+//   - internal/ltl      — LTL formulas, closure, property library
+//   - internal/network  — the operational network model (Section 3)
+//   - internal/topology — FatTree / Small-World / WAN topologies
+//   - internal/config   — configurations and scenario generators
+//   - internal/kripke   — network Kripke structures (Section 3.3)
+//   - internal/mc       — incremental + batch labeling checkers (Section 5)
+//   - internal/buchi    — automaton-theoretic batch checker (NuSMV stand-in)
+//   - internal/hsa      — header-space checker (NetPlumber stand-in)
+//   - internal/sat      — CDCL solver for early search termination
+//   - internal/core     — the ORDERUPDATE synthesis engine (Section 4)
+//   - internal/twophase — two-phase and naive update baselines
+//   - internal/sim      — discrete-event simulator for the Figure 2 experiments
+package netupdate
+
+import (
+	"fmt"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+	"netupdate/internal/mc"
+	"netupdate/internal/network"
+	"netupdate/internal/sim"
+	"netupdate/internal/topology"
+	"netupdate/internal/twophase"
+)
+
+// Core synthesis types.
+type (
+	// Topology is an undirected switch graph with hosts.
+	Topology = topology.Topology
+	// Config maps switches to forwarding tables.
+	Config = config.Config
+	// Class identifies a traffic class (one src->dst host flow).
+	Class = config.Class
+	// ClassSpec pairs a class with its LTL property.
+	ClassSpec = config.ClassSpec
+	// Scenario is a full synthesis problem instance.
+	Scenario = config.Scenario
+	// Formula is an LTL formula over network-state propositions.
+	Formula = ltl.Formula
+	// Options configures the synthesizer.
+	Options = core.Options
+	// Plan is a synthesized update sequence.
+	Plan = core.Plan
+	// Step is one plan element (update or wait).
+	Step = core.Step
+	// Stats reports synthesis work counters.
+	Stats = core.Stats
+	// CheckerKind selects the model-checking backend.
+	CheckerKind = core.CheckerKind
+	// Command is an operational controller command.
+	Command = network.Command
+	// Rule is a prioritized forwarding rule.
+	Rule = network.Rule
+	// Table is a forwarding table.
+	Table = network.Table
+	// SimParams configures the discrete-event simulator.
+	SimParams = sim.Params
+	// SimResult is a probe-delivery time series.
+	SimResult = sim.Result
+	// DiamondOptions parameterizes the diamond workload generator.
+	DiamondOptions = config.DiamondOptions
+	// InfeasibleOptions parameterizes the double-diamond generator.
+	InfeasibleOptions = config.InfeasibleOptions
+	// Property selects a specification family for the generators.
+	Property = config.Property
+	// Fig1Nodes names the switches of the Figure 1 example topology.
+	Fig1Nodes = config.Fig1Nodes
+)
+
+// Specification families for the workload generators.
+const (
+	PropReachability    = config.Reachability
+	PropWaypointing     = config.Waypointing
+	PropServiceChaining = config.ServiceChaining
+)
+
+// Model-checking backends.
+const (
+	CheckerIncremental = core.CheckerIncremental
+	CheckerBatch       = core.CheckerBatch
+	CheckerNuSMV       = core.CheckerNuSMV
+	CheckerNetPlumber  = core.CheckerNetPlumber
+)
+
+// Synthesis failure modes (see internal/core).
+var (
+	ErrNoOrdering       = core.ErrNoOrdering
+	ErrTimeout          = core.ErrTimeout
+	ErrInitialViolation = core.ErrInitialViolation
+	ErrFinalViolation   = core.ErrFinalViolation
+)
+
+// Synthesize runs the ORDERUPDATE algorithm on a scenario, returning an
+// executable update plan or an error (ErrNoOrdering when no correct
+// simple careful sequence exists).
+func Synthesize(sc *Scenario, opts Options) (*Plan, error) {
+	return core.Synthesize(sc, opts)
+}
+
+// Counterexample is a violating packet trace through a configuration.
+type Counterexample struct {
+	Class Class
+	// Trace lists the (switch, port) locations visited, in order.
+	Trace []kripke.State
+}
+
+func (c *Counterexample) String() string {
+	s := fmt.Sprintf("class %v:", c.Class)
+	for _, st := range c.Trace {
+		s += " " + st.String()
+	}
+	return s
+}
+
+// Verify checks a single static configuration against every class
+// specification, returning a counterexample trace on failure (nil
+// counterexample with ok=false means the configuration has a forwarding
+// loop or another structural defect described by err).
+func Verify(topo *Topology, cfg *Config, specs []ClassSpec) (ok bool, cex *Counterexample, err error) {
+	for _, cs := range specs {
+		k, kerr := kripke.Build(topo, cfg, cs.Class)
+		if kerr != nil {
+			if loop, isLoop := kerr.(*kripke.ErrLoop); isLoop {
+				return false, &Counterexample{Class: cs.Class, Trace: loop.Cycle}, nil
+			}
+			return false, nil, kerr
+		}
+		chk, cerr := mc.NewIncremental(k, cs.Formula)
+		if cerr != nil {
+			return false, nil, cerr
+		}
+		v := chk.Check()
+		if !v.OK {
+			cex := &Counterexample{Class: cs.Class}
+			for _, id := range v.Cex {
+				cex.Trace = append(cex.Trace, k.StateAt(id))
+			}
+			return false, cex, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// ParseFormula parses the textual LTL syntax (see internal/ltl.Parse):
+//
+//	sw=1 -> F sw=5
+//	sw=1 -> ((sw!=5) U ((sw=3) & F sw=5))
+func ParseFormula(s string) (*Formula, error) { return ltl.Parse(s) }
+
+// Property constructors from the paper's evaluation (Section 6).
+var (
+	// Reachability: (sw=src) -> F (sw=dst).
+	Reachability = ltl.Reachability
+	// Waypoint: traffic must traverse w before reaching dst.
+	Waypoint = ltl.Waypoint
+	// ServiceChain: traffic must traverse the waypoints in order.
+	ServiceChain = ltl.ServiceChain
+	// WaypointEither: traffic must traverse at least one of the waypoints.
+	WaypointEither = ltl.WaypointEither
+	// Avoid: traffic must never visit the given node.
+	Avoid = ltl.Avoid
+)
+
+// Topology constructors.
+var (
+	// NewTopology creates an empty topology with n switches.
+	NewTopology = topology.New
+	// FatTree builds the k-ary fat-tree datacenter topology.
+	FatTree = topology.FatTree
+	// SmallWorld builds a Watts-Strogatz small-world graph.
+	SmallWorld = topology.SmallWorld
+	// WAN builds a Topology-Zoo-like wide-area graph.
+	WAN = topology.WAN
+	// Abilene is the real 11-node Internet2 backbone.
+	Abilene = topology.Abilene
+)
+
+// Configuration helpers.
+var (
+	// NewConfig creates an empty configuration.
+	NewConfig = config.New
+	// InstallPath routes a class along a switch path.
+	InstallPath = config.InstallPath
+	// PathOf traces a class's forwarding path through a configuration.
+	PathOf = config.PathOf
+	// Diff lists the switches whose tables differ.
+	Diff = config.Diff
+)
+
+// Scenario generators from the paper's evaluation.
+var (
+	// Diamonds builds the diamond-update workload of Section 6.
+	Diamonds = config.Diamonds
+	// Infeasible builds the switch-granularity-impossible workload of
+	// Figure 8(h).
+	Infeasible = config.Infeasible
+	// Fig1RedGreen, Fig1RedBlue, Fig1RedBlueWaypoint are the Overview
+	// scenarios on the Figure 1 datacenter; Fig1Topology builds the bare
+	// topology with its named nodes.
+	Fig1RedGreen        = config.Fig1RedGreen
+	Fig1RedBlue         = config.Fig1RedBlue
+	Fig1RedBlueWaypoint = config.Fig1RedBlueWaypoint
+	Fig1Topology        = config.Fig1Topology
+)
+
+// TwoPhasePlan builds the two-phase (consistent) update baseline for a
+// scenario, as in Figure 2.
+func TwoPhasePlan(sc *Scenario) ([]Command, map[int]int) {
+	p := twophase.Build(sc)
+	return p.Commands, p.PeakRules
+}
+
+// NaivePlan builds the unsynchronized worst-order update baseline.
+func NaivePlan(sc *Scenario) []Command { return twophase.Naive(sc) }
+
+// Simulate runs the discrete-event simulator: probes are injected for
+// every class while the command schedule executes.
+func Simulate(topo *Topology, init *Config, cmds []Command, classes []Class, p SimParams) *SimResult {
+	return sim.Run(topo, init, cmds, classes, p)
+}

@@ -1,0 +1,141 @@
+package netupdate
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPublicSynthesizeQuickstart(t *testing.T) {
+	sc := Fig1RedGreen()
+	plan, err := Synthesize(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Updates()) != 2 {
+		t.Fatalf("plan = %v", plan)
+	}
+}
+
+func TestPublicVerify(t *testing.T) {
+	sc := Fig1RedGreen()
+	ok, cex, err := Verify(sc.Topo, sc.Init, sc.Specs)
+	if err != nil || !ok || cex != nil {
+		t.Fatalf("initial config should verify: ok=%v cex=%v err=%v", ok, cex, err)
+	}
+	// Break the config: drop the core's rule.
+	broken := sc.Init.Clone()
+	_, nodes := fig1Nodes()
+	broken.SetTable(nodes.C1, nil)
+	ok, cex, err = Verify(sc.Topo, broken, sc.Specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || cex == nil {
+		t.Fatalf("broken config must fail with a counterexample, got ok=%v cex=%v", ok, cex)
+	}
+	if cex.String() == "" {
+		t.Fatal("counterexample should render")
+	}
+}
+
+func TestPublicVerifyLoop(t *testing.T) {
+	topo := NewTopology("loop", 2)
+	topo.AddLink(0, 1)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 1)
+	cl := Class{SrcHost: 100, DstHost: 101}
+	cfg := NewConfig()
+	p01, _ := topo.PortToward(0, 1)
+	p10, _ := topo.PortToward(1, 0)
+	cfg.AddRule(0, fwdRule(cl, p01))
+	cfg.AddRule(1, fwdRule(cl, p10))
+	ok, cex, err := Verify(topo, cfg, []ClassSpec{{Class: cl, Formula: Reachability(0, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || cex == nil {
+		t.Fatal("loop must be reported as a counterexample")
+	}
+}
+
+func TestPublicParseFormula(t *testing.T) {
+	f, err := ParseFormula("sw=1 -> F sw=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(Reachability(1, 5)) {
+		t.Fatalf("parsed %v", f)
+	}
+	if _, err := ParseFormula("sw="); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestPublicBuildScenarioFromScratch(t *testing.T) {
+	// Line topology h100 - 0 - 1 - 2 - h101; move traffic from the direct
+	// route to the same route (no-op diff must synthesize trivially).
+	topo := NewTopology("line", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 2)
+	cl := Class{SrcHost: 100, DstHost: 101}
+	init := NewConfig()
+	if err := InstallPath(init, topo, cl, []int{0, 1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scenario{
+		Name:  "noop",
+		Topo:  topo,
+		Init:  init,
+		Final: init.Clone(),
+		Specs: []ClassSpec{{Class: cl, Formula: Reachability(0, 2)}},
+	}
+	plan, err := Synthesize(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 {
+		t.Fatalf("no-op scenario should produce an empty plan, got %v", plan)
+	}
+}
+
+func TestPublicTwoPhaseAndSimulate(t *testing.T) {
+	sc := Fig1RedGreen()
+	cmds, peaks := TwoPhasePlan(sc)
+	if len(cmds) == 0 || len(peaks) == 0 {
+		t.Fatal("two-phase plan empty")
+	}
+	classes := []Class{sc.Specs[0].Class}
+	res := Simulate(sc.Topo, sc.Init, cmds, classes, SimParams{
+		Duration:     200 * time.Millisecond,
+		BucketWidth:  20 * time.Millisecond,
+		CommandStart: 50 * time.Millisecond,
+	})
+	if res.Lost != 0 {
+		t.Fatalf("two-phase lost %d probes", res.Lost)
+	}
+	naive := NaivePlan(sc)
+	res = Simulate(sc.Topo, sc.Init, naive, classes, SimParams{
+		Duration:      400 * time.Millisecond,
+		BucketWidth:   20 * time.Millisecond,
+		CommandStart:  50 * time.Millisecond,
+		UpdateLatency: 100 * time.Millisecond,
+	})
+	if res.Lost == 0 {
+		t.Fatal("naive plan should lose probes")
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	topo := SmallWorld(40, 4, 0.3, 21)
+	sc, err := Infeasible(topo, infeasibleOpts(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Synthesize(sc, Options{})
+	if !errors.Is(err, ErrNoOrdering) {
+		t.Fatalf("err = %v, want ErrNoOrdering", err)
+	}
+}
