@@ -44,24 +44,44 @@ func BenchmarkFig2bRuleOverhead(b *testing.B) {
 	}
 }
 
+// parVariants are the engine configurations every synthesis benchmark is
+// run under: the sequential engine, the deterministic parallel engine,
+// and the first-plan-wins parallel engine (4 workers each).
+var parVariants = []struct {
+	name string
+	par  int
+	racy bool
+}{
+	{"seq", 1, false},
+	{"par4", 4, false},
+	{"par4-racy", 4, true},
+}
+
 // BenchmarkFig7 regenerates Figure 7(a-c): synthesis runtime per checker
-// backend on each topology family (reachability diamonds).
+// backend on each topology family (reachability diamonds), under each
+// engine variant.
 func BenchmarkFig7(b *testing.B) {
 	families := []bench.Family{bench.FamilyZoo, bench.FamilyFatTree, bench.FamilySmallWorld}
 	checkers := []core.CheckerKind{core.CheckerIncremental, core.CheckerBatch, core.CheckerNuSMV}
 	for _, fam := range families {
 		for _, ck := range checkers {
-			b.Run(string(fam)+"/"+ck.String(), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					sc, err := bench.DiamondWorkload(fam, 60, config.Reachability, 60)
-					if err != nil {
-						b.Fatal(err)
+			for _, v := range parVariants {
+				b.Run(string(fam)+"/"+ck.String()+"/"+v.name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						sc, err := bench.DiamondWorkload(fam, 60, config.Reachability, 60)
+						if err != nil {
+							b.Fatal(err)
+						}
+						opts := core.Options{
+							Checker: ck, Timeout: benchTimeout,
+							Parallelism: v.par, FirstPlanWins: v.racy,
+						}
+						if _, err := core.Synthesize(sc, opts); err != nil {
+							b.Fatal(err)
+						}
 					}
-					if _, err := core.Synthesize(sc, core.Options{Checker: ck, Timeout: benchTimeout}); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -88,35 +108,50 @@ func BenchmarkFig7RuleGranularity(b *testing.B) {
 }
 
 // BenchmarkFig8gScalability regenerates Figure 8(g): Small-World
-// scalability for the three property families.
+// scalability for the three property families, under each engine variant.
 func BenchmarkFig8gScalability(b *testing.B) {
 	for _, prop := range []config.Property{config.Reachability, config.Waypointing, config.ServiceChaining} {
-		b.Run(prop.String(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 120, prop, 120*7)
-				if err != nil {
-					b.Fatal(err)
+		for _, v := range parVariants {
+			b.Run(prop.String()+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 120, prop, 120*7)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts := core.Options{
+						Timeout:     benchTimeout,
+						Parallelism: v.par, FirstPlanWins: v.racy,
+					}
+					if _, err := core.Synthesize(sc, opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-				if _, err := core.Synthesize(sc, core.Options{Timeout: benchTimeout}); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
 // BenchmarkFig8hInfeasible regenerates Figure 8(h): time to prove that no
-// switch-granularity ordering exists.
+// switch-granularity ordering exists, under each engine variant (the
+// proof explores a whole subtree, the best case for fan-out).
 func BenchmarkFig8hInfeasible(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		sc, err := bench.InfeasibleWorkload(60, config.Reachability, 2, 60*3)
-		if err != nil {
-			b.Fatal(err)
-		}
-		_, err = core.Synthesize(sc, core.Options{Timeout: benchTimeout})
-		if !errors.Is(err, core.ErrNoOrdering) {
-			b.Fatalf("err = %v, want ErrNoOrdering", err)
-		}
+	for _, v := range parVariants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc, err := bench.InfeasibleWorkload(60, config.Reachability, 2, 60*3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := core.Options{
+					Timeout:     benchTimeout,
+					Parallelism: v.par, FirstPlanWins: v.racy,
+				}
+				_, err = core.Synthesize(sc, opts)
+				if !errors.Is(err, core.ErrNoOrdering) {
+					b.Fatalf("err = %v, want ErrNoOrdering", err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,10 +5,14 @@
 //	experiments -fig 7 -scale full  # Figure 7(a-c) at paper scale
 //	experiments -fig 8g -scale full
 //
-// Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation, all.
-// The -scale flag selects problem sizes: "small" finishes in seconds,
-// "medium" in minutes, "full" approaches the paper's sizes (up to 1500
-// switches for 8g) and can take much longer.
+// Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation,
+// parallel, all. The -scale flag selects problem sizes: "small" finishes
+// in seconds, "medium" in minutes, "full" approaches the paper's sizes
+// (up to 1500 switches for 8g) and can take much longer. -parallel sets
+// the worker count used by every figure run; the default (0) pins the
+// figures to the sequential engine so they reproduce the paper's numbers
+// regardless of host core count. "-fig parallel" prints a
+// sequential-vs-parallel speedup table at the -workers count.
 package main
 
 import (
@@ -29,6 +33,8 @@ type scale struct {
 	fig8iSizes   []int
 	checkerSize  int
 	ablationSize int
+	parSizes     []int
+	parWorkers   int
 	timeout      time.Duration
 }
 
@@ -40,7 +46,8 @@ var scales = map[string]scale{
 		fig8hSizes:  []int{40, 80},
 		fig8iSizes:  []int{40, 80},
 		checkerSize: 60, ablationSize: 60,
-		timeout: time.Minute,
+		parSizes: []int{60, 120},
+		timeout:  time.Minute,
 	},
 	"medium": {
 		fig7Sizes:   []int{50, 100, 200, 300},
@@ -49,7 +56,8 @@ var scales = map[string]scale{
 		fig8hSizes:  []int{100, 200, 400},
 		fig8iSizes:  []int{100, 200},
 		checkerSize: 200, ablationSize: 150,
-		timeout: 5 * time.Minute,
+		parSizes: []int{120, 240},
+		timeout:  5 * time.Minute,
 	},
 	"full": {
 		fig7Sizes:   []int{100, 200, 400, 600},
@@ -58,14 +66,17 @@ var scales = map[string]scale{
 		fig8hSizes:  []int{200, 400, 800},
 		fig8iSizes:  []int{200, 400, 800},
 		checkerSize: 400, ablationSize: 300,
-		timeout: 10 * time.Minute,
+		parSizes: []int{240, 480},
+		timeout:  10 * time.Minute,
 	},
 }
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|all")
-		scaleFl = flag.String("scale", "small", "problem scale: small|medium|full")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|all")
+		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
+		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
+		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
 	)
 	flag.Parse()
 	sc, ok := scales[*scaleFl]
@@ -73,6 +84,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleFl)
 		os.Exit(2)
 	}
+	bench.Parallelism = *parallel
+	sc.parWorkers = *workers
 	if err := run(*fig, sc); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
@@ -152,6 +165,11 @@ func run(fig string, sc scale) error {
 	}
 	if all || fig == "ablation" {
 		if err := show(bench.Ablation(sc.ablationSize, sc.timeout)); err != nil {
+			return err
+		}
+	}
+	if all || fig == "parallel" {
+		if err := show(bench.ParallelSpeedup(sc.parSizes, sc.parWorkers, sc.timeout)); err != nil {
 			return err
 		}
 	}

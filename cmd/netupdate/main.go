@@ -3,6 +3,7 @@
 //
 //	netupdate -f scenario.json
 //	netupdate -f scenario.json -checker batch -rules -timeout 30s
+//	netupdate -f scenario.json -parallel 8 -first-plan
 //	netupdate -f scenario.json -verify
 //
 // On success it prints the synthesized command sequence; with -verify it
@@ -29,6 +30,8 @@ func main() {
 		twoSimple = flag.Bool("2simple", false, "allow two updates per switch (merge then finalize)")
 		noWaits   = flag.Bool("no-wait-removal", false, "keep all waits")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "search timeout")
+		parallel  = flag.Int("parallel", 0, "search workers: 0 = one per CPU, 1 = sequential")
+		firstPlan = flag.Bool("first-plan", false, "return the first plan any worker finds (faster, nondeterministic)")
 		verify    = flag.Bool("verify", false, "only verify the endpoint configurations")
 		quiet     = flag.Bool("q", false, "suppress statistics")
 	)
@@ -38,13 +41,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, *checker, *rules, *twoSimple, *noWaits, *timeout, *verify, *quiet); err != nil {
+	if err := run(*file, *checker, *rules, *twoSimple, *noWaits, *timeout, *parallel, *firstPlan, *verify, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, checker string, rules, twoSimple, noWaits bool, timeout time.Duration, verifyOnly, quiet bool) error {
+func run(file, checker string, rules, twoSimple, noWaits bool, timeout time.Duration, parallel int, firstPlan, verifyOnly, quiet bool) error {
 	f, err := os.Open(file)
 	if err != nil {
 		return err
@@ -65,6 +68,8 @@ func run(file, checker string, rules, twoSimple, noWaits bool, timeout time.Dura
 		TwoSimple:       twoSimple,
 		NoWaitRemoval:   noWaits,
 		Timeout:         timeout,
+		Parallelism:     parallel,
+		FirstPlanWins:   firstPlan,
 	}
 	switch checker {
 	case "incremental":

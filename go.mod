@@ -1,0 +1,3 @@
+module netupdate
+
+go 1.22

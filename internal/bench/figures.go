@@ -28,7 +28,7 @@ func Fig2a() (*Table, error) {
 		BucketWidth:   250 * time.Millisecond,
 		CommandStart:  time.Second,
 	}
-	plan, err := core.Synthesize(sc, core.Options{})
+	plan, err := core.Synthesize(sc, opt(core.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +58,7 @@ func Fig2a() (*Table, error) {
 func Fig2b() (*Table, error) {
 	sc := config.Fig1RedGreen()
 	_, nodes := config.Fig1Topology()
-	plan, err := core.Synthesize(sc, core.Options{})
+	plan, err := core.Synthesize(sc, opt(core.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -138,9 +138,9 @@ func sweep(title string, f Family, sizes []int, checkers []core.CheckerKind, pro
 			Seconds:  map[string]float64{},
 		}
 		for _, ck := range checkers {
-			secs, err := timeSynthesis(sc, core.Options{
+			secs, err := timeSynthesis(sc, opt(core.Options{
 				Checker: ck, Timeout: timeout, RuleGranularity: ruleGranularity,
-			})
+			}))
 			if err != nil {
 				pt.Seconds[ck.String()] = -1
 				continue
@@ -202,7 +202,7 @@ func Fig8g(sizes []int, timeout time.Duration) (*Table, *Table, error) {
 				row[1] = len(sc.UpdatingSwitches())
 			}
 			start := time.Now()
-			plan, err := core.Synthesize(sc, core.Options{Timeout: timeout})
+			plan, err := core.Synthesize(sc, opt(core.Options{Timeout: timeout}))
 			if err != nil {
 				row = append(row, "t/o")
 				continue
@@ -232,7 +232,7 @@ func Fig8h(sizes []int, timeout time.Duration) (*Table, error) {
 				return nil, err
 			}
 			start := time.Now()
-			_, serr := core.Synthesize(sc, core.Options{Timeout: timeout})
+			_, serr := core.Synthesize(sc, opt(core.Options{Timeout: timeout}))
 			switch {
 			case errors.Is(serr, core.ErrNoOrdering):
 				row = append(row, time.Since(start).Seconds())
@@ -270,7 +270,7 @@ func Fig8i(sizes []int, timeout time.Duration) (*Table, *Table, error) {
 				row[1] = rules
 			}
 			start := time.Now()
-			plan, serr := core.Synthesize(sc, core.Options{RuleGranularity: true, Timeout: timeout})
+			plan, serr := core.Synthesize(sc, opt(core.Options{RuleGranularity: true, Timeout: timeout}))
 			if serr != nil {
 				row = append(row, "t/o ("+serr.Error()+")")
 				continue
@@ -293,7 +293,7 @@ func CheckerOnly(n int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := core.Synthesize(sc, core.Options{})
+	plan, err := core.Synthesize(sc, opt(core.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +377,7 @@ func Ablation(n int, timeout time.Duration) (*Table, error) {
 	}
 	for _, c := range cases {
 		start := time.Now()
-		plan, err := core.Synthesize(sc, c.opts)
+		plan, err := core.Synthesize(sc, opt(c.opts))
 		el := time.Since(start).Seconds()
 		switch {
 		case err == nil:
@@ -402,7 +402,7 @@ func Ablation(n int, timeout time.Duration) (*Table, error) {
 		{"infeasible/no-early-termination", core.Options{NoEarlyTermination: true, Timeout: timeout}},
 	} {
 		start := time.Now()
-		_, err := core.Synthesize(scInf, c.opts)
+		_, err := core.Synthesize(scInf, opt(c.opts))
 		el := time.Since(start).Seconds()
 		switch {
 		case errors.Is(err, core.ErrNoOrdering):
@@ -418,7 +418,7 @@ func Ablation(n int, timeout time.Duration) (*Table, error) {
 	// The 2-simple extension solves the same instance at switch
 	// granularity.
 	start := time.Now()
-	plan, err := core.Synthesize(scInf, core.Options{TwoSimple: true, Timeout: timeout})
+	plan, err := core.Synthesize(scInf, opt(core.Options{TwoSimple: true, Timeout: timeout}))
 	if err != nil {
 		return nil, fmt.Errorf("bench: 2-simple failed on infeasible instance: %w", err)
 	}

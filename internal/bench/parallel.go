@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// Parallelism is applied to every synthesis run the harness performs.
+// Zero (the default) pins the figure harnesses to the sequential engine
+// so regenerated tables reproduce the paper's numbers independent of the
+// host's core count; cmd/experiments overrides it from -parallel. The
+// parallel engine itself is measured by ParallelSpeedup and the root
+// benchmark variants, which set worker counts explicitly.
+var Parallelism int
+
+// opt stamps the harness-wide parallelism onto a synthesis configuration.
+func opt(o core.Options) core.Options {
+	if o.Parallelism == 0 {
+		if Parallelism != 0 {
+			o.Parallelism = Parallelism
+		} else {
+			o.Parallelism = 1
+		}
+	}
+	return o
+}
+
+// ParallelSpeedup measures the parallel engine against the sequential one
+// on the evaluation workloads: feasible diamonds (the Figure 7/8g
+// families) and the infeasible double-diamonds of Figure 8h, where the
+// proof of impossibility explores an entire subtree and fans out best.
+// Every workload is solved sequentially, with the deterministic parallel
+// engine, and in first-plan-wins mode, at the given worker count.
+func ParallelSpeedup(sizes []int, workers int, timeout time.Duration) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Parallel synthesis: sequential vs %d workers", workers),
+		Note:  "det = deterministic (sequential plan), racy = first-plan-wins",
+		Header: []string{"workload", "units", "seq(s)", "det(s)", "racy(s)",
+			"det-x", "racy-x"},
+	}
+	type load struct {
+		name string
+		sc   *config.Scenario
+		opts core.Options
+	}
+	var loads []load
+	for _, n := range sizes {
+		sc, err := DiamondWorkload(FamilySmallWorld, n, config.ServiceChaining, int64(n)*7)
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, load{fmt.Sprintf("diamond-chain-%d", n), sc, core.Options{Timeout: timeout}})
+		scInf, err := InfeasibleWorkload(n, config.Reachability, n/30+1, int64(n)*3)
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, load{fmt.Sprintf("infeasible-%d", n), scInf, core.Options{Timeout: timeout}})
+	}
+	for _, l := range loads {
+		units := len(l.sc.UpdatingSwitches())
+		// Timeouts mark the cell "t/o" and the sweep continues, like the
+		// figure harnesses; only unexpected errors abort the table.
+		run := func(o core.Options) (float64, error) {
+			start := time.Now()
+			_, err := core.Synthesize(l.sc, o)
+			switch {
+			case errors.Is(err, core.ErrTimeout):
+				return -1, nil
+			case err != nil && !errors.Is(err, core.ErrNoOrdering):
+				return 0, err
+			}
+			return time.Since(start).Seconds(), nil
+		}
+		seqOpts := l.opts
+		seqOpts.Parallelism = 1
+		seq, err := run(seqOpts)
+		if err != nil {
+			return nil, err
+		}
+		detOpts := l.opts
+		detOpts.Parallelism = workers
+		det, err := run(detOpts)
+		if err != nil {
+			return nil, err
+		}
+		racyOpts := detOpts
+		racyOpts.FirstPlanWins = true
+		racy, err := run(racyOpts)
+		if err != nil {
+			return nil, err
+		}
+		cell := func(s float64) interface{} {
+			if s < 0 {
+				return "t/o"
+			}
+			return s
+		}
+		ratio := func(s float64) string {
+			if s <= 0 || seq <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", seq/s)
+		}
+		t.Add(l.name, units, cell(seq), cell(det), cell(racy), ratio(det), ratio(racy))
+	}
+	return t, nil
+}

@@ -68,6 +68,17 @@ func (c *Checker) Revert(t mc.Token) {}
 // Stats implements mc.Checker.
 func (c *Checker) Stats() mc.Stats { return c.stats }
 
+// StatelessMC implements mc.Stateless: every Check re-encodes the whole
+// model; Update and Revert keep nothing.
+func (c *Checker) StatelessMC() {}
+
+// CloneFor implements mc.Cloneable: the automaton is immutable and shared;
+// the consistency matrix is rebuilt on the next Check anyway (batch mode),
+// so the clone is just a fresh view over the cloned structure.
+func (c *Checker) CloneFor(k2 *kripke.K) (mc.Checker, error) {
+	return &Checker{k: k2, aut: c.aut}, nil
+}
+
 // pstate is a product state (Kripke state, automaton state).
 type pstate struct {
 	q int // Kripke state
@@ -205,4 +216,8 @@ func extendToSink(k *kripke.K, trace []int) []int {
 	return trace
 }
 
-var _ mc.Checker = (*Checker)(nil)
+var (
+	_ mc.Checker   = (*Checker)(nil)
+	_ mc.Cloneable = (*Checker)(nil)
+	_ mc.Stateless = (*Checker)(nil)
+)

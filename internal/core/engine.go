@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"netupdate/internal/config"
@@ -16,8 +17,11 @@ import (
 // final configuration such that every intermediate configuration
 // satisfies every class specification, inserting waits between updates
 // (careful sequences, Definition 5) and then removing unnecessary waits.
-// It returns ErrNoOrdering if no simple careful sequence exists at the
-// requested granularity.
+// With Options.Parallelism != 1 the search fans the top of the DFS out to
+// a worker pool (see parallel.go); the sequential path is used for small
+// unit counts where fan-out cannot pay for itself. It returns
+// ErrNoOrdering if no simple careful sequence exists at the requested
+// granularity.
 func Synthesize(sc *config.Scenario, opts Options) (*Plan, error) {
 	start := time.Now()
 	e, err := newEngine(sc, opts)
@@ -40,8 +44,17 @@ func Synthesize(sc *config.Scenario, opts Options) (*Plan, error) {
 	return &Plan{Steps: steps, Stats: e.stats}, nil
 }
 
-// errNotFound signals exhaustion of a subtree (not a terminal failure).
-var errNotFound = errors.New("core: subtree exhausted")
+// Search-control sentinels (not terminal failures):
+var (
+	// errNotFound signals exhaustion of a subtree.
+	errNotFound = errors.New("core: subtree exhausted")
+	// errDeferred signals that a subtree's outcome is pending on emitted
+	// tasks (parallel fan-out): it is not exhausted, merely handed off.
+	errDeferred = errors.New("core: subtree deferred to workers")
+	// errCancelled signals cooperative cancellation (another worker won,
+	// or the coordinator is shutting the search down).
+	errCancelled = errors.New("core: search cancelled")
+)
 
 type frame struct {
 	class int
@@ -52,6 +65,11 @@ type frame struct {
 type pattern struct {
 	relevant, value bitset
 }
+
+// minParallelUnits is the unit count under which the search always runs
+// sequentially: with only a handful of units the whole tree is cheaper
+// than cloning per-worker structures.
+const minParallelUnits = 6
 
 type engine struct {
 	sc    *config.Scenario
@@ -64,9 +82,25 @@ type engine struct {
 
 	curTables map[int]network.Table
 
-	visited map[string]bool
-	wrong   []pattern
-	et      *earlyTerm
+	// visited is this engine's private visited set (the V of Figure 4 for
+	// its own DFS); shared carries the cross-worker learning state.
+	visited *bitsetSet
+	shared  *sharedState
+
+	// Fan-out plumbing, used only by the generator engine: at depth
+	// fanDepth the DFS emits the current path as a task instead of
+	// recursing. Zero disables emission. deferredSeen records every
+	// configuration whose subtree outcome is pending in a worker
+	// (emitted directly or an ancestor of an emission), so that pruning
+	// a revisit of one is not mistaken for exhaustion — without it the
+	// generator could publish ancestors of pending subtrees to the
+	// shared dead set.
+	fanDepth     int
+	emit         func(prefix []int) error
+	path         []int
+	deferredSeen *bitsetSet
+
+	stop *abort
 
 	deadline    time.Time
 	hasDeadline bool
@@ -83,10 +117,12 @@ func newEngine(sc *config.Scenario, opts Options) (*engine, error) {
 		sc:        sc,
 		opts:      opts,
 		units:     units,
-		visited:   map[string]bool{},
-		et:        newEarlyTerm(),
+		visited:   newBitsetSet(),
 		curTables: map[int]network.Table{},
+		stop:      newAbort(),
 	}
+	workers := e.workerCount()
+	e.shared = newSharedState(workers > 1, opts.FirstPlanWins)
 	e.stats.Units = len(units)
 	if opts.NoHeuristicOrder {
 		e.order = make([]int, len(units))
@@ -140,9 +176,25 @@ func newEngine(sc *config.Scenario, opts Options) (*engine, error) {
 	return e, nil
 }
 
+// workerCount resolves Options.Parallelism: 0 means GOMAXPROCS, and tiny
+// searches always run sequentially.
+func (e *engine) workerCount() int {
+	p := e.opts.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if len(e.units) < minParallelUnits {
+		return 1
+	}
+	return p
+}
+
 func (e *engine) run() ([]Step, error) {
 	empty := newBitset(len(e.units))
-	e.visited[empty.key()] = true
+	e.visited.add(empty)
+	if workers := e.workerCount(); workers > 1 {
+		return e.runParallel(empty, workers)
+	}
 	steps, err := e.dfs(empty, 0)
 	if err != nil {
 		if errors.Is(err, errNotFound) {
@@ -155,14 +207,26 @@ func (e *engine) run() ([]Step, error) {
 
 // dfs explores update orders from the current configuration (encoded by
 // the applied bitmask). It returns the remaining steps on success,
-// errNotFound when the subtree is exhausted, or a terminal error.
+// errNotFound when the subtree is exhausted, errDeferred when parts of it
+// were emitted as worker tasks, or a terminal error.
 func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 	if depth == len(e.units) {
 		return nil, nil
 	}
+	if e.stop.isSet() {
+		return nil, errCancelled
+	}
 	if e.hasDeadline && time.Now().After(e.deadline) {
 		return nil, ErrTimeout
 	}
+	if e.fanDepth > 0 && depth == e.fanDepth {
+		if err := e.emit(e.path); err != nil {
+			return nil, err
+		}
+		e.deferredSeen.add(applied)
+		return nil, errDeferred
+	}
+	deferred := false
 	for _, ui := range e.order {
 		if applied.get(ui) {
 			continue
@@ -172,17 +236,31 @@ func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 			continue // finalize steps wait for their merge step
 		}
 		next := applied.set(ui)
-		key := next.key()
-		if e.visited[key] {
+		if !e.visited.add(next) {
 			e.stats.VisitedPruned++
+			if e.deferredSeen != nil && e.deferredSeen.has(next) {
+				// The first visit handed (part of) this subtree to a
+				// worker; its outcome is pending, not exhausted.
+				deferred = true
+			}
 			continue
+		}
+		if sh := e.shared; sh.dead != nil {
+			if sh.claimOnEntry {
+				if !sh.dead.add(next) {
+					e.stats.VisitedPruned++
+					continue
+				}
+			} else if sh.dead.has(next) {
+				e.stats.VisitedPruned++
+				continue
+			}
 		}
 		if e.matchesWrong(next) {
 			e.stats.WrongPruned++
-			e.visited[key] = true
+			e.markDead(next)
 			continue
 		}
-		e.visited[key] = true
 
 		newTbl := e.unitTable(u)
 		oldTbl := e.curTables[u.sw]
@@ -193,6 +271,7 @@ func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 		}
 		if failed {
 			e.revert(frames)
+			e.markDead(next)
 			if len(cexSwitches) > 0 && !e.opts.NoCexLearning {
 				if terminate := e.learn(cexSwitches, next); terminate {
 					e.stats.EarlyTerminate = true
@@ -202,7 +281,13 @@ func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 			continue
 		}
 		e.curTables[u.sw] = newTbl
+		if e.fanDepth > 0 {
+			e.path = append(e.path, ui) // only the generator's emit reads path
+		}
 		rest, err := e.dfs(next, depth+1)
+		if e.fanDepth > 0 {
+			e.path = e.path[:len(e.path)-1]
+		}
 		if err == nil {
 			step := Step{
 				Switch: u.sw, Table: newTbl.Clone(),
@@ -216,11 +301,29 @@ func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 		e.curTables[u.sw] = oldTbl
 		e.revert(frames)
 		e.stats.Backtracks++
-		if !errors.Is(err, errNotFound) {
+		switch {
+		case errors.Is(err, errDeferred):
+			deferred = true
+		case errors.Is(err, errNotFound):
+			e.markDead(next)
+		default:
 			return nil, err
 		}
 	}
+	if deferred {
+		e.deferredSeen.add(applied)
+		return nil, errDeferred
+	}
 	return nil, errNotFound
+}
+
+// markDead publishes a configuration proven wrong or exhausted to the
+// cross-worker dead set. In claim-on-entry (first-plan-wins) mode the
+// configuration was already inserted when it was claimed.
+func (e *engine) markDead(b bitset) {
+	if sh := e.shared; sh.dead != nil && !sh.claimOnEntry {
+		sh.dead.add(b)
+	}
 }
 
 // applyAndCheck installs the new table for sw in every class structure
@@ -286,7 +389,8 @@ func (e *engine) unitTable(u unit) network.Table {
 
 // learn records a wrong-configuration pattern from a counterexample
 // (Section 4.2.A) and feeds the ordering constraint to the SAT solver
-// (4.2.B). It returns true when the solver proves no ordering can exist.
+// (4.2.B); both live in the shared state, so every worker benefits. It
+// returns true when the solver proves no ordering can exist.
 func (e *engine) learn(cexSwitches []int, cfg bitset) bool {
 	e.stats.CexLearned++
 	relevant := newBitset(len(e.units))
@@ -311,16 +415,19 @@ func (e *engine) learn(cexSwitches []int, cfg bitset) bool {
 	if relevant.count() == 0 {
 		return false // counterexample mentions no updating switch: ignore
 	}
-	e.wrong = append(e.wrong, pattern{relevant: relevant, value: value})
+	sh := e.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.addPattern(pattern{relevant: relevant, value: value})
 	if e.opts.NoEarlyTermination {
 		return false
 	}
 	e.stats.SATCalls++
-	return !e.et.addCexConstraint(appliedUnits, unappliedUnits)
+	return !sh.et.addCexConstraint(appliedUnits, unappliedUnits)
 }
 
 func (e *engine) matchesWrong(cfg bitset) bool {
-	for _, p := range e.wrong {
+	for _, p := range e.shared.patterns() {
 		if cfg.matchesPattern(p.relevant, p.value) {
 			return true
 		}

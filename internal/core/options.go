@@ -63,11 +63,23 @@ func (k CheckerKind) factory() mc.Factory {
 }
 
 // Options configures synthesis. The zero value is the paper's default
-// configuration: incremental checker, switch granularity, counterexample
-// learning, early termination, and wait removal all enabled.
+// configuration — incremental checker, switch granularity, counterexample
+// learning, early termination, and wait removal all enabled — run on the
+// parallel engine with one worker per CPU.
 type Options struct {
 	// Checker selects the model-checking backend.
 	Checker CheckerKind
+	// Parallelism is the number of search workers. Zero uses GOMAXPROCS;
+	// one forces the sequential engine. Searches with fewer than a
+	// handful of update units always run sequentially regardless. See
+	// parallel.go for the fan-out architecture.
+	Parallelism int
+	// FirstPlanWins lets the parallel search commit the first plan any
+	// worker finds instead of the plan the sequential search would have
+	// found (the lowest heuristic-order branch). Faster on searches with
+	// many valid orderings, but the chosen plan becomes
+	// schedule-dependent; leave unset where reproducibility matters.
+	FirstPlanWins bool
 	// RuleGranularity updates individual rules instead of whole switch
 	// tables (Section 3.1, Figure 8i).
 	RuleGranularity bool

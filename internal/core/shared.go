@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sharedState is the cross-worker learning state of the search. The three
+// pruning structures of Section 4.2 are global by nature — a wrong
+// configuration is wrong no matter which worker discovered it — so they
+// are shared: a counterexample learned in one subtree prunes every other
+// worker's subtree.
+//
+//   - The wrong-configuration pattern store (4.2.A) is read on every DFS
+//     node, so readers load an immutable snapshot through an atomic
+//     pointer and never lock; the rare writers copy-append under mu.
+//   - The early-termination SAT solver (4.2.B) is called only when a
+//     counterexample is learned, so a plain mutex suffices.
+//   - dead is the mutex-striped configuration set shared by the workers
+//     (nil for a sequential search, which only needs its private visited
+//     set). In deterministic mode it holds configurations *proven* dead —
+//     wrong, or exhausted without a plan — which can be pruned anywhere
+//     without changing which plan each subtree yields. In first-plan-wins
+//     mode it doubles as a claim-on-entry visited set: whoever inserts a
+//     configuration first explores it, everyone else prunes it.
+type sharedState struct {
+	wrong atomic.Pointer[[]pattern]
+
+	dead         *sharedBitsetSet
+	claimOnEntry bool
+
+	mu sync.Mutex // guards et and writes to wrong
+	et *earlyTerm
+}
+
+func newSharedState(parallel, firstWins bool) *sharedState {
+	s := &sharedState{et: newEarlyTerm()}
+	empty := []pattern{}
+	s.wrong.Store(&empty)
+	if parallel {
+		s.dead = newSharedBitsetSet()
+		s.claimOnEntry = firstWins
+	}
+	return s
+}
+
+// patterns returns the current wrong-pattern snapshot (lock-free).
+func (s *sharedState) patterns() []pattern { return *s.wrong.Load() }
+
+// addPattern appends a learned pattern; callers must hold s.mu. Spare
+// capacity is reused: the new element is written one past the published
+// length (elements are write-once, so concurrent readers of the shorter
+// snapshot are unaffected) and the longer slice is published atomically,
+// keeping accumulation amortized O(1) instead of copying every pattern
+// on each learn.
+func (s *sharedState) addPattern(p pattern) {
+	old := *s.wrong.Load()
+	var ws []pattern
+	if cap(old) > len(old) {
+		ws = append(old, p)
+	} else {
+		ws = make([]pattern, len(old), 2*len(old)+4)
+		copy(ws, old)
+		ws = append(ws, p)
+	}
+	s.wrong.Store(&ws)
+}
+
+// abort is a one-shot cooperative cancellation flag shared by the
+// coordinator, the task generator, and every worker. The atomic bool is
+// polled on the hot path; the channel unblocks the generator's task sends.
+type abort struct {
+	flag atomic.Bool
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newAbort() *abort { return &abort{ch: make(chan struct{})} }
+
+func (a *abort) set() {
+	a.once.Do(func() {
+		a.flag.Store(true)
+		close(a.ch)
+	})
+}
+
+func (a *abort) isSet() bool { return a.flag.Load() }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"netupdate/internal/config"
 	"netupdate/internal/network"
@@ -225,16 +226,19 @@ func (b bitset) set(i int) bitset {
 
 func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
-func (b bitset) key() string { return string(bitsetBytes(b)) }
-
-func bitsetBytes(b bitset) []byte {
-	out := make([]byte, 8*len(b))
-	for i, w := range b {
+// key renders the bitmask as a comparable string in one allocation (the
+// Builder hands its buffer to the string without a second copy). The hot
+// paths use hash/equal (see visited.go) and never call this; it remains
+// for debugging and tests.
+func (b bitset) key() string {
+	var sb strings.Builder
+	sb.Grow(8 * len(b))
+	for _, w := range b {
 		for j := 0; j < 8; j++ {
-			out[8*i+j] = byte(w >> (8 * uint(j)))
+			sb.WriteByte(byte(w >> (8 * uint(j))))
 		}
 	}
-	return out
+	return sb.String()
 }
 
 func (b bitset) count() int {

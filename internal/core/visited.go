@@ -1,0 +1,129 @@
+package core
+
+import "sync"
+
+// The visited set V of Figure 4 used to be a map[string]bool keyed by a
+// stringified bitmask, which cost two allocations per DFS node (the byte
+// buffer and the string copy) on the hottest path of the search. Both the
+// sequential and the parallel engines now use open hash sets over the
+// bitmasks themselves: configurations hash by content and compare by word
+// equality, so membership tests allocate nothing.
+
+// hash returns a 64-bit FNV-1a hash of the bitmask words.
+func (b bitset) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range b {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
+// equal reports word-wise equality; bitsets in one search share a length.
+func (b bitset) equal(o bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bitsetSet is a single-owner hash set of bitmasks (the per-DFS visited
+// set). Buckets chain the rare hash collisions.
+type bitsetSet struct {
+	m map[uint64][]bitset
+}
+
+func newBitsetSet() *bitsetSet { return &bitsetSet{m: map[uint64][]bitset{}} }
+
+// has reports membership.
+func (s *bitsetSet) has(b bitset) bool {
+	for _, e := range s.m[b.hash()] {
+		if e.equal(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts b, reporting whether it was newly added.
+func (s *bitsetSet) add(b bitset) bool {
+	h := b.hash()
+	for _, e := range s.m[h] {
+		if e.equal(b) {
+			return false
+		}
+	}
+	s.m[h] = append(s.m[h], b)
+	return true
+}
+
+func (s *bitsetSet) len() int {
+	n := 0
+	for _, bucket := range s.m {
+		n += len(bucket)
+	}
+	return n
+}
+
+// deadShards is the stripe count of the cross-worker set; a power of two
+// well above any realistic worker count keeps contention negligible.
+const deadShards = 64
+
+// sharedBitsetSet is the mutex-striped variant shared by every search
+// worker: a configuration learned dead (or, in first-plan-wins mode,
+// merely claimed) by one worker prunes the same configuration in all
+// others. Shards are selected by hash, so each operation locks 1/64th of
+// the structure.
+type sharedBitsetSet struct {
+	shards [deadShards]struct {
+		mu sync.Mutex
+		m  map[uint64][]bitset
+	}
+}
+
+func newSharedBitsetSet() *sharedBitsetSet {
+	s := &sharedBitsetSet{}
+	for i := range s.shards {
+		s.shards[i].m = map[uint64][]bitset{}
+	}
+	return s
+}
+
+// has reports membership.
+func (s *sharedBitsetSet) has(b bitset) bool {
+	h := b.hash()
+	sh := &s.shards[h%deadShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.m[h] {
+		if e.equal(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts b, reporting whether it was newly added (false means some
+// worker got there first).
+func (s *sharedBitsetSet) add(b bitset) bool {
+	h := b.hash()
+	sh := &s.shards[h%deadShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.m[h] {
+		if e.equal(b) {
+			return false
+		}
+	}
+	sh.m[h] = append(sh.m[h], b)
+	return true
+}

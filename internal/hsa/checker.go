@@ -110,6 +110,15 @@ func (c *Checker) Revert(t mc.Token) {
 // Stats implements mc.Checker.
 func (c *Checker) Stats() mc.Stats { return c.stats }
 
+// CloneFor implements mc.Cloneable via the cheap-rebuild path: the plumbing
+// graph's internal bookkeeping (pipes, flow trees) is heavily aliased, so
+// instead of a deep copy the clone rebuilds a fresh Plumber from k2's
+// current tables — New reads whatever tables are installed, so this is
+// valid at any point of the search, not just the initial configuration.
+func (c *Checker) CloneFor(k2 *kripke.K) (mc.Checker, error) {
+	return New(k2, c.spec)
+}
+
 // diffRules returns the rules present in a but not b, and in b but not a
 // (multiset semantics).
 func diffRules(a, b network.Table) (onlyA, onlyB []network.Rule) {
@@ -132,4 +141,7 @@ outer:
 	return
 }
 
-var _ mc.Checker = (*Checker)(nil)
+var (
+	_ mc.Checker   = (*Checker)(nil)
+	_ mc.Cloneable = (*Checker)(nil)
+)

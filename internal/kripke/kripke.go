@@ -125,6 +125,34 @@ func Build(topo *topology.Topology, cfg *config.Config, cl config.Class) (*K, er
 	return k, nil
 }
 
+// Clone returns an independent copy of the structure sharing all immutable
+// parts (states, indexes, initial states) with the original. Successor
+// lists are replaced wholesale by UpdateSwitch/Revert and never mutated in
+// place, so only the outer slice is copied; predecessor lists are edited
+// in place and are copied deeply. The clone can be updated and reverted
+// concurrently with the original, which is what gives each parallel
+// search worker a private structure with no locking on the hot path.
+func (k *K) Clone() *K {
+	c := &K{
+		Class:    k.Class,
+		Topo:     k.Topo,
+		states:   k.states,
+		index:    k.index,
+		init:     k.init,
+		statesOf: k.statesOf,
+	}
+	c.succ = append([][]int(nil), k.succ...)
+	c.pred = make([][]int, len(k.pred))
+	for i, p := range k.pred {
+		c.pred[i] = append([]int(nil), p...)
+	}
+	c.tables = make(map[int]network.Table, len(k.tables))
+	for sw, tbl := range k.tables {
+		c.tables[sw] = tbl
+	}
+	return c
+}
+
 // recomputeSwitch rewires the outgoing transitions of sw's arrival states
 // from its current table, updating predecessor lists. It returns an error
 // if a rule would modify the class packet (packet modification is outside

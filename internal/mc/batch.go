@@ -43,10 +43,21 @@ func (c *Batch) Revert(t Token) {}
 // Stats implements Checker.
 func (c *Batch) Stats() Stats { return c.stats }
 
+// CloneFor implements Cloneable. The batch checker relabels from scratch
+// on every call, so the clone only needs the shared closure and atoms.
+func (c *Batch) CloneFor(k2 *kripke.K) (Checker, error) {
+	return &Batch{labeler: c.labeler.cloneFor(k2)}, nil
+}
+
+// StatelessMC implements Stateless: every call relabels from scratch.
+func (c *Batch) StatelessMC() {}
+
 type batchToken struct{}
 
 var (
-	_ Checker = (*Batch)(nil)
-	_         = ltl.Valuation{}
-	_         = kripke.State{}
+	_ Checker   = (*Batch)(nil)
+	_ Cloneable = (*Batch)(nil)
+	_ Stateless = (*Batch)(nil)
+	_           = ltl.Valuation{}
+	_           = kripke.State{}
 )

@@ -59,6 +59,29 @@ type Stats struct {
 // engine uses one checker per traffic class.
 type Factory func(k *kripke.K, spec *ltl.Formula) (Checker, error)
 
+// Stateless marks checkers that keep no internal state across updates:
+// Update is equivalent to a fresh Check of the current structure and
+// Revert is a no-op. When a search worker replays a prefix whose verdict
+// is already known, it may update the Kripke structure and skip a
+// Stateless checker's re-check entirely.
+type Stateless interface {
+	// StatelessMC is a marker; implementations do nothing.
+	StatelessMC()
+}
+
+// Cloneable is implemented by checkers that can duplicate themselves for a
+// clone of their Kripke structure (see kripke.K.Clone). The clone carries
+// over the current labeling/bookkeeping where the backend keeps any, so it
+// is cheaper than rebuilding via the Factory; backends for which cloning
+// is impractical rebuild internally instead. Clones share only immutable
+// data with the original and may be used concurrently with it.
+type Cloneable interface {
+	// CloneFor returns an independent checker over k2, which must be a
+	// clone of the structure this checker was built on, taken at the same
+	// table state.
+	CloneFor(k2 *kripke.K) (Checker, error)
+}
+
 // trueVerdict is the verdict for a passing check.
 func trueVerdict() Verdict { return Verdict{OK: true, HasCex: true} }
 

@@ -192,7 +192,29 @@ func (c *Incremental) Revert(t Token) {
 // Stats implements Checker.
 func (c *Incremental) Stats() Stats { return c.stats }
 
-var _ Checker = (*Incremental)(nil)
+// CloneFor implements Cloneable: the clone inherits the current labeling
+// (label slices are replaced, never mutated in place, so sharing the inner
+// slices is safe) and the violating-initial bookkeeping, skipping the full
+// relabel a fresh NewIncremental would perform.
+func (c *Incremental) CloneFor(k2 *kripke.K) (Checker, error) {
+	n := &Incremental{
+		labeler: c.labeler.cloneFor(k2),
+		isInit:  make(map[int]bool, len(c.isInit)),
+		badInit: make(map[int]bool, len(c.badInit)),
+	}
+	for id := range c.isInit {
+		n.isInit[id] = true
+	}
+	for id := range c.badInit {
+		n.badInit[id] = true
+	}
+	return n, nil
+}
+
+var (
+	_ Checker   = (*Incremental)(nil)
+	_ Cloneable = (*Incremental)(nil)
+)
 
 // Labels exposes the label of a state for tests.
 func (c *Incremental) Labels(id int) []ltl.Valuation { return c.label[id] }

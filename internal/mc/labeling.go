@@ -34,6 +34,19 @@ func newLabeler(k *kripke.K, spec *ltl.Formula) (*labeler, error) {
 	return l, nil
 }
 
+// cloneFor copies the labeler onto a clone of its structure. The closure
+// and the atom valuations are immutable and shared; the label table's
+// outer slice is copied (entries are replaced wholesale on relabel, so the
+// inner slices can be shared safely).
+func (l *labeler) cloneFor(k2 *kripke.K) *labeler {
+	return &labeler{
+		k:     k2,
+		clo:   l.clo,
+		atoms: l.atoms,
+		label: append([][]ltl.Valuation(nil), l.label...),
+	}
+}
+
 // computeLabel computes the label of state id from its successors' labels,
 // which must already be correct.
 func (l *labeler) computeLabel(id int) []ltl.Valuation {

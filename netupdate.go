@@ -109,7 +109,10 @@ var (
 
 // Synthesize runs the ORDERUPDATE algorithm on a scenario, returning an
 // executable update plan or an error (ErrNoOrdering when no correct
-// simple careful sequence exists).
+// simple careful sequence exists). The search runs on a parallel worker
+// pool sized by Options.Parallelism (zero = one worker per CPU, one =
+// sequential) and is deterministic by default: it returns the same plan
+// at any worker count. See DESIGN.md "Parallel search architecture".
 func Synthesize(sc *Scenario, opts Options) (*Plan, error) {
 	return core.Synthesize(sc, opts)
 }
