@@ -27,6 +27,7 @@ const benchTimeout = 5 * time.Minute
 // BenchmarkFig2aProbeLoss regenerates Figure 2(a): probe delivery during
 // naive, ordering, and two-phase updates of the Figure 1 example.
 func BenchmarkFig2aProbeLoss(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Fig2a(); err != nil {
 			b.Fatal(err)
@@ -37,6 +38,7 @@ func BenchmarkFig2aProbeLoss(b *testing.B) {
 // BenchmarkFig2bRuleOverhead regenerates Figure 2(b): per-switch rule
 // overhead of two-phase versus ordering updates.
 func BenchmarkFig2bRuleOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Fig2b(); err != nil {
 			b.Fatal(err)
@@ -61,12 +63,14 @@ var parVariants = []struct {
 // backend on each topology family (reachability diamonds), under each
 // engine variant.
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	families := []bench.Family{bench.FamilyZoo, bench.FamilyFatTree, bench.FamilySmallWorld}
 	checkers := []core.CheckerKind{core.CheckerIncremental, core.CheckerBatch, core.CheckerNuSMV}
 	for _, fam := range families {
 		for _, ck := range checkers {
 			for _, v := range parVariants {
 				b.Run(string(fam)+"/"+ck.String()+"/"+v.name, func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						sc, err := bench.DiamondWorkload(fam, 60, config.Reachability, 60)
 						if err != nil {
@@ -89,8 +93,10 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig7RuleGranularity regenerates Figure 7(d-f): Incremental vs
 // the NetPlumber substitute at rule granularity.
 func BenchmarkFig7RuleGranularity(b *testing.B) {
+	b.ReportAllocs()
 	for _, ck := range []core.CheckerKind{core.CheckerIncremental, core.CheckerNetPlumber} {
 		b.Run(ck.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 50, config.Reachability, 50)
 				if err != nil {
@@ -110,9 +116,11 @@ func BenchmarkFig7RuleGranularity(b *testing.B) {
 // BenchmarkFig8gScalability regenerates Figure 8(g): Small-World
 // scalability for the three property families, under each engine variant.
 func BenchmarkFig8gScalability(b *testing.B) {
+	b.ReportAllocs()
 	for _, prop := range []config.Property{config.Reachability, config.Waypointing, config.ServiceChaining} {
 		for _, v := range parVariants {
 			b.Run(prop.String()+"/"+v.name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 120, prop, 120*7)
 					if err != nil {
@@ -135,8 +143,10 @@ func BenchmarkFig8gScalability(b *testing.B) {
 // switch-granularity ordering exists, under each engine variant (the
 // proof explores a whole subtree, the best case for fan-out).
 func BenchmarkFig8hInfeasible(b *testing.B) {
+	b.ReportAllocs()
 	for _, v := range parVariants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sc, err := bench.InfeasibleWorkload(60, config.Reachability, 2, 60*3)
 				if err != nil {
@@ -158,6 +168,7 @@ func BenchmarkFig8hInfeasible(b *testing.B) {
 // BenchmarkFig8iRuleGranularity regenerates Figure 8(i): solving the
 // switch-impossible workloads at rule granularity.
 func BenchmarkFig8iRuleGranularity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc, err := bench.InfeasibleWorkload(60, config.Reachability, 2, 60*3)
 		if err != nil {
@@ -173,6 +184,7 @@ func BenchmarkFig8iRuleGranularity(b *testing.B) {
 // BenchmarkWaitRemoval regenerates the Section 6 "Waits" measurements:
 // synthesis with and without the wait-removal pass.
 func BenchmarkWaitRemoval(b *testing.B) {
+	b.ReportAllocs()
 	sc, err := bench.DiamondWorkload(bench.FamilySmallWorld, 120, config.Reachability, 120)
 	if err != nil {
 		b.Fatal(err)
@@ -193,6 +205,7 @@ func BenchmarkWaitRemoval(b *testing.B) {
 // BenchmarkCheckerOnlyComparison regenerates the Section 6 checker-only
 // comparison (same model-checking questions, different backends).
 func BenchmarkCheckerOnlyComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.CheckerOnly(60); err != nil {
 			b.Fatal(err)
@@ -202,6 +215,7 @@ func BenchmarkCheckerOnlyComparison(b *testing.B) {
 
 // BenchmarkAblation regenerates the optimization ablation table.
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Ablation(60, benchTimeout); err != nil {
 			b.Fatal(err)
@@ -229,6 +243,7 @@ func benchScene(b *testing.B, n int) (*config.Scenario, *kripke.K, *ltl.Formula)
 
 // BenchmarkKripkeBuild measures building a class Kripke structure.
 func BenchmarkKripkeBuild(b *testing.B) {
+	b.ReportAllocs()
 	sc, _, _ := benchScene(b, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -262,22 +277,79 @@ func benchUpdateLoop(b *testing.B, factory mc.Factory) {
 
 // BenchmarkIncrementalUpdate measures the incremental checker's
 // relabel-on-update (the paper's core operation).
-func BenchmarkIncrementalUpdate(b *testing.B) { benchUpdateLoop(b, mc.NewIncremental) }
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	b.ReportAllocs()
+	benchUpdateLoop(b, mc.NewIncremental)
+}
+
+// BenchmarkIncrementalSteadyState isolates the checker's steady-state
+// Update+Revert cycle: the kripke delta is computed once and re-applied
+// with Reapply, so the loop exercises only the checker's epoch-stamped
+// relabeling and pooled undo tokens. The loop must report 0 allocs/op —
+// that is the acceptance bar for the allocation-free hot path. A passing
+// update is chosen deliberately: a failing verdict allocates its
+// counterexample trace.
+func BenchmarkIncrementalSteadyState(b *testing.B) {
+	sc, k, spec := benchScene(b, 200)
+	chk, err := mc.NewIncremental(k, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chk.Check()
+	var delta *kripke.Delta
+	for _, sw := range sc.UpdatingSwitches() {
+		d, err := k.UpdateSwitch(sw, sc.Final.Table(sw))
+		if err != nil {
+			if d != nil {
+				k.Revert(d) // loop errors leave the update applied
+			}
+			continue
+		}
+		v, tok := chk.Update(d)
+		chk.Revert(tok)
+		k.Revert(d)
+		if v.OK {
+			delta = d
+			break
+		}
+	}
+	if delta == nil {
+		b.Fatal("no passing single-switch update in the scenario")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reapply(delta)
+		_, tok := chk.Update(delta)
+		chk.Revert(tok)
+		k.Revert(delta)
+	}
+}
 
 // BenchmarkBatchUpdate measures the full-relabel baseline on the same
 // operation.
-func BenchmarkBatchUpdate(b *testing.B) { benchUpdateLoop(b, mc.NewBatch) }
+func BenchmarkBatchUpdate(b *testing.B) {
+	b.ReportAllocs()
+	benchUpdateLoop(b, mc.NewBatch)
+}
 
 // BenchmarkBuchiUpdate measures the automaton-theoretic (NuSMV-substitute)
 // checker on the same operation.
-func BenchmarkBuchiUpdate(b *testing.B) { benchUpdateLoop(b, buchi.New) }
+func BenchmarkBuchiUpdate(b *testing.B) {
+	b.ReportAllocs()
+	benchUpdateLoop(b, buchi.New)
+}
 
 // BenchmarkHSAUpdate measures the header-space (NetPlumber-substitute)
 // checker on the same operation.
-func BenchmarkHSAUpdate(b *testing.B) { benchUpdateLoop(b, hsa.New) }
+func BenchmarkHSAUpdate(b *testing.B) {
+	b.ReportAllocs()
+	benchUpdateLoop(b, hsa.New)
+}
 
 // BenchmarkLTLExtend measures one labeling step.
 func BenchmarkLTLExtend(b *testing.B) {
+	b.ReportAllocs()
 	clo := ltl.MustClosure(ltl.ServiceChain(1, []int{2, 3, 4}, 5))
 	atoms := clo.AtomValuation(ltl.EnvFunc(func(p ltl.Prop) bool { return p.Value == 3 }))
 	next := clo.Sink(atoms)
@@ -290,6 +362,7 @@ func BenchmarkLTLExtend(b *testing.B) {
 // BenchmarkSATPigeonhole measures the CDCL solver on a classic UNSAT
 // instance (6 pigeons, 5 holes).
 func BenchmarkSATPigeonhole(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := sat.New()
 		v := func(p, h int) sat.Lit { return sat.Lit(p*5 + h + 1) }
@@ -312,6 +385,7 @@ func BenchmarkSATPigeonhole(b *testing.B) {
 // BenchmarkSimulatorFig1 measures the discrete-event simulator on the
 // Figure 1 scenario.
 func BenchmarkSimulatorFig1(b *testing.B) {
+	b.ReportAllocs()
 	sc := config.Fig1RedGreen()
 	plan, err := core.Synthesize(sc, core.Options{})
 	if err != nil {

@@ -77,6 +77,7 @@ func main() {
 		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
 		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
 		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables (for run-over-run diffing)")
 	)
 	flag.Parse()
 	sc, ok := scales[*scaleFl]
@@ -86,29 +87,43 @@ func main() {
 	}
 	bench.Parallelism = *parallel
 	sc.parWorkers = *workers
-	if err := run(*fig, sc); err != nil {
+	tables, err := run(*fig, sc)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		if err := bench.NewReport(tables).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, t := range tables {
+		fmt.Println(t.Format())
+	}
 }
 
-func run(fig string, sc scale) error {
+// run executes the requested figures and returns their tables; output
+// formatting (text or JSON) is the caller's concern.
+func run(fig string, sc scale) ([]*bench.Table, error) {
 	all := fig == "all"
-	show := func(t *bench.Table, err error) error {
+	var out []*bench.Table
+	add := func(t *bench.Table, err error) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t.Format())
+		out = append(out, t)
 		return nil
 	}
 	if all || fig == "2a" {
-		if err := show(bench.Fig2a()); err != nil {
-			return err
+		if err := add(bench.Fig2a()); err != nil {
+			return nil, err
 		}
 	}
 	if all || fig == "2b" {
-		if err := show(bench.Fig2b()); err != nil {
-			return err
+		if err := add(bench.Fig2b()); err != nil {
+			return nil, err
 		}
 	}
 	if all || fig == "7" {
@@ -116,62 +131,55 @@ func run(fig string, sc scale) error {
 		for _, fam := range []bench.Family{bench.FamilyZoo, bench.FamilyFatTree, bench.FamilySmallWorld} {
 			t, _, err := bench.Fig7(fam, sc.fig7Sizes, checkers, sc.timeout)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(t.Format())
+			out = append(out, t)
 		}
 	}
 	if all || fig == "7df" {
 		for _, fam := range []bench.Family{bench.FamilyZoo, bench.FamilyFatTree, bench.FamilySmallWorld} {
 			t, _, err := bench.Fig7Rule(fam, sc.fig7dfSizes, sc.timeout)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(t.Format())
+			out = append(out, t)
 		}
 	}
 	if all || fig == "8g" {
 		t, waits, err := bench.Fig8g(sc.fig8gSizes, sc.timeout)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Println(t.Format())
-		fmt.Println(waits.Format())
+		out = append(out, t, waits)
 	}
 	if all || fig == "8h" {
-		if err := func() error {
-			t, err := bench.Fig8h(sc.fig8hSizes, sc.timeout)
-			if err != nil {
-				return err
-			}
-			fmt.Println(t.Format())
-			return nil
-		}(); err != nil {
-			return err
+		t, err := bench.Fig8h(sc.fig8hSizes, sc.timeout)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, t)
 	}
 	if all || fig == "8i" {
 		t, waits, err := bench.Fig8i(sc.fig8iSizes, sc.timeout)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Println(t.Format())
-		fmt.Println(waits.Format())
+		out = append(out, t, waits)
 	}
 	if all || fig == "checker" {
-		if err := show(bench.CheckerOnly(sc.checkerSize)); err != nil {
-			return err
+		if err := add(bench.CheckerOnly(sc.checkerSize)); err != nil {
+			return nil, err
 		}
 	}
 	if all || fig == "ablation" {
-		if err := show(bench.Ablation(sc.ablationSize, sc.timeout)); err != nil {
-			return err
+		if err := add(bench.Ablation(sc.ablationSize, sc.timeout)); err != nil {
+			return nil, err
 		}
 	}
 	if all || fig == "parallel" {
-		if err := show(bench.ParallelSpeedup(sc.parSizes, sc.parWorkers, sc.timeout)); err != nil {
-			return err
+		if err := add(bench.ParallelSpeedup(sc.parSizes, sc.parWorkers, sc.timeout)); err != nil {
+			return nil, err
 		}
 	}
-	return nil
+	return out, nil
 }

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable envelope for a set of result tables:
+// cmd/experiments -json emits one so figure runs can be archived and
+// diffed run-over-run (the perf trajectory lives in BENCH_*.json files at
+// the repository root).
+type Report struct {
+	Schema    int      `json:"schema"` // bumped on incompatible changes
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Figures   []*Table `json:"figures"`
+}
+
+// NewReport wraps tables in a schema-1 report stamped with the current
+// time and toolchain.
+func NewReport(figures []*Table) *Report {
+	return &Report{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Figures:   figures,
+	}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -10,12 +10,14 @@ import (
 	"strings"
 )
 
-// Table is a printable result table: one row per measurement point.
+// Table is a printable result table: one row per measurement point. The
+// exported fields double as the machine-readable form (see Report), so
+// figures can be diffed run-over-run.
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // Add appends a row; cells are stringified with %v.

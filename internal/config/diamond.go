@@ -158,25 +158,28 @@ type diamond struct {
 // used. minSeg is the minimum number of switches per segment (3 forces an
 // interior switch on every branch, required by the infeasible gadget). On
 // success the claimed switches are added to used.
+//
+// Carving is probe-heavy (up to 400 attempts, two path searches per
+// segment each), so one carver's scratch — the path finder, the avoid and
+// segment buffers, the claimed list — is shared across all attempts.
 func buildDiamond(topo *topology.Topology, r *rand.Rand, used map[int]bool, waypoints, minSeg int) (*diamond, error) {
 	const attempts = 400
 	n := topo.NumSwitches()
+	cv := &carver{pf: topo.NewPathFinder()}
+	anchors := make([]int, waypoints+2)
 	for try := 0; try < attempts; try++ {
-		anchors := make([]int, waypoints+2)
 		ok := true
-		taken := map[int]bool{}
 		for i := range anchors {
 			anchors[i] = r.Intn(n)
-			if used[anchors[i]] || taken[anchors[i]] {
+			if used[anchors[i]] || containsInt(anchors[:i], anchors[i]) {
 				ok = false
 				break
 			}
-			taken[anchors[i]] = true
 		}
 		if !ok {
 			continue
 		}
-		d, ok := carveDiamond(topo, anchors, used, minSeg)
+		d, ok := cv.carve(anchors, used, minSeg)
 		if !ok {
 			continue
 		}
@@ -185,39 +188,71 @@ func buildDiamond(topo *topology.Topology, r *rand.Rand, used map[int]bool, wayp
 	return nil, fmt.Errorf("no room for a %d-waypoint diamond after %d attempts", waypoints, attempts)
 }
 
-// carveDiamond attempts to route the two branch paths through anchors,
-// avoiding used switches. On success it marks the claimed switches used.
-func carveDiamond(topo *topology.Topology, anchors []int, used map[int]bool, minSeg int) (*diamond, bool) {
-	avoid := func(extra map[int]bool, exceptA, exceptB int) []int {
-		var out []int
-		for sw := range used {
-			if sw != exceptA && sw != exceptB {
-				out = append(out, sw)
-			}
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
 		}
-		for sw := range extra {
-			if sw != exceptA && sw != exceptB {
-				out = append(out, sw)
-			}
-		}
-		return out
 	}
-	claimed := map[int]bool{}
+	return false
+}
+
+// carver holds the reusable scratch of one diamond-construction run.
+type carver struct {
+	pf        *topology.PathFinder
+	avoid     []int
+	segA      []int
+	segB      []int
+	claimed   []int
+	initPath  []int
+	finalPath []int
+}
+
+func (cv *carver) claim(sw int) {
+	if !containsInt(cv.claimed, sw) {
+		cv.claimed = append(cv.claimed, sw)
+	}
+}
+
+// avoidList collects used plus claimed switches except the two endpoints.
+func (cv *carver) avoidList(used map[int]bool, exceptA, exceptB int) []int {
+	out := cv.avoid[:0]
+	for sw := range used {
+		if sw != exceptA && sw != exceptB {
+			out = append(out, sw)
+		}
+	}
+	for _, sw := range cv.claimed {
+		if sw != exceptA && sw != exceptB {
+			out = append(out, sw)
+		}
+	}
+	cv.avoid = out
+	return out
+}
+
+// carve attempts to route the two branch paths through anchors, avoiding
+// used switches. On success it marks the claimed switches used.
+func (cv *carver) carve(anchors []int, used map[int]bool, minSeg int) (*diamond, bool) {
+	cv.claimed = cv.claimed[:0]
 	for _, a := range anchors {
-		claimed[a] = true
+		cv.claim(a)
 	}
-	initPath := []int{anchors[0]}
-	finalPath := []int{anchors[0]}
+	initPath := append(cv.initPath[:0], anchors[0])
+	finalPath := append(cv.finalPath[:0], anchors[0])
+	defer func() { cv.initPath, cv.finalPath = initPath[:0], finalPath[:0] }()
 	for i := 0; i+1 < len(anchors); i++ {
 		a, b := anchors[i], anchors[i+1]
-		segA := topo.ShortestPath(a, b, avoid(claimed, a, b)...)
+		segA := cv.pf.Shortest(cv.segA[:0], a, b, cv.avoidList(used, a, b))
+		cv.segA = segA
 		if len(segA) == 0 || len(segA) < minSeg {
 			return nil, false
 		}
 		for _, sw := range segA {
-			claimed[sw] = true
+			cv.claim(sw)
 		}
-		segB := topo.ShortestPath(a, b, avoid(claimed, a, b)...)
+		segB := cv.pf.Shortest(cv.segB[:0], a, b, cv.avoidList(used, a, b))
+		cv.segB = segB
 		if len(segB) == 0 || len(segB) < minSeg {
 			return nil, false
 		}
@@ -227,15 +262,19 @@ func carveDiamond(topo *topology.Topology, anchors []int, used map[int]bool, min
 			return nil, false
 		}
 		for _, sw := range segB {
-			claimed[sw] = true
+			cv.claim(sw)
 		}
 		initPath = append(initPath, segA[1:]...)
 		finalPath = append(finalPath, segB[1:]...)
 	}
-	for sw := range claimed {
+	for _, sw := range cv.claimed {
 		used[sw] = true
 	}
-	return &diamond{anchors: anchors, initPath: initPath, finalPath: finalPath}, true
+	return &diamond{
+		anchors:   append([]int(nil), anchors...),
+		initPath:  append([]int(nil), initPath...),
+		finalPath: append([]int(nil), finalPath...),
+	}, true
 }
 
 // InfeasibleOptions parameterizes the double-diamond generator for the

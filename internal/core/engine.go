@@ -105,6 +105,16 @@ type engine struct {
 	deadline    time.Time
 	hasDeadline bool
 
+	// Wait-removal scratch (see waits.go): epoch-stamped BFS marks, the
+	// BFS queue/start buffers, and the class-output comparison buffers.
+	// Private per engine, so parallel workers never contend.
+	bfsSeen   []int32
+	bfsEpoch  int32
+	bfsQueue  []int
+	startsBuf []int
+	actsA     []network.Action
+	actsB     []network.Action
+
 	stats Stats
 }
 
@@ -439,6 +449,10 @@ func (e *engine) collectCheckerStats() {
 	for _, c := range e.checkers {
 		s := c.Stats()
 		e.stats.StatesLabeled += s.StatesLabeled
+		e.stats.Relabels += s.Relabels
+		e.stats.LabelsInterned += s.LabelsInterned
+		e.stats.ExtendHits += s.ExtendHits
+		e.stats.ExtendMisses += s.ExtendMisses
 	}
 }
 

@@ -126,6 +126,10 @@ type Stats struct {
 	Units           int  // update units (switches or rules)
 	Checks          int  // model-checker calls
 	StatesLabeled   int  // checker work units
+	Relabels        int  // incremental label recomputations that changed a label
+	LabelsInterned  int  // distinct label sets interned by the labeling checkers
+	ExtendHits      int  // closure-extension memo hits
+	ExtendMisses    int  // closure-extension memo misses
 	CexLearned      int  // counterexamples learned
 	WrongPruned     int  // candidate configs pruned by W
 	VisitedPruned   int  // candidate configs pruned by V

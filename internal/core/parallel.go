@@ -282,7 +282,12 @@ func (e *engine) mergeWorkerStats(w *engine) {
 		e.stats.EarlyTerminate = true
 	}
 	for _, c := range w.checkers {
-		e.stats.StatesLabeled += c.Stats().StatesLabeled
+		s := c.Stats()
+		e.stats.StatesLabeled += s.StatesLabeled
+		e.stats.Relabels += s.Relabels
+		e.stats.LabelsInterned += s.LabelsInterned
+		e.stats.ExtendHits += s.ExtendHits
+		e.stats.ExtendMisses += s.ExtendMisses
 	}
 }
 

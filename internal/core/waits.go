@@ -63,13 +63,14 @@ func (e *engine) waitNeeded(cur *config.Config, pending []oldEntry, s int, affec
 			continue
 		}
 		pkt := cs.Class.Packet()
-		var starts []int
+		starts := e.startsBuf[:0]
 		for _, p := range pending {
 			if !p.affected[ci] {
 				continue
 			}
-			starts = append(starts, e.classSuccessors(p.tbl, p.sw, pkt)...)
+			starts = e.appendClassSuccessors(starts, p.tbl, p.sw, pkt)
 		}
+		e.startsBuf = starts[:0]
 		if len(starts) == 0 {
 			continue
 		}
@@ -88,33 +89,43 @@ func (e *engine) affectedClasses(old, new network.Table) []bool {
 	out := make([]bool, len(e.sc.Specs))
 	for ci, cs := range e.sc.Specs {
 		pkt := cs.Class.Packet()
-		out[ci] = !sameClassBehavior(old, new, pkt)
+		out[ci] = !e.sameClassBehavior(old, new, pkt)
 	}
 	return out
 }
 
-func sameClassBehavior(a, b network.Table, pkt network.Packet) bool {
-	oa, oka := classOutputs(a, pkt)
-	ob, okb := classOutputs(b, pkt)
+func (e *engine) sameClassBehavior(a, b network.Table, pkt network.Packet) bool {
+	oa, oka := classOutputs(e.actsA[:0], a, pkt)
+	ob, okb := classOutputs(e.actsB[:0], b, pkt)
+	e.actsA, e.actsB = oa[:0], ob[:0]
 	if !oka || !okb {
 		return false // in-port-sensitive rules: assume changed
 	}
 	if len(oa) != len(ob) {
 		return false
 	}
-	for p := range oa {
-		if !ob[p] {
+	for _, x := range oa {
+		if !containsAction(ob, x) {
 			return false
 		}
 	}
 	return true
 }
 
-// classOutputs collects the output ports of the best-priority rules
-// matching the class packet, ignoring in-ports; ok is false when a
-// matching rule is in-port-constrained (behavior then depends on the
-// arrival port and cannot be summarized).
-func classOutputs(t network.Table, pkt network.Packet) (map[network.Action]bool, bool) {
+func containsAction(as []network.Action, a network.Action) bool {
+	for _, x := range as {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// classOutputs collects (into dst, deduplicated) the output ports of the
+// best-priority rules matching the class packet, ignoring in-ports; ok is
+// false when a matching rule is in-port-constrained (behavior then
+// depends on the arrival port and cannot be summarized).
+func classOutputs(dst []network.Action, t network.Table, pkt network.Packet) ([]network.Action, bool) {
 	best := -1 << 31
 	found := false
 	for _, r := range t {
@@ -122,27 +133,28 @@ func classOutputs(t network.Table, pkt network.Packet) (map[network.Action]bool,
 			continue
 		}
 		if r.Match.InPort != 0 {
-			return nil, false
+			return dst, false
 		}
 		if r.Priority > best {
 			best = r.Priority
 		}
 		found = true
 	}
-	out := map[network.Action]bool{}
 	if !found {
-		return out, true // drop in both tables compares equal
+		return dst, true // drop in both tables compares equal
 	}
 	for _, r := range t {
 		if r.Priority == best && headerMatches(r.Match, pkt) {
 			for _, a := range r.Actions {
-				out[a] = true
+				if !containsAction(dst, a) {
+					dst = append(dst, a)
+				}
 			}
 			// Deterministic tie-break uses the first matching rule only.
 			break
 		}
 	}
-	return out, true
+	return dst, true
 }
 
 func anyTrue(bs []bool) bool {
@@ -154,16 +166,28 @@ func anyTrue(bs []bool) bool {
 	return false
 }
 
+// bfsReset starts a fresh generation of the wait-removal BFS scratch
+// (epoch-stamped visited marks plus a reusable queue), so the per-step
+// reachability queries of removeWaits allocate nothing in steady state.
+func (e *engine) bfsReset() {
+	n := e.sc.Topo.NumSwitches()
+	if len(e.bfsSeen) < n {
+		e.bfsSeen = make([]int32, n)
+		e.bfsEpoch = 0
+	}
+	e.bfsEpoch++
+	if e.bfsEpoch == 1<<31-1 {
+		clear(e.bfsSeen)
+		e.bfsEpoch = 1
+	}
+}
+
 // liveSinceWait reports whether packets of some class could have reached
 // switch sw at any point since the last retained wait. The reachability
 // query runs from each class's ingress over the union of the current
 // configuration's edges and the pre-update edges of every switch updated
 // in the window — a superset of every configuration the window contained.
 func (e *engine) liveSinceWait(cur *config.Config, pending []oldEntry, sw int) bool {
-	oldTbl := map[int]network.Table{}
-	for _, p := range pending {
-		oldTbl[p.sw] = p.tbl
-	}
 	for _, cs := range e.sc.Specs {
 		pkt := cs.Class.Packet()
 		src, ok := e.sc.Topo.HostByID(cs.Class.SrcHost)
@@ -173,52 +197,63 @@ func (e *engine) liveSinceWait(cur *config.Config, pending []oldEntry, sw int) b
 		if src.Switch == sw {
 			return true // ingress switches always see fresh packets
 		}
-		seen := map[int]bool{}
-		queue := []int{src.Switch}
+		e.bfsReset()
+		queue := append(e.bfsQueue[:0], src.Switch)
 		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
 			if v == sw {
+				e.bfsQueue = queue[:0]
 				return true
 			}
-			if seen[v] {
+			if e.bfsSeen[v] == e.bfsEpoch {
 				continue
 			}
-			seen[v] = true
-			queue = append(queue, e.classSuccessors(cur.Table(v), v, pkt)...)
-			if old, ok := oldTbl[v]; ok {
-				queue = append(queue, e.classSuccessors(old, v, pkt)...)
+			e.bfsSeen[v] = e.bfsEpoch
+			queue = e.appendClassSuccessors(queue, cur.Table(v), v, pkt)
+			// Union in every pre-update table recorded for v: at rule
+			// granularity a switch can appear in pending more than once,
+			// and each window table may have forwarded packets.
+			for _, p := range pending {
+				if p.sw == v {
+					queue = e.appendClassSuccessors(queue, p.tbl, v, pkt)
+				}
 			}
 		}
+		e.bfsQueue = queue[:0]
 	}
 	return false
 }
 
-// reaches runs BFS over the class's switch-level forwarding graph under
-// configuration cur, from the given start switches, looking for target.
+// reaches runs a reachability search over the class's switch-level
+// forwarding graph under configuration cur, from the given start
+// switches, looking for target.
 func (e *engine) reaches(cur *config.Config, pkt network.Packet, starts []int, target int) bool {
-	seen := map[int]bool{}
-	queue := append([]int(nil), starts...)
+	e.bfsReset()
+	queue := append(e.bfsQueue[:0], starts...)
+	found := false
 	for len(queue) > 0 {
-		sw := queue[0]
-		queue = queue[1:]
+		sw := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
 		if sw == target {
-			return true
+			found = true
+			break
 		}
-		if seen[sw] {
+		if e.bfsSeen[sw] == e.bfsEpoch {
 			continue
 		}
-		seen[sw] = true
-		queue = append(queue, e.classSuccessors(cur.Table(sw), sw, pkt)...)
+		e.bfsSeen[sw] = e.bfsEpoch
+		queue = e.appendClassSuccessors(queue, cur.Table(sw), sw, pkt)
 	}
-	return false
+	e.bfsQueue = queue[:0]
+	return found
 }
 
-// classSuccessors over-approximates the switches a class packet can be
-// forwarded to by the given table on switch sw (in-port constraints are
-// ignored, which only keeps more waits — a safe direction).
-func (e *engine) classSuccessors(tbl network.Table, sw int, pkt network.Packet) []int {
-	var out []int
+// appendClassSuccessors over-approximates the switches a class packet can
+// be forwarded to by the given table on switch sw (in-port constraints
+// are ignored, which only keeps more waits — a safe direction), appending
+// them to dst.
+func (e *engine) appendClassSuccessors(dst []int, tbl network.Table, sw int, pkt network.Packet) []int {
 	for _, r := range tbl {
 		if !headerMatches(r.Match, pkt) {
 			continue
@@ -228,11 +263,11 @@ func (e *engine) classSuccessors(tbl network.Table, sw int, pkt network.Packet) 
 				continue
 			}
 			if l, ok := e.sc.Topo.LinkAt(sw, a.Port); ok {
-				out = append(out, l.Peer)
+				dst = append(dst, l.Peer)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // headerMatches tests a pattern against a packet ignoring the in-port.

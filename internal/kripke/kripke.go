@@ -73,18 +73,31 @@ type K struct {
 	statesOf map[int][]int
 	// tables holds the current forwarding table of each switch.
 	tables map[int]network.Table
+	// outBuf is recomputeSwitch's reusable table-application buffer;
+	// private per structure (clones start fresh).
+	outBuf []network.PortPacket
 }
 
 // Build constructs the Kripke structure of class cl under cfg. It returns
 // *ErrLoop if the configuration forwards the class in a cycle.
 func Build(topo *topology.Topology, cfg *config.Config, cl config.Class) (*K, error) {
+	// The state count is known up front: one arrival state per (switch,
+	// port) plus one egress state per host. Pre-sizing avoids the append
+	// regrowth that otherwise dominates Build's allocation profile.
+	est := 0
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		est += len(topo.Ports(sw)) + len(topo.HostsOn(sw))
+	}
 	k := &K{
 		Class:    cl,
 		Topo:     topo,
-		index:    map[State]int{},
-		statesOf: map[int][]int{},
-		tables:   map[int]network.Table{},
+		index:    make(map[State]int, est),
+		statesOf: make(map[int][]int, topo.NumSwitches()),
+		tables:   make(map[int]network.Table, topo.NumSwitches()),
 	}
+	k.states = make([]State, 0, est)
+	k.succ = make([][]int, 0, est)
+	k.pred = make([][]int, 0, est)
 	addState := func(s State) int {
 		if id, ok := k.index[s]; ok {
 			return id
@@ -102,6 +115,7 @@ func Build(topo *topology.Topology, cfg *config.Config, cl config.Class) (*K, er
 	// Fixed state space: one arrival state per (switch, port), one egress
 	// state per host-facing port.
 	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		k.statesOf[sw] = make([]int, 0, len(topo.Ports(sw)))
 		for _, pt := range topo.Ports(sw) {
 			addState(State{Kind: Arrival, Sw: sw, Pt: pt})
 		}
@@ -163,7 +177,8 @@ func (k *K) recomputeSwitch(sw int) error {
 	for _, id := range k.statesOf[sw] {
 		st := k.states[id]
 		var next []int
-		outs := tbl.Apply(pkt, st.Pt)
+		outs := tbl.AppendApply(k.outBuf[:0], pkt, st.Pt)
+		k.outBuf = outs[:0]
 		for _, o := range outs {
 			if o.Pkt != pkt {
 				return fmt.Errorf("kripke: class %v: rule on sw%d modifies packet headers", k.Class, sw)
@@ -209,11 +224,17 @@ func removeOne(xs []int, v int) []int {
 }
 
 // Delta describes an applied update: the states whose outgoing transitions
-// changed, with enough information to revert.
+// changed, with enough information to revert and to re-apply. The state
+// ids and the old/new successor lists are parallel slices, so consumers
+// iterate the changed region without allocating and in a deterministic
+// order (the switch's arrival-state order).
 type Delta struct {
 	Switch   int
 	oldTable network.Table
-	oldSucc  map[int][]int
+	newTable network.Table
+	ids      []int   // changed state ids (aliases statesOf; do not mutate)
+	oldSucc  [][]int // successor lists before the update
+	newSucc  [][]int // successor lists after the update (nil on error paths)
 }
 
 // OldTable returns the table that was installed on the switch before the
@@ -221,13 +242,8 @@ type Delta struct {
 func (d *Delta) OldTable() network.Table { return d.oldTable }
 
 // Changed returns the ids of states whose transition function changed.
-func (d *Delta) Changed() []int {
-	out := make([]int, 0, len(d.oldSucc))
-	for id := range d.oldSucc {
-		out = append(out, id)
-	}
-	return out
-}
+// The slice is shared and must not be mutated.
+func (d *Delta) Changed() []int { return d.ids }
 
 // UpdateSwitch installs tbl on sw, rewiring transitions. It returns the
 // delta for incremental re-checking and reverting. If the new structure
@@ -235,9 +251,16 @@ func (d *Delta) Changed() []int {
 // *ErrLoop is returned alongside the delta: callers treat the
 // configuration as wrong, learn from the cycle, and revert.
 func (k *K) UpdateSwitch(sw int, tbl network.Table) (*Delta, error) {
-	d := &Delta{Switch: sw, oldTable: k.tables[sw], oldSucc: map[int][]int{}}
-	for _, id := range k.statesOf[sw] {
-		d.oldSucc[id] = k.succ[id]
+	ids := k.statesOf[sw]
+	d := &Delta{
+		Switch:   sw,
+		oldTable: k.tables[sw],
+		newTable: tbl,
+		ids:      ids,
+		oldSucc:  make([][]int, len(ids)),
+	}
+	for i, id := range ids {
+		d.oldSucc[i] = k.succ[id]
 	}
 	k.tables[sw] = tbl
 	if err := k.recomputeSwitch(sw); err != nil {
@@ -245,8 +268,12 @@ func (k *K) UpdateSwitch(sw int, tbl network.Table) (*Delta, error) {
 		k.Revert(d)
 		return nil, err
 	}
+	d.newSucc = make([][]int, len(ids))
+	for i, id := range ids {
+		d.newSucc[i] = k.succ[id]
+	}
 	// A new cycle must pass through a rewired state.
-	if cyc := k.findCycle(k.statesOf[sw]); cyc != nil {
+	if cyc := k.findCycle(ids); cyc != nil {
 		return d, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc)}
 	}
 	return d, nil
@@ -255,8 +282,22 @@ func (k *K) UpdateSwitch(sw int, tbl network.Table) (*Delta, error) {
 // Revert undoes an update returned by UpdateSwitch.
 func (k *K) Revert(d *Delta) {
 	k.tables[d.Switch] = d.oldTable
-	for id, old := range d.oldSucc {
-		k.setSucc(id, old)
+	for i, id := range d.ids {
+		k.setSucc(id, d.oldSucc[i])
+	}
+}
+
+// Reapply re-installs a previously applied-and-reverted delta without
+// recomputing the forwarding semantics or allocating: the recorded
+// successor lists are swapped back in wholesale. The delta must have been
+// produced by UpdateSwitch on this structure (or a clone at the same
+// table state) and the structure must currently be at the delta's
+// pre-update state. Benchmarks use it to measure steady-state checker
+// cycles in isolation.
+func (k *K) Reapply(d *Delta) {
+	k.tables[d.Switch] = d.newTable
+	for i, id := range d.ids {
+		k.setSucc(id, d.newSucc[i])
 	}
 }
 

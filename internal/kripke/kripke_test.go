@@ -137,6 +137,52 @@ func TestUpdateSwitchAndRevert(t *testing.T) {
 	}
 }
 
+// TestReapply checks that a reverted delta can be re-installed wholesale:
+// Reapply must reproduce exactly the post-update transitions (succ and
+// pred) without recomputing the forwarding semantics.
+func TestReapply(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotSuccs(k)
+	delta, err := k.UpdateSwitch(1, nil) // sw1 now drops
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := snapshotSuccs(k)
+	for cycle := 0; cycle < 3; cycle++ {
+		k.Revert(delta)
+		if !succsEqual(before, snapshotSuccs(k)) {
+			t.Fatalf("cycle %d: revert did not restore transitions", cycle)
+		}
+		k.Reapply(delta)
+		if !succsEqual(after, snapshotSuccs(k)) {
+			t.Fatalf("cycle %d: reapply did not reproduce the update", cycle)
+		}
+		// pred must stay consistent with succ throughout.
+		for id := 0; id < k.NumStates(); id++ {
+			for _, s := range k.Succ(id) {
+				found := false
+				for _, p := range k.Pred(s) {
+					if p == id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("cycle %d: pred[%d] missing %d", cycle, s, id)
+				}
+			}
+		}
+	}
+	if k.Table(1) != nil {
+		t.Fatalf("reapply did not install the new table")
+	}
+	k.Revert(delta)
+}
+
 func TestUpdateDetectsLoop(t *testing.T) {
 	topo, cfg, cl := lineScene()
 	k, err := Build(topo, cfg, cl)

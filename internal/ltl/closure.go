@@ -45,6 +45,24 @@ func (v Valuation) Less(w Valuation) bool {
 	return v[0] < w[0]
 }
 
+// Compare orders valuations consistently with Less, returning -1, 0, or +1.
+// It is the comparison function for allocation-free sorts of label sets.
+func (v Valuation) Compare(w Valuation) int {
+	if v[1] != w[1] {
+		if v[1] < w[1] {
+			return -1
+		}
+		return 1
+	}
+	if v[0] != w[0] {
+		if v[0] < w[0] {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // Closure is the extended closure ecl(phi) of an NNF formula phi, indexed so
 // that every subformula has an integer id and children precede parents.
 // Negations of subformulas are represented implicitly: a maximally-

@@ -49,10 +49,19 @@ type Checker interface {
 	Stats() Stats
 }
 
-// Stats counts the work a checker has performed.
+// Stats counts the work a checker has performed. The labeling backends
+// additionally report allocation and relabeling counters: LabelsInterned
+// is the number of distinct label sets this checker added to its intern
+// table (the only steady-state source of label allocations), and the
+// Extend counters expose the hit rate of the per-state closure-extension
+// memo.
 type Stats struct {
-	Checks        int // model-checking calls
-	StatesLabeled int // state (re)labelings performed
+	Checks         int // model-checking calls
+	StatesLabeled  int // state (re)labelings performed
+	Relabels       int // incremental label recomputations that changed a label
+	LabelsInterned int // distinct label sets added to the intern table
+	ExtendHits     int // closure-extension memo hits
+	ExtendMisses   int // closure-extension memo misses (full Extend runs)
 }
 
 // Factory constructs a checker for a structure/formula pair; the synthesis

@@ -1,7 +1,7 @@
 package mc
 
 import (
-	"sort"
+	"math"
 
 	"netupdate/internal/kripke"
 	"netupdate/internal/ltl"
@@ -16,10 +16,31 @@ import (
 // incrementally, so a whole Update costs O(|ancestors(U)| * 2^|phi|).
 // Each Update returns an undo token so the synthesis search can backtrack
 // cheaply.
+//
+// The per-update scratch state (region membership, DFS visited marks,
+// dirty flags) lives in epoch-stamped int32 arrays sized to NumStates():
+// bumping the epoch invalidates all three sets in O(1), and undo tokens
+// come from a per-checker freelist, so steady-state Update/Revert cycles
+// perform zero heap allocations (see BenchmarkIncrementalSteadyState).
 type Incremental struct {
 	*labeler
-	isInit  map[int]bool
-	badInit map[int]bool // initial states whose label refutes the spec
+	isInit   []bool // immutable after construction; shared with clones
+	badInit  []bool // initial states whose label refutes the spec
+	badCount int
+	// minBad is the smallest violating initial state (-1 if none),
+	// maintained incrementally so Check never rebuilds or sorts the
+	// violating set.
+	minBad int
+
+	epoch    int32
+	memberE  []int32 // stamp == epoch: state is in the ancestor region
+	visitedE []int32 // stamp == epoch: state visited by the region DFS
+	dirtyE   []int32 // stamp == epoch: state's label changed this update
+
+	members []int
+	stack   []int
+
+	freeToks []*incrToken
 }
 
 // NewIncremental builds the incremental checker and performs the initial
@@ -30,23 +51,66 @@ func NewIncremental(k *kripke.K, spec *ltl.Formula) (Checker, error) {
 		return nil, err
 	}
 	l.relabelAll()
-	c := &Incremental{labeler: l, isInit: map[int]bool{}, badInit: map[int]bool{}}
+	n := k.NumStates()
+	c := &Incremental{
+		labeler:  l,
+		isInit:   make([]bool, n),
+		badInit:  make([]bool, n),
+		minBad:   -1,
+		memberE:  make([]int32, n),
+		visitedE: make([]int32, n),
+		dirtyE:   make([]int32, n),
+	}
 	for _, q0 := range k.Init() {
 		c.isInit[q0] = true
 		if c.initViolates(q0) {
-			c.badInit[q0] = true
+			c.markBad(q0)
 		}
 	}
 	return c, nil
 }
 
 func (c *Incremental) initViolates(q0 int) bool {
-	for _, v := range c.label[q0] {
+	for _, v := range c.tab.Label(c.label[q0]) {
 		if !c.clo.Holds(v) {
 			return true
 		}
 	}
 	return false
+}
+
+// markBad records initial state q as violating, maintaining the minimum.
+func (c *Incremental) markBad(q int) {
+	if c.badInit[q] {
+		return
+	}
+	c.badInit[q] = true
+	c.badCount++
+	if c.minBad < 0 || q < c.minBad {
+		c.minBad = q
+	}
+}
+
+// unmarkBad clears initial state q, re-deriving the minimum only when the
+// minimum itself was cleared (a scan over the fixed initial-state list).
+func (c *Incremental) unmarkBad(q int) {
+	if !c.badInit[q] {
+		return
+	}
+	c.badInit[q] = false
+	c.badCount--
+	if q != c.minBad {
+		return
+	}
+	c.minBad = -1
+	if c.badCount == 0 {
+		return
+	}
+	for _, q0 := range c.k.Init() {
+		if c.badInit[q0] && (c.minBad < 0 || q0 < c.minBad) {
+			c.minBad = q0
+		}
+	}
 }
 
 // Name implements Checker.
@@ -57,18 +121,14 @@ func (c *Incremental) Name() string { return "incremental" }
 // counterexample extraction on failure.
 func (c *Incremental) Check() Verdict {
 	c.stats.Checks++
-	if len(c.badInit) == 0 {
+	if c.badCount == 0 {
 		return trueVerdict()
 	}
 	// Deterministic counterexample choice: smallest violating initial
-	// state, first violating valuation in label order.
-	bad := make([]int, 0, len(c.badInit))
-	for q0 := range c.badInit {
-		bad = append(bad, q0)
-	}
-	sortInts(bad)
-	q0 := bad[0]
-	for _, v := range c.label[q0] {
+	// state (maintained in minBad), first violating valuation in label
+	// order.
+	q0 := c.minBad
+	for _, v := range c.tab.Label(c.label[q0]) {
 		if !c.clo.Holds(v) {
 			return Verdict{OK: false, Cex: c.extractCex(q0, v), HasCex: true}
 		}
@@ -77,73 +137,135 @@ func (c *Incremental) Check() Verdict {
 	panic("mc: inconsistent violating-initial-state set")
 }
 
+// labelUndo records one overwritten label.
+type labelUndo struct {
+	state int
+	old   LabelID
+}
+
+// badUndo records one touched initial state's previous violation flag.
+type badUndo struct {
+	state  int
+	wasBad bool
+}
+
 // incrToken records the labels and violation flags overwritten by one
-// Update.
+// Update. Tokens are pooled on the checker's freelist: Revert returns
+// them, so steady-state backtracking allocates nothing.
 type incrToken struct {
-	old     map[int][]ltl.Valuation
-	badPrev map[int]bool // previous membership in badInit for touched inits
+	old     []labelUndo
+	badPrev []badUndo
+}
+
+func (c *Incremental) getToken() *incrToken {
+	if n := len(c.freeToks); n > 0 {
+		t := c.freeToks[n-1]
+		c.freeToks = c.freeToks[:n-1]
+		t.old = t.old[:0]
+		t.badPrev = t.badPrev[:0]
+		return t
+	}
+	return &incrToken{}
+}
+
+// bumpEpoch starts a fresh member/visited/dirty generation. On the (in
+// practice unreachable) wraparound the arrays are cleared so stale stamps
+// can never collide with a new epoch.
+func (c *Incremental) bumpEpoch() {
+	c.epoch++
+	if c.epoch == math.MaxInt32 {
+		clear(c.memberE)
+		clear(c.visitedE)
+		clear(c.dirtyE)
+		c.epoch = 1
+	}
 }
 
 // Update implements Checker: relabel the ancestors of the changed states.
 func (c *Incremental) Update(delta *kripke.Delta) (Verdict, Token) {
 	changed := delta.Changed()
-	tok := &incrToken{old: map[int][]ltl.Valuation{}, badPrev: map[int]bool{}}
+	tok := c.getToken()
+	c.bumpEpoch()
 
 	// Phase 1: collect the ancestors of the changed states (including
 	// them) — the only states whose labels may differ. Work is bounded by
 	// the size of the ancestor region.
-	member := make(map[int]bool, 2*len(changed))
-	stack := append([]int(nil), changed...)
+	members := c.members[:0]
+	stack := c.stack[:0]
 	for _, v := range changed {
-		member[v] = true
+		if c.memberE[v] != c.epoch {
+			c.memberE[v] = c.epoch
+			members = append(members, v)
+			stack = append(stack, v)
+		}
 	}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, p := range c.k.Pred(v) {
-			if !member[p] {
-				member[p] = true
+			if c.memberE[p] != c.epoch {
+				c.memberE[p] = c.epoch
+				members = append(members, p)
 				stack = append(stack, p)
 			}
 		}
 	}
+	c.members = members
+	c.stack = stack[:0]
 
 	// Phase 2: order the region children-first (postorder over successor
-	// edges restricted to the region).
-	order := make([]int, 0, len(member))
-	visited := make(map[int]bool, len(member))
-	var dfs func(v int)
-	dfs = func(v int) {
-		visited[v] = true
-		for _, u := range c.k.Succ(v) {
-			if member[u] && !visited[u] {
-				dfs(u)
-			}
+	// edges restricted to the region), iteratively with an explicit stack
+	// so deep structures cannot overflow the goroutine stack.
+	order := c.orderBuf[:0]
+	frames := c.frames[:0]
+	visit := func(root int) {
+		if c.visitedE[root] == c.epoch {
+			return
 		}
-		order = append(order, v)
+		c.visitedE[root] = c.epoch
+		frames = append(frames, pframe{root, 0})
+		for len(frames) > 0 {
+			fi := len(frames) - 1
+			v, i := frames[fi].v, frames[fi].i
+			succ := c.k.Succ(v)
+			pushed := false
+			for i < len(succ) {
+				u := succ[i]
+				i++
+				if c.memberE[u] == c.epoch && c.visitedE[u] != c.epoch {
+					frames[fi].i = i
+					c.visitedE[u] = c.epoch
+					frames = append(frames, pframe{u, 0})
+					pushed = true
+					break
+				}
+			}
+			if pushed {
+				continue
+			}
+			order = append(order, v)
+			frames = frames[:fi]
+		}
 	}
 	for _, v := range changed {
-		if !visited[v] {
-			dfs(v)
-		}
+		visit(v)
 	}
-	for v := range member {
-		if !visited[v] {
-			dfs(v)
-		}
+	for _, v := range members {
+		visit(v)
 	}
+	c.orderBuf = order
+	c.frames = frames[:0]
 
 	// Phase 3: recompute labels children-first, stopping propagation when
 	// a label is unchanged (the paper's early-stopping optimization).
-	dirty := make(map[int]bool, len(changed))
 	for _, v := range changed {
-		dirty[v] = true
+		c.dirtyE[v] = c.epoch
 	}
 	for _, v := range order {
-		need := dirty[v]
+		need := c.dirtyE[v] == c.epoch
 		if !need {
 			for _, s := range c.k.Succ(v) {
-				if dirty[s] {
+				if c.dirtyE[s] == c.epoch {
 					need = true
 					break
 				}
@@ -153,71 +275,70 @@ func (c *Incremental) Update(delta *kripke.Delta) (Verdict, Token) {
 			continue
 		}
 		nl := c.computeLabel(v)
-		if labelsEqual(nl, c.label[v]) {
-			dirty[v] = false
+		if nl == c.label[v] {
+			c.dirtyE[v] = 0 // epoch starts at 1, so 0 is never current
 			continue
 		}
-		tok.old[v] = c.label[v]
+		tok.old = append(tok.old, labelUndo{state: v, old: c.label[v]})
 		c.label[v] = nl
-		dirty[v] = true
+		c.dirtyE[v] = c.epoch
+		c.stats.Relabels++
 		if c.isInit[v] {
-			if _, seen := tok.badPrev[v]; !seen {
-				tok.badPrev[v] = c.badInit[v]
-			}
+			// Each state appears at most once in the postorder, so one
+			// undo entry per touched initial state suffices.
+			tok.badPrev = append(tok.badPrev, badUndo{state: v, wasBad: c.badInit[v]})
 			if c.initViolates(v) {
-				c.badInit[v] = true
+				c.markBad(v)
 			} else {
-				delete(c.badInit, v)
+				c.unmarkBad(v)
 			}
 		}
 	}
 	return c.Check(), tok
 }
 
-// Revert implements Checker.
+// Revert implements Checker. The token is returned to the checker's
+// freelist and must not be reused by the caller.
 func (c *Incremental) Revert(t Token) {
 	tok := t.(*incrToken)
-	for id, old := range tok.old {
-		c.label[id] = old
+	for i := len(tok.old) - 1; i >= 0; i-- {
+		u := tok.old[i]
+		c.label[u.state] = u.old
 	}
-	for id, wasBad := range tok.badPrev {
-		if wasBad {
-			c.badInit[id] = true
+	for i := len(tok.badPrev) - 1; i >= 0; i-- {
+		u := tok.badPrev[i]
+		if u.wasBad {
+			c.markBad(u.state)
 		} else {
-			delete(c.badInit, id)
+			c.unmarkBad(u.state)
 		}
 	}
+	c.freeToks = append(c.freeToks, tok)
 }
 
 // Stats implements Checker.
 func (c *Incremental) Stats() Stats { return c.stats }
 
 // CloneFor implements Cloneable: the clone inherits the current labeling
-// (label slices are replaced, never mutated in place, so sharing the inner
-// slices is safe) and the violating-initial bookkeeping, skipping the full
-// relabel a fresh NewIncremental would perform.
+// (an outer slice of IDs over the shared intern table) and the
+// violating-initial bookkeeping, skipping the full relabel a fresh
+// NewIncremental would perform. Epoch scratch, the Extend memo, and the
+// token freelist are per-checker and start fresh.
 func (c *Incremental) CloneFor(k2 *kripke.K) (Checker, error) {
-	n := &Incremental{
-		labeler: c.labeler.cloneFor(k2),
-		isInit:  make(map[int]bool, len(c.isInit)),
-		badInit: make(map[int]bool, len(c.badInit)),
-	}
-	for id := range c.isInit {
-		n.isInit[id] = true
-	}
-	for id := range c.badInit {
-		n.badInit[id] = true
-	}
-	return n, nil
+	n := k2.NumStates()
+	return &Incremental{
+		labeler:  c.labeler.cloneFor(k2),
+		isInit:   c.isInit, // never mutated after construction
+		badInit:  append([]bool(nil), c.badInit...),
+		badCount: c.badCount,
+		minBad:   c.minBad,
+		memberE:  make([]int32, n),
+		visitedE: make([]int32, n),
+		dirtyE:   make([]int32, n),
+	}, nil
 }
 
 var (
 	_ Checker   = (*Incremental)(nil)
 	_ Cloneable = (*Incremental)(nil)
 )
-
-// Labels exposes the label of a state for tests.
-func (c *Incremental) Labels(id int) []ltl.Valuation { return c.label[id] }
-
-// sortInts is a tiny helper kept for deterministic debugging output.
-func sortInts(xs []int) { sort.Ints(xs) }

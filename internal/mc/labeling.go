@@ -1,7 +1,7 @@
 package mc
 
 import (
-	"sort"
+	"slices"
 
 	"netupdate/internal/kripke"
 	"netupdate/internal/ltl"
@@ -10,107 +10,211 @@ import (
 // labeler holds the shared state-labeling machinery (Section 5.1): each
 // state is labeled with the set of valuations (maximally-consistent
 // subsets of ecl(phi)) witnessed by some trace from that state. Labels are
-// kept as sorted slices so that equality comparison — the incremental
-// algorithm's stopping condition — is cheap.
+// interned in a LabelTable shared with every clone, so the per-state label
+// is a dense LabelID and equality comparison — the incremental algorithm's
+// stopping condition — is an integer compare.
 type labeler struct {
 	k     *kripke.K
 	clo   *ltl.Closure
-	atoms []ltl.Valuation   // per-state truth of atomic subformulas (fixed)
-	label [][]ltl.Valuation // per-state sorted label
+	atoms []ltl.Valuation // per-state truth of atomic subformulas (fixed)
+	tab   *LabelTable     // shared intern table (concurrency-safe)
+	label []LabelID       // per-state interned label, noLabel if unset
+
+	// sinkLab caches the interned label of state id when it is a sink.
+	// Sink labels depend only on atoms[id], which never changes, so the
+	// entry stays valid even as updates turn states into sinks and back.
+	sinkLab []LabelID
+
+	// extCache memoizes Closure.Extend per state: atoms[id] is fixed for
+	// the checker's lifetime, so Extend(atoms[id], v) is a function of v
+	// alone, and the incremental checker evaluates the same pairs
+	// thousands of times across the DFS. Maps are created lazily and are
+	// private to this checker (clones get fresh caches — see DESIGN.md).
+	extCache []map[ltl.Valuation]ltl.Valuation
+
+	// scratch is the reusable buffer computeLabel merges successor labels
+	// into before interning; it makes the steady-state hot path
+	// allocation-free. Not safe for concurrent use — per-checker only.
+	scratch  []ltl.Valuation
+	frames   []pframe
+	orderBuf []int
+
 	stats Stats
 }
+
+// stateEnv adapts kripke.K.HoldsAt to ltl.Env with a single mutable
+// receiver, so the per-state atom valuation sweep in newLabeler performs
+// one allocation instead of one closure per state.
+type stateEnv struct {
+	k  *kripke.K
+	id int
+}
+
+func (e *stateEnv) Holds(p ltl.Prop) bool { return e.k.HoldsAt(e.id, p) }
 
 func newLabeler(k *kripke.K, spec *ltl.Formula) (*labeler, error) {
 	clo, err := ltl.NewClosure(spec)
 	if err != nil {
 		return nil, err
 	}
-	l := &labeler{k: k, clo: clo}
-	l.atoms = make([]ltl.Valuation, k.NumStates())
-	for id := 0; id < k.NumStates(); id++ {
-		l.atoms[id] = clo.AtomValuation(k.Env(id))
+	n := k.NumStates()
+	l := &labeler{k: k, clo: clo, tab: NewLabelTable()}
+	l.atoms = make([]ltl.Valuation, n)
+	env := &stateEnv{k: k}
+	for id := 0; id < n; id++ {
+		env.id = id
+		l.atoms[id] = clo.AtomValuation(env)
 	}
-	l.label = make([][]ltl.Valuation, k.NumStates())
+	l.label = make([]LabelID, n)
+	l.sinkLab = make([]LabelID, n)
+	for id := 0; id < n; id++ {
+		l.label[id] = noLabel
+		l.sinkLab[id] = noLabel
+	}
+	l.extCache = make([]map[ltl.Valuation]ltl.Valuation, n)
 	return l, nil
 }
 
-// cloneFor copies the labeler onto a clone of its structure. The closure
-// and the atom valuations are immutable and shared; the label table's
-// outer slice is copied (entries are replaced wholesale on relabel, so the
-// inner slices can be shared safely).
+// cloneFor copies the labeler onto a clone of its structure. The closure,
+// the atom valuations, and the intern table are shared (the table is
+// concurrency-safe and label sets are structure-independent); the label
+// array is copied so the clone relabels independently. Scratch state — the
+// merge buffer, DFS frames, and the Extend memo — is private per checker
+// and starts fresh.
 func (l *labeler) cloneFor(k2 *kripke.K) *labeler {
 	return &labeler{
-		k:     k2,
-		clo:   l.clo,
-		atoms: l.atoms,
-		label: append([][]ltl.Valuation(nil), l.label...),
+		k:        k2,
+		clo:      l.clo,
+		atoms:    l.atoms,
+		tab:      l.tab,
+		label:    append([]LabelID(nil), l.label...),
+		sinkLab:  append([]LabelID(nil), l.sinkLab...),
+		extCache: make([]map[ltl.Valuation]ltl.Valuation, len(l.extCache)),
 	}
 }
 
-// computeLabel computes the label of state id from its successors' labels,
-// which must already be correct.
-func (l *labeler) computeLabel(id int) []ltl.Valuation {
+// extend computes Extend(atoms[id], v) through the per-state memo.
+func (l *labeler) extend(id int, v ltl.Valuation) ltl.Valuation {
+	m := l.extCache[id]
+	if m == nil {
+		m = make(map[ltl.Valuation]ltl.Valuation, 8)
+		l.extCache[id] = m
+	}
+	if w, ok := m[v]; ok {
+		l.stats.ExtendHits++
+		return w
+	}
+	w := l.clo.Extend(l.atoms[id], v)
+	m[v] = w
+	l.stats.ExtendMisses++
+	return w
+}
+
+// computeLabel computes the interned label of state id from its
+// successors' labels, which must already be correct. In steady state
+// (warm caches, label already interned) it performs no heap allocation.
+func (l *labeler) computeLabel(id int) LabelID {
 	l.stats.StatesLabeled++
 	if l.k.IsSink(id) {
-		return []ltl.Valuation{l.clo.Sink(l.atoms[id])}
+		if l.sinkLab[id] == noLabel {
+			buf := append(l.scratch[:0], l.clo.Sink(l.atoms[id]))
+			l.scratch = buf[:0]
+			sid, fresh := l.tab.Intern(buf)
+			if fresh {
+				l.stats.LabelsInterned++
+			}
+			l.sinkLab[id] = sid
+		}
+		return l.sinkLab[id]
 	}
-	set := map[ltl.Valuation]struct{}{}
+	labels := l.tab.snapshot()
+	buf := l.scratch[:0]
 	for _, s := range l.k.Succ(id) {
-		for _, v := range l.label[s] {
-			set[l.clo.Extend(l.atoms[id], v)] = struct{}{}
+		for _, v := range labels[l.label[s]] {
+			buf = append(buf, l.extend(id, v))
 		}
 	}
-	out := make([]ltl.Valuation, 0, len(set))
-	for v := range set {
-		out = append(out, v)
+	slices.SortFunc(buf, ltl.Valuation.Compare)
+	// Dedup in place: successors frequently share valuations.
+	n := 0
+	for i := range buf {
+		if i == 0 || buf[i] != buf[n-1] {
+			buf[n] = buf[i]
+			n++
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	buf = buf[:n]
+	l.scratch = buf[:0]
+	lid, fresh := l.tab.Intern(buf)
+	if fresh {
+		l.stats.LabelsInterned++
+	}
+	return lid
 }
 
-// postorder returns the states of the sub-DAG induced on member (nil =
-// all states) in DFS postorder over successor edges, so every state
-// appears after all of its in-member successors.
-func (l *labeler) postorder(member []bool) []int {
+// pframe is one frame of the explicit DFS stacks: a state and the index of
+// the next successor to explore.
+type pframe struct {
+	v, i int
+}
+
+// postorder returns all states in DFS postorder over successor edges, so
+// every state appears after all of its successors. The traversal uses an
+// explicit stack so deep WAN/fat-tree structures cannot overflow the
+// goroutine stack; the order and frame buffers are reused across calls.
+func (l *labeler) postorder() []int {
 	n := l.k.NumStates()
 	visited := make([]bool, n)
-	order := make([]int, 0, n)
-	var dfs func(v int)
-	dfs = func(v int) {
-		visited[v] = true
-		for _, u := range l.k.Succ(v) {
-			if (member == nil || member[u]) && !visited[u] {
-				dfs(u)
+	order := l.orderBuf[:0]
+	frames := l.frames[:0]
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		frames = append(frames, pframe{root, 0})
+		for len(frames) > 0 {
+			fi := len(frames) - 1
+			v, i := frames[fi].v, frames[fi].i
+			succ := l.k.Succ(v)
+			pushed := false
+			for i < len(succ) {
+				u := succ[i]
+				i++
+				if !visited[u] {
+					frames[fi].i = i
+					visited[u] = true
+					frames = append(frames, pframe{u, 0})
+					pushed = true
+					break
+				}
 			}
+			if pushed {
+				continue
+			}
+			order = append(order, v)
+			frames = frames[:fi]
 		}
-		order = append(order, v)
 	}
-	for v := 0; v < n; v++ {
-		if (member == nil || member[v]) && !visited[v] {
-			dfs(v)
-		}
-	}
+	l.frames = frames[:0]
+	l.orderBuf = order
 	return order
 }
 
 // relabelAll computes labels for every state from scratch.
 func (l *labeler) relabelAll() {
-	for _, v := range l.postorder(nil) {
+	for _, v := range l.postorder() {
 		l.label[v] = l.computeLabel(v)
 	}
 }
 
-// labelsEqual compares two sorted labels.
-func labelsEqual(a, b []ltl.Valuation) bool {
-	if len(a) != len(b) {
-		return false
+// Labels exposes the decoded label of a state for tests and metamorphic
+// comparisons. The result is shared and must not be mutated.
+func (l *labeler) Labels(id int) []ltl.Valuation {
+	if l.label[id] == noLabel {
+		return nil
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return l.tab.Label(l.label[id])
 }
 
 // verdict checks the initial states against the root formula and extracts
@@ -118,7 +222,7 @@ func labelsEqual(a, b []ltl.Valuation) bool {
 func (l *labeler) verdict() Verdict {
 	l.stats.Checks++
 	for _, q0 := range l.k.Init() {
-		for _, v := range l.label[q0] {
+		for _, v := range l.tab.Label(l.label[q0]) {
 			if !l.clo.Holds(v) {
 				return Verdict{OK: false, Cex: l.extractCex(q0, v), HasCex: true}
 			}
@@ -136,8 +240,8 @@ func (l *labeler) extractCex(q0 int, v ltl.Valuation) []int {
 	for !l.k.IsSink(q) {
 		found := false
 		for _, s := range l.k.Succ(q) {
-			for _, vs := range l.label[s] {
-				if l.clo.Extend(l.atoms[q], vs) == cur {
+			for _, vs := range l.tab.Label(l.label[s]) {
+				if l.extend(q, vs) == cur {
 					trace = append(trace, s)
 					q, cur = s, vs
 					found = true

@@ -254,6 +254,159 @@ func k2Initial(topo *topology.Topology, cfg *config.Config, cl config.Class) *kr
 	return k
 }
 
+// exampleScenarios returns the repository's example scenarios: the Figure
+// 1 variants plus diamond workloads on each topology family.
+func exampleScenarios(t *testing.T) []*config.Scenario {
+	t.Helper()
+	scs := []*config.Scenario{
+		config.Fig1RedGreen(),
+		config.Fig1RedBlue(),
+		config.Fig1RedBlueWaypoint(),
+	}
+	ft, _ := topology.FatTreeForSize(20)
+	for _, topo := range []*topology.Topology{
+		topology.WAN("meta", 20, 7),
+		topology.SmallWorld(24, 4, 0.3, 7),
+		ft,
+	} {
+		for _, prop := range []config.Property{config.Reachability, config.Waypointing} {
+			sc, err := config.Diamonds(topo, config.DiamondOptions{
+				Pairs: 1, Property: prop, Seed: 7,
+			})
+			if err != nil {
+				continue // the property's diamond does not fit this topology
+			}
+			scs = append(scs, sc)
+		}
+	}
+	if len(scs) < 6 {
+		t.Fatalf("only %d example scenarios generated", len(scs))
+	}
+	return scs
+}
+
+// TestMetamorphicIncrementalVsBatch drives the incremental and the batch
+// checker through an identical randomized sequence of UpdateSwitch and
+// Revert operations over every example scenario, asserting per-state
+// label equality and identical verdicts at every step. The batch checker
+// recomputes everything from scratch each time, so any divergence pins a
+// bug in the incremental bookkeeping (stale labels, bad epoch stamps,
+// broken undo tokens, or intern-table corruption).
+func TestMetamorphicIncrementalVsBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	for _, sc := range exampleScenarios(t) {
+		for _, cs := range sc.Specs {
+			k, err := kripke.Build(sc.Topo, sc.Init, cs.Class)
+			if err != nil {
+				continue // initial config loops for this class: not checkable
+			}
+			inc, err := NewIncremental(k, cs.Formula)
+			if err != nil {
+				continue // oversized closure
+			}
+			bat, err := NewBatch(k, cs.Formula)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables := func(sw int) []network.Table {
+				return []network.Table{sc.Init.Table(sw), sc.Final.Table(sw)}
+			}
+			metamorphicDrive(t, r, k, inc, bat, sc.UpdatingSwitches(), tables, 16)
+		}
+	}
+	// Random scenes with random formulas and random partial tables widen
+	// the input space beyond the curated scenarios.
+	for iter := 0; iter < 25; iter++ {
+		topo, _, cl, k := randomScene(r)
+		f := randomFormula(r, topo.NumSwitches())
+		inc, err := NewIncremental(k, f)
+		if err != nil {
+			continue
+		}
+		bat, err := NewBatch(k, f)
+		if err != nil {
+			continue
+		}
+		sws := make([]int, topo.NumSwitches())
+		for i := range sws {
+			sws[i] = i
+		}
+		tables := func(sw int) []network.Table {
+			ports := topo.Ports(sw)
+			return []network.Table{
+				nil, // drop everything
+				{fwdRule(cl, ports[r.Intn(len(ports))])},
+			}
+		}
+		metamorphicDrive(t, r, k, inc, bat, sws, tables, 14)
+	}
+}
+
+// metamorphicDrive applies a random update/revert walk to both checkers
+// over the shared structure k, comparing verdicts and per-state labels
+// after every step.
+func metamorphicDrive(t *testing.T, r *rand.Rand, k *kripke.K,
+	inc, bat Checker, sws []int, tables func(sw int) []network.Table, steps int) {
+	t.Helper()
+	type mframe struct {
+		delta *kripke.Delta
+		itok  Token
+		btok  Token
+	}
+	var stack []mframe
+	compare := func(step int) {
+		iv := inc.Check()
+		bv := bat.Check() // relabels from scratch
+		if iv.OK != bv.OK {
+			t.Fatalf("step %d: verdicts diverge: incremental=%v batch=%v", step, iv.OK, bv.OK)
+		}
+		il := inc.(*Incremental)
+		bl := bat.(*Batch)
+		for id := 0; id < k.NumStates(); id++ {
+			if !valuationsEqual(il.Labels(id), bl.Labels(id)) {
+				t.Fatalf("step %d: label of state %d diverges:\n  incremental=%v\n  batch=%v",
+					step, id, il.Labels(id), bl.Labels(id))
+			}
+		}
+	}
+	compare(-1)
+	for step := 0; step < steps; step++ {
+		if len(stack) > 0 && r.Intn(3) == 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			inc.Revert(fr.itok)
+			bat.Revert(fr.btok)
+			k.Revert(fr.delta)
+		} else {
+			sw := sws[r.Intn(len(sws))]
+			tbls := tables(sw)
+			delta, err := k.UpdateSwitch(sw, tbls[r.Intn(len(tbls))])
+			if err != nil {
+				if delta != nil {
+					k.Revert(delta) // loop: applied, must roll back
+				}
+				continue
+			}
+			iv, itok := inc.Update(delta)
+			bv, btok := bat.Update(delta)
+			if iv.OK != bv.OK {
+				t.Fatalf("step %d: update verdicts diverge: incremental=%v batch=%v", step, iv.OK, bv.OK)
+			}
+			stack = append(stack, mframe{delta, itok, btok})
+		}
+		compare(step)
+	}
+	// Unwind fully; the checkers must land back on the initial state.
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		inc.Revert(fr.itok)
+		bat.Revert(fr.btok)
+		k.Revert(fr.delta)
+	}
+	compare(steps)
+}
+
 func TestStatsAccumulate(t *testing.T) {
 	r := rand.New(rand.NewSource(45))
 	_, _, _, k := randomScene(r)

@@ -6,6 +6,7 @@
 package network
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 	"strings"
@@ -222,6 +223,13 @@ type PortPacket struct {
 // equal priority are broken by table order, a deterministic refinement of
 // the paper's "free to pick any".
 func (t Table) Apply(pkt Packet, pt topology.Port) []PortPacket {
+	return t.AppendApply(nil, pkt, pt)
+}
+
+// AppendApply is Apply appending into dst, so hot paths (the Kripke
+// transition recomputation runs once per arrival state per candidate
+// update) can reuse a scratch buffer instead of allocating per call.
+func (t Table) AppendApply(dst []PortPacket, pkt Packet, pt topology.Port) []PortPacket {
 	best := -1
 	for i, r := range t {
 		if !r.Match.Matches(pkt, pt) {
@@ -232,19 +240,18 @@ func (t Table) Apply(pkt Packet, pt topology.Port) []PortPacket {
 		}
 	}
 	if best == -1 {
-		return nil
+		return dst
 	}
-	var out []PortPacket
 	cur := pkt
 	for _, a := range t[best].Actions {
 		switch a.Kind {
 		case ActSetField:
 			cur = cur.WithField(a.Field, a.Value)
 		case ActForward:
-			out = append(out, PortPacket{Pkt: cur, Port: a.Port})
+			dst = append(dst, PortPacket{Pkt: cur, Port: a.Port})
 		}
 	}
-	return out
+	return dst
 }
 
 // Canonical returns a copy of the table sorted by descending priority,
@@ -253,13 +260,52 @@ func (t Table) Apply(pkt Packet, pt topology.Port) []PortPacket {
 func (t Table) Canonical() Table {
 	c := make(Table, len(t))
 	copy(c, t)
-	sort.SliceStable(c, func(i, j int) bool {
-		if c[i].Priority != c[j].Priority {
-			return c[i].Priority > c[j].Priority
-		}
-		return c[i].String() < c[j].String()
-	})
+	sort.SliceStable(c, func(i, j int) bool { return compareRules(c[i], c[j]) < 0 })
 	return c
+}
+
+// compareRules is a total order on rules: descending priority, then
+// pattern fields, then actions. Field-by-field comparison keeps Canonical
+// (and hence Equal, which runs on every configuration diff) free of the
+// per-comparison string formatting it previously paid.
+func compareRules(a, b Rule) int {
+	if a.Priority != b.Priority {
+		if a.Priority > b.Priority {
+			return -1 // higher priority sorts first
+		}
+		return 1
+	}
+	if c := cmp.Compare(a.Match.InPort, b.Match.InPort); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Match.Src, b.Match.Src); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Match.Dst, b.Match.Dst); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Match.Typ, b.Match.Typ); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(len(a.Actions), len(b.Actions)); c != 0 {
+		return c
+	}
+	for i := range a.Actions {
+		x, y := a.Actions[i], b.Actions[i]
+		if c := cmp.Compare(x.Kind, y.Kind); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(x.Port, y.Port); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(x.Field, y.Field); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(x.Value, y.Value); c != 0 {
+			return c
+		}
+	}
+	return 0
 }
 
 // Equal reports whether two tables have identical canonical forms.

@@ -7,6 +7,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Port identifies a port on a switch. Ports are numbered from 1 within
@@ -30,7 +31,8 @@ type Host struct {
 
 // Topology is an undirected multigraph over switches 0..n-1 with hosts
 // hanging off switches. It is mutable during construction and should be
-// treated as immutable afterwards.
+// treated as immutable afterwards; the read accessors are safe for
+// concurrent use once mutation stops.
 type Topology struct {
 	Name string
 
@@ -40,6 +42,13 @@ type Topology struct {
 	nextPort []Port
 	// hostAt[sw] lists indexes into hosts for the hosts on sw.
 	hostAt map[int][]int
+
+	// Ports and HostsOn are on the Kripke-construction hot path (once per
+	// switch per traffic class); the derived slices are memoized here and
+	// invalidated by AddLink/AddHost. Guarded by cacheMu.
+	cacheMu    sync.Mutex
+	portsCache [][]Port
+	hostsCache [][]Host
 }
 
 // New creates a topology with n switches and no links.
@@ -87,7 +96,16 @@ func (t *Topology) AddLink(a, b int) (pa, pb Port) {
 	t.nextPort[b]++
 	t.adj[a] = append(t.adj[a], Link{LocalPort: pa, Peer: b, PeerPort: pb})
 	t.adj[b] = append(t.adj[b], Link{LocalPort: pb, Peer: a, PeerPort: pa})
+	t.invalidateCaches()
 	return pa, pb
+}
+
+// invalidateCaches drops the memoized per-switch views after a mutation.
+func (t *Topology) invalidateCaches() {
+	t.cacheMu.Lock()
+	t.portsCache = nil
+	t.hostsCache = nil
+	t.cacheMu.Unlock()
 }
 
 // HasLink reports whether a direct link between a and b exists.
@@ -111,6 +129,7 @@ func (t *Topology) AddHost(id, sw int) Host {
 	h := Host{ID: id, Switch: sw, Port: p}
 	t.hostAt[sw] = append(t.hostAt[sw], len(t.hosts))
 	t.hosts = append(t.hosts, h)
+	t.invalidateCaches()
 	return h
 }
 
@@ -124,14 +143,23 @@ func (t *Topology) HostByID(id int) (Host, bool) {
 	return Host{}, false
 }
 
-// HostsOn returns the hosts attached to switch sw.
+// HostsOn returns the hosts attached to switch sw. The returned slice is
+// memoized and must not be modified.
 func (t *Topology) HostsOn(sw int) []Host {
-	idx := t.hostAt[sw]
-	out := make([]Host, len(idx))
-	for i, j := range idx {
-		out[i] = t.hosts[j]
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	if t.hostsCache == nil {
+		t.hostsCache = make([][]Host, t.n)
+		for s := 0; s < t.n; s++ {
+			idx := t.hostAt[s]
+			out := make([]Host, len(idx))
+			for i, j := range idx {
+				out[i] = t.hosts[j]
+			}
+			t.hostsCache[s] = out
+		}
 	}
-	return out
+	return t.hostsCache[sw]
 }
 
 // Neighbors returns the links incident to sw. The returned slice must not
@@ -173,21 +201,30 @@ func (t *Topology) HostAtPort(sw int, p Port) (Host, bool) {
 }
 
 // Ports returns every allocated port on switch sw (link ports and host
-// ports), ascending.
+// ports), ascending. The returned slice is memoized and must not be
+// modified.
 func (t *Topology) Ports(sw int) []Port {
-	var out []Port
-	for _, l := range t.adj[sw] {
-		out = append(out, l.LocalPort)
-	}
-	for _, i := range t.hostAt[sw] {
-		out = append(out, t.hosts[i].Port)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	if t.portsCache == nil {
+		t.portsCache = make([][]Port, t.n)
+		for s := 0; s < t.n; s++ {
+			var out []Port
+			for _, l := range t.adj[s] {
+				out = append(out, l.LocalPort)
+			}
+			for _, i := range t.hostAt[s] {
+				out = append(out, t.hosts[i].Port)
+			}
+			for i := 1; i < len(out); i++ {
+				for j := i; j > 0 && out[j] < out[j-1]; j-- {
+					out[j], out[j-1] = out[j-1], out[j]
+				}
+			}
+			t.portsCache[s] = out
 		}
 	}
-	return out
+	return t.portsCache[sw]
 }
 
 // Connected reports whether the switch graph is connected (ignoring

@@ -2,52 +2,95 @@ package topology
 
 // ShortestPath returns a shortest switch path from a to b (inclusive) via
 // breadth-first search, or nil if b is unreachable. avoid lists interior
-// switches the path must not use (endpoints are always allowed).
+// switches the path must not use (endpoints are always allowed). Callers
+// issuing many queries (workload generators) should hold a PathFinder
+// instead: this convenience wrapper allocates fresh scratch per call.
 func (t *Topology) ShortestPath(a, b int, avoid ...int) []int {
-	banned := make(map[int]bool, len(avoid))
+	p := t.NewPathFinder().Shortest(nil, a, b, avoid)
+	if len(p) == 0 {
+		return nil
+	}
+	return p
+}
+
+// PathFinder runs repeated shortest-path queries over one topology with
+// reusable scratch (epoch-stamped ban marks, the BFS predecessor array,
+// and the queue), so a generator probing hundreds of candidate routes
+// allocates almost nothing. Not safe for concurrent use; create one per
+// goroutine.
+type PathFinder struct {
+	t      *Topology
+	banned []int32
+	gen    int32
+	prev   []int
+	queue  []int
+}
+
+// NewPathFinder returns a finder with scratch sized to the topology.
+func (t *Topology) NewPathFinder() *PathFinder {
+	return &PathFinder{
+		t:      t,
+		banned: make([]int32, t.n),
+		prev:   make([]int, t.n),
+	}
+}
+
+// Shortest appends a shortest switch path from a to b (inclusive) to dst
+// and returns the extended slice; dst is returned unchanged if b is
+// unreachable. avoid lists interior switches the path must not use
+// (endpoints are always allowed). The search order matches ShortestPath
+// exactly, so both produce identical paths.
+func (f *PathFinder) Shortest(dst []int, a, b int, avoid []int) []int {
+	f.gen++
+	if f.gen == 1<<31-1 {
+		clear(f.banned)
+		f.gen = 1
+	}
 	for _, v := range avoid {
-		banned[v] = true
+		f.banned[v] = f.gen
 	}
 	if a == b {
-		return []int{a}
+		return append(dst, a)
 	}
-	prev := make([]int, t.n)
+	prev := f.prev
 	for i := range prev {
 		prev[i] = -1
 	}
 	prev[a] = a
-	queue := []int{a}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, l := range t.adj[v] {
+	queue := append(f.queue[:0], a)
+	defer func() { f.queue = queue[:0] }()
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, l := range f.t.adj[v] {
 			u := l.Peer
 			if prev[u] != -1 {
 				continue
 			}
-			if banned[u] && u != b {
+			if f.banned[u] == f.gen && u != b {
 				continue
 			}
 			prev[u] = v
 			if u == b {
-				return buildPath(prev, a, b)
+				return appendPath(dst, prev, a, b)
 			}
 			queue = append(queue, u)
 		}
 	}
-	return nil
+	return dst
 }
 
-func buildPath(prev []int, a, b int) []int {
-	var rev []int
+// appendPath reconstructs the a..b path from the predecessor array,
+// appending it to dst in forward order.
+func appendPath(dst []int, prev []int, a, b int) []int {
+	start := len(dst)
 	for v := b; v != a; v = prev[v] {
-		rev = append(rev, v)
+		dst = append(dst, v)
 	}
-	rev = append(rev, a)
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	dst = append(dst, a)
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return rev
+	return dst
 }
 
 // DisjointPaths returns two internally node-disjoint paths from a to b
