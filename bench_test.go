@@ -223,6 +223,50 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkRollingStream measures the steady-state controller workload:
+// a rolling random walk of diamond targets over one topology, synthesized
+// either through one long-lived session (warm — structures rebound in
+// place, labels and scratch reused) or with a fresh one-shot Synthesize
+// per target (cold). One benchmark op is the whole stream (8 syntheses),
+// so warm and cold do identical work per op; the warm variant must show
+// strictly lower ns/op and allocs/op. CI gates the warm allocs/op (see
+// .github/workflows/ci.yml).
+func BenchmarkRollingStream(b *testing.B) {
+	w, err := bench.BuildStreamWorkload(bench.FamilySmallWorld, 60, 8, config.Reachability, 60*11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Parallelism: 1, Timeout: benchTimeout}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		cur := w.Init
+		for i := 0; i < b.N; i++ {
+			for _, tgt := range w.Targets {
+				sc := &config.Scenario{Name: "roll", Topo: w.Topo, Init: cur, Final: tgt, Specs: w.Specs}
+				if _, err := core.Synthesize(sc, opts); err != nil {
+					b.Fatal(err)
+				}
+				cur = tgt
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		sess, err := core.NewSession(w.Topo, w.Init, w.Specs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, tgt := range w.Targets {
+				if _, err := sess.Synthesize(tgt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // --- micro-benchmarks ---
 
 func benchScene(b *testing.B, n int) (*config.Scenario, *kripke.K, *ltl.Formula) {

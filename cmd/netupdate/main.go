@@ -9,12 +9,23 @@
 // On success it prints the synthesized command sequence; with -verify it
 // only checks the initial and final configurations against the
 // specifications.
+//
+// With -stream the command becomes a long-lived synthesis service: it
+// reads a JSONL scenario stream from stdin (a header describing the
+// topology, classes, and initial routes, then one reroute delta per line
+// — see internal/config.StreamHeader) and emits one JSON plan line per
+// delta on stdout, keeping the synthesis session warm between targets:
+//
+//	netupdate -stream < stream.jsonl
+//	netupdate -stream -checker incremental -parallel 4 < stream.jsonl
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,30 +35,63 @@ import (
 
 func main() {
 	var (
-		file      = flag.String("f", "", "scenario JSON file (required)")
+		file      = flag.String("f", "", "scenario JSON file (required unless -stream)")
+		stream    = flag.Bool("stream", false, "serve a JSONL scenario stream from stdin, emitting JSON plan lines")
 		checker   = flag.String("checker", "incremental", "backend: incremental|batch|nusmv|netplumber")
 		rules     = flag.Bool("rules", false, "use rule granularity")
 		twoSimple = flag.Bool("2simple", false, "allow two updates per switch (merge then finalize)")
 		noWaits   = flag.Bool("no-wait-removal", false, "keep all waits")
-		timeout   = flag.Duration("timeout", 10*time.Minute, "search timeout")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "search timeout (per synthesis in -stream mode)")
 		parallel  = flag.Int("parallel", 0, "search workers: 0 = one per CPU, 1 = sequential")
 		firstPlan = flag.Bool("first-plan", false, "return the first plan any worker finds (faster, nondeterministic)")
 		verify    = flag.Bool("verify", false, "only verify the endpoint configurations")
 		quiet     = flag.Bool("q", false, "suppress statistics")
 	)
 	flag.Parse()
+	opts := core.Options{
+		RuleGranularity: *rules,
+		TwoSimple:       *twoSimple,
+		NoWaitRemoval:   *noWaits,
+		Timeout:         *timeout,
+		Parallelism:     *parallel,
+		FirstPlanWins:   *firstPlan,
+	}
+	switch *checker {
+	case "incremental":
+		opts.Checker = core.CheckerIncremental
+	case "batch":
+		opts.Checker = core.CheckerBatch
+	case "nusmv":
+		opts.Checker = core.CheckerNuSMV
+	case "netplumber":
+		opts.Checker = core.CheckerNetPlumber
+	default:
+		fmt.Fprintf(os.Stderr, "netupdate: unknown checker %q\n", *checker)
+		os.Exit(2)
+	}
+	if *stream {
+		if *file != "" || *verify {
+			fmt.Fprintln(os.Stderr, "netupdate: -stream reads from stdin and synthesizes every delta; it cannot be combined with -f or -verify")
+			os.Exit(2)
+		}
+		if err := runStream(os.Stdin, os.Stdout, opts, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "netupdate: -f scenario.json is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, *checker, *rules, *twoSimple, *noWaits, *timeout, *parallel, *firstPlan, *verify, *quiet); err != nil {
+	if err := run(*file, opts, *rules, *verify, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, checker string, rules, twoSimple, noWaits bool, timeout time.Duration, parallel int, firstPlan, verifyOnly, quiet bool) error {
+func run(file string, opts core.Options, rules, verifyOnly, quiet bool) error {
 	f, err := os.Open(file)
 	if err != nil {
 		return err
@@ -62,26 +106,6 @@ func run(file, checker string, rules, twoSimple, noWaits bool, timeout time.Dura
 	if verifyOnly {
 		fmt.Println("endpoint configurations verified (paths are loop-free and delivered)")
 		return nil
-	}
-	opts := core.Options{
-		RuleGranularity: rules,
-		TwoSimple:       twoSimple,
-		NoWaitRemoval:   noWaits,
-		Timeout:         timeout,
-		Parallelism:     parallel,
-		FirstPlanWins:   firstPlan,
-	}
-	switch checker {
-	case "incremental":
-		opts.Checker = core.CheckerIncremental
-	case "batch":
-		opts.Checker = core.CheckerBatch
-	case "nusmv":
-		opts.Checker = core.CheckerNuSMV
-	case "netplumber":
-		opts.Checker = core.CheckerNetPlumber
-	default:
-		return fmt.Errorf("unknown checker %q", checker)
 	}
 	plan, err := core.Synthesize(sc, opts)
 	if errors.Is(err, core.ErrNoOrdering) {
@@ -100,9 +124,122 @@ func run(file, checker string, rules, twoSimple, noWaits bool, timeout time.Dura
 	}
 	if !quiet {
 		st := plan.Stats
-		fmt.Printf("stats: %d units, %d checks, %d cex learned, %d pruned, waits %d -> %d, %.3fs\n",
-			st.Units, st.Checks, st.CexLearned, st.WrongPruned+st.VisitedPruned,
+		fmt.Printf("stats: %d units, %d checks (%d skipped), %d cex learned, %d pruned, waits %d -> %d, %.3fs\n",
+			st.Units, st.Checks, st.ClassSkips, st.CexLearned, st.WrongPruned+st.VisitedPruned,
 			st.WaitsBefore, st.WaitsAfter, st.Elapsed.Seconds())
 	}
 	return nil
+}
+
+// streamResult is one output line of -stream mode.
+type streamResult struct {
+	Step   int        `json:"step"`
+	Result string     `json:"result"` // "plan" | "impossible" | "error"
+	Steps  []stepJSON `json:"steps,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Stats  *statsJSON `json:"stats,omitempty"`
+}
+
+// stepJSON is one plan element. Switch is a pointer so switch 0 is
+// emitted while wait barriers carry no switch at all.
+type stepJSON struct {
+	Op     string `json:"op"` // "update" | "wait" | "add" | "del"
+	Switch *int   `json:"switch,omitempty"`
+	Rule   string `json:"rule,omitempty"`
+}
+
+// statsJSON is the per-synthesis work summary.
+type statsJSON struct {
+	Units      int     `json:"units"`
+	Checks     int     `json:"checks"`
+	ClassSkips int     `json:"classSkips"`
+	Waits      int     `json:"waits"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+}
+
+// runStream serves a JSONL scenario stream over one warm session: every
+// decoded delta becomes a synthesis from the session's current
+// configuration to the delta's target, and the result is emitted as one
+// JSON line. Bad deltas do not kill the stream: semantically invalid
+// ones (config.ErrBadDelta) and infeasible or violating targets are
+// reported and skipped, leaving the session at its last good
+// configuration. Only JSON decode errors — after which the stream
+// position is unreliable — are terminal.
+func runStream(in io.Reader, out io.Writer, opts core.Options, quiet bool) error {
+	s, err := config.OpenStream(in)
+	if err != nil {
+		return err
+	}
+	sess, err := core.NewSession(s.Topo(), s.Init(), s.Specs(), opts)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "stream %q: %d switches, %d classes\n",
+			s.Name(), s.Topo().NumSwitches(), len(s.Specs()))
+	}
+	enc := json.NewEncoder(out)
+	step := 0
+	for {
+		tgt, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, config.ErrBadDelta) {
+			step++
+			if encErr := enc.Encode(streamResult{
+				Step: step, Result: "error", Error: err.Error(),
+			}); encErr != nil {
+				return encErr
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		step++
+		plan, serr := sess.Synthesize(tgt)
+		res := streamResult{Step: step}
+		switch {
+		case serr == nil:
+			res.Result = "plan"
+			for _, st := range plan.Steps {
+				res.Steps = append(res.Steps, stepOf(st))
+			}
+			res.Stats = &statsJSON{
+				Units:      plan.Stats.Units,
+				Checks:     plan.Stats.Checks,
+				ClassSkips: plan.Stats.ClassSkips,
+				Waits:      plan.Stats.WaitsAfter,
+				ElapsedMS:  float64(plan.Stats.Elapsed.Microseconds()) / 1000,
+			}
+		case errors.Is(serr, core.ErrNoOrdering):
+			res.Result = "impossible"
+		default:
+			res.Result = "error"
+			res.Error = serr.Error()
+		}
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "stream done: %d syntheses served\n", step)
+	}
+	return nil
+}
+
+func stepOf(s core.Step) stepJSON {
+	if s.Wait {
+		return stepJSON{Op: "wait"}
+	}
+	sw := s.Switch
+	switch {
+	case s.IsRule && s.RuleAdd:
+		return stepJSON{Op: "add", Switch: &sw, Rule: s.Rule.String()}
+	case s.IsRule:
+		return stepJSON{Op: "del", Switch: &sw, Rule: s.Rule.String()}
+	default:
+		return stepJSON{Op: "update", Switch: &sw}
+	}
 }

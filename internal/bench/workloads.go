@@ -46,6 +46,26 @@ func DiamondWorkloadBG(f Family, n int, prop config.Property, seed int64, backgr
 	if err != nil {
 		return nil, err
 	}
+	var sc *config.Scenario
+	err = placePairs(f, n, func(pairs int) error {
+		var perr error
+		sc, perr = config.Diamonds(topo, config.DiamondOptions{
+			Pairs: pairs, Property: prop, Seed: seed, BackgroundFlows: background,
+		})
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// placePairs sizes the diamond count for an n-switch topology of family f
+// (n/30, clamped to [1, 40]) and calls build with decreasing pair counts
+// until placement succeeds: dense topologies occasionally cannot fit
+// every diamond, and retrying smaller beats failing the sweep. Every
+// harness workload shares this sizing so the figures stay comparable.
+func placePairs(f Family, n int, build func(pairs int) error) error {
 	pairs := n / 30
 	if pairs < 1 {
 		pairs = 1
@@ -53,17 +73,12 @@ func DiamondWorkloadBG(f Family, n int, prop config.Property, seed int64, backgr
 	if pairs > 40 {
 		pairs = 40
 	}
-	// Dense scenarios occasionally fail to place every diamond; retry
-	// with fewer pairs rather than failing the sweep.
 	for ; pairs >= 1; pairs-- {
-		sc, err := config.Diamonds(topo, config.DiamondOptions{
-			Pairs: pairs, Property: prop, Seed: seed, BackgroundFlows: background,
-		})
-		if err == nil {
-			return sc, nil
+		if build(pairs) == nil {
+			return nil
 		}
 	}
-	return nil, fmt.Errorf("bench: cannot place any diamond on %s-%d", f, n)
+	return fmt.Errorf("bench: cannot place any diamond on %s-%d", f, n)
 }
 
 // InfeasibleWorkload builds the Figure 8(h)/(i) workload: double-diamond

@@ -72,6 +72,16 @@ func (c *Checker) Stats() mc.Stats { return c.stats }
 // model; Update and Revert keep nothing.
 func (c *Checker) StatelessMC() {}
 
+// Rebind implements mc.Rebindable. The structure is mutated in place by
+// kripke.K.Rebind and the automaton is configuration-independent, so the
+// next Check re-encodes against the rebound transitions with no work
+// here.
+func (c *Checker) Rebind() {}
+
+// DeltaInvariantMC implements mc.DeltaInvariant: the product search reads
+// only the class structure, so an empty delta cannot change the verdict.
+func (c *Checker) DeltaInvariantMC() {}
+
 // CloneFor implements mc.Cloneable: the automaton is immutable and shared;
 // the consistency matrix is rebuilt on the next Check anyway (batch mode),
 // so the clone is just a fresh view over the cloned structure.
@@ -217,7 +227,9 @@ func extendToSink(k *kripke.K, trace []int) []int {
 }
 
 var (
-	_ mc.Checker   = (*Checker)(nil)
-	_ mc.Cloneable = (*Checker)(nil)
-	_ mc.Stateless = (*Checker)(nil)
+	_ mc.Checker        = (*Checker)(nil)
+	_ mc.Cloneable      = (*Checker)(nil)
+	_ mc.Stateless      = (*Checker)(nil)
+	_ mc.Rebindable     = (*Checker)(nil)
+	_ mc.DeltaInvariant = (*Checker)(nil)
 )

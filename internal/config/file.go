@@ -66,28 +66,39 @@ func LoadScenario(r io.Reader) (*Scenario, error) {
 	return sf.Build()
 }
 
-// Build converts the parsed file into a validated Scenario.
-func (sf *ScenarioFile) Build() (*Scenario, error) {
-	if sf.Topology.Switches <= 0 {
+// Build validates the topology description and constructs the switch
+// graph with its hosts. It is shared by the scenario-file and
+// scenario-stream loaders.
+func (tf *TopologyFile) Build(name string) (*topology.Topology, error) {
+	if tf.Switches <= 0 {
 		return nil, fmt.Errorf("config: scenario needs at least one switch")
 	}
-	topo := topology.New(sf.Name, sf.Topology.Switches)
-	for _, l := range sf.Topology.Links {
-		if l[0] < 0 || l[0] >= sf.Topology.Switches || l[1] < 0 || l[1] >= sf.Topology.Switches {
+	topo := topology.New(name, tf.Switches)
+	for _, l := range tf.Links {
+		if l[0] < 0 || l[0] >= tf.Switches || l[1] < 0 || l[1] >= tf.Switches {
 			return nil, fmt.Errorf("config: link %v out of range", l)
 		}
 		topo.AddLink(l[0], l[1])
 	}
 	seen := map[int]bool{}
-	for _, h := range sf.Topology.Hosts {
+	for _, h := range tf.Hosts {
 		if seen[h.ID] {
 			return nil, fmt.Errorf("config: duplicate host id %d", h.ID)
 		}
 		seen[h.ID] = true
-		if h.Switch < 0 || h.Switch >= sf.Topology.Switches {
+		if h.Switch < 0 || h.Switch >= tf.Switches {
 			return nil, fmt.Errorf("config: host %d on out-of-range switch %d", h.ID, h.Switch)
 		}
 		topo.AddHost(h.ID, h.Switch)
+	}
+	return topo, nil
+}
+
+// Build converts the parsed file into a validated Scenario.
+func (sf *ScenarioFile) Build() (*Scenario, error) {
+	topo, err := sf.Topology.Build(sf.Name)
+	if err != nil {
+		return nil, err
 	}
 	s := &Scenario{Name: sf.Name, Topo: topo, Init: New(), Final: New(), Feasible: true}
 	for i, cf := range sf.Classes {

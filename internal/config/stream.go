@@ -1,0 +1,357 @@
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"netupdate/internal/ltl"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// Stream is a sequence of target configurations over one fixed topology
+// and one fixed set of class specifications — the steady-state workload a
+// long-lived synthesis session serves. Next returns the next target (the
+// caller synthesizes the plan from wherever it currently is) and io.EOF
+// when the stream is exhausted.
+type Stream interface {
+	// Topo returns the fixed topology every target routes over.
+	Topo() *topology.Topology
+	// Init returns the configuration the stream starts from.
+	Init() *Config
+	// Specs returns the per-class specifications, fixed for the stream.
+	Specs() []ClassSpec
+	// Next returns the next target configuration, or io.EOF.
+	Next() (*Config, error)
+}
+
+// RemoveClassRules deletes every rule matching exactly the class's flow
+// pattern from cfg, across all switches. Touched tables are rebuilt
+// rather than filtered in place, so configurations sharing table slices
+// with this one (clones are deep, but SetTable aliases) stay intact.
+func RemoveClassRules(cfg *Config, cl Class) {
+	pat := cl.Pattern()
+	for sw, tbl := range cfg.tables {
+		drop := 0
+		for _, r := range tbl {
+			if r.Match == pat {
+				drop++
+			}
+		}
+		if drop == 0 {
+			continue
+		}
+		if drop == len(tbl) {
+			delete(cfg.tables, sw)
+			continue
+		}
+		out := make(network.Table, 0, len(tbl)-drop)
+		for _, r := range tbl {
+			if r.Match != pat {
+				out = append(out, r)
+			}
+		}
+		cfg.tables[sw] = out
+	}
+}
+
+// RerouteClass replaces class cl's forwarding state in cfg with a route
+// along the switch path (see InstallPath for the path contract).
+func RerouteClass(cfg *Config, topo *topology.Topology, cl Class, path []int, priority int) error {
+	RemoveClassRules(cfg, cl)
+	return InstallPath(cfg, topo, cl, path, priority)
+}
+
+// StreamHeader is the first JSON value of a scenario stream: the fixed
+// topology, and every traffic class with its initial route and LTL
+// specification.
+//
+//	{"name":"line","topology":{"switches":4,"links":[[0,1],[1,2],[2,3]],
+//	 "hosts":[{"id":100,"switch":0},{"id":101,"switch":3}]},
+//	 "classes":[{"name":"c","src":100,"dst":101,"path":[0,1,2,3],
+//	             "spec":"sw=0 -> F sw=3"}]}
+type StreamHeader struct {
+	Name     string        `json:"name"`
+	Topology TopologyFile  `json:"topology"`
+	Classes  []StreamClass `json:"classes"`
+}
+
+// StreamClass declares one traffic class of a stream.
+type StreamClass struct {
+	Name string `json:"name"`
+	Src  int    `json:"src"`
+	Dst  int    `json:"dst"`
+	Path []int  `json:"path"`
+	Spec string `json:"spec"`
+}
+
+// StreamDelta is one subsequent JSON value of a scenario stream: the
+// classes to reroute relative to the previous target.
+//
+//	{"reroute":[{"class":"c","path":[0,2,3]}]}
+type StreamDelta struct {
+	Reroute []Reroute `json:"reroute"`
+}
+
+// Reroute moves one class onto a new path.
+type Reroute struct {
+	Class string `json:"class"`
+	Path  []int  `json:"path"`
+}
+
+// ErrBadDelta marks a semantically invalid stream delta (unknown class,
+// uninstallable or non-delivering path). The delta decoded cleanly, so
+// the stream is still in sync: callers may report the bad delta and keep
+// consuming. Raw decode errors are not wrapped — after a syntax error the
+// stream position is unreliable and the stream must be abandoned.
+var ErrBadDelta = errors.New("config: invalid stream delta")
+
+// ScenarioStream decodes a JSONL synthesis stream: a StreamHeader
+// followed by any number of StreamDelta values (one JSON value per line
+// by convention; any whitespace separation decodes). Each delta is
+// applied on top of the previous target, so targets accumulate: a class
+// not rerouted by a delta keeps its current path.
+type ScenarioStream struct {
+	name    string
+	topo    *topology.Topology
+	init    *Config
+	specs   []ClassSpec
+	byName  map[string]Class
+	cur     *Config // last target handed out
+	dec     *json.Decoder
+	prio    int
+	emitted int
+}
+
+// OpenStream reads and validates the stream header, returning a stream
+// whose Next decodes and applies one delta per call. Unknown JSON fields
+// are rejected (like the scenario-file loader), so a misspelled delta key
+// fails loudly instead of silently producing a no-op target.
+func OpenStream(r io.Reader) (*ScenarioStream, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var h StreamHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("config: stream header: %w", err)
+	}
+	topo, err := h.Topology.Build(h.Name)
+	if err != nil {
+		return nil, err
+	}
+	s := &ScenarioStream{
+		name:   h.Name,
+		topo:   topo,
+		init:   New(),
+		byName: map[string]Class{},
+		dec:    dec,
+		prio:   10,
+	}
+	for i, cf := range h.Classes {
+		cl := Class{Name: cf.Name, SrcHost: cf.Src, DstHost: cf.Dst}
+		if cl.Name == "" {
+			cl.Name = fmt.Sprintf("class%d", i)
+		}
+		if _, dup := s.byName[cl.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate class %q", cl.Name)
+		}
+		s.byName[cl.Name] = cl
+		if err := InstallPath(s.init, topo, cl, cf.Path, s.prio); err != nil {
+			return nil, fmt.Errorf("config: class %s: %w", cl.Name, err)
+		}
+		spec, err := ltl.Parse(cf.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("config: class %s spec: %w", cl.Name, err)
+		}
+		s.specs = append(s.specs, ClassSpec{Class: cl, Formula: spec})
+	}
+	if len(s.specs) == 0 {
+		return nil, fmt.Errorf("config: stream has no traffic classes")
+	}
+	s.cur = s.init
+	return s, nil
+}
+
+// Name returns the stream's name from the header.
+func (s *ScenarioStream) Name() string { return s.name }
+
+// Topo implements Stream.
+func (s *ScenarioStream) Topo() *topology.Topology { return s.topo }
+
+// Init implements Stream.
+func (s *ScenarioStream) Init() *Config { return s.init }
+
+// Specs implements Stream.
+func (s *ScenarioStream) Specs() []ClassSpec { return s.specs }
+
+// Next implements Stream: decode the next delta, apply it to the previous
+// target, and validate that every rerouted class still delivers. A
+// semantically invalid delta is reported wrapped in ErrBadDelta and
+// skipped — the previous target stands and Next may be called again; only
+// decode errors (after which the stream position is unreliable) are
+// terminal.
+func (s *ScenarioStream) Next() (*Config, error) {
+	var d StreamDelta
+	if err := s.dec.Decode(&d); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("config: stream delta %d: %w", s.emitted+1, err)
+	}
+	s.emitted++
+	next := s.cur.Clone()
+	for _, rr := range d.Reroute {
+		cl, ok := s.byName[rr.Class]
+		if !ok {
+			return nil, fmt.Errorf("%w %d: unknown class %q", ErrBadDelta, s.emitted, rr.Class)
+		}
+		if err := RerouteClass(next, s.topo, cl, rr.Path, s.prio); err != nil {
+			return nil, fmt.Errorf("%w %d: %v", ErrBadDelta, s.emitted, err)
+		}
+		if _, err := PathOf(next, s.topo, cl); err != nil {
+			return nil, fmt.Errorf("%w %d: %v", ErrBadDelta, s.emitted, err)
+		}
+	}
+	s.cur = next
+	return next, nil
+}
+
+// RollingOptions parameterizes the rolling-update workload generator.
+type RollingOptions struct {
+	Pairs    int      // diamonds carved into the topology
+	Property Property // property family asserted per diamond
+	Seed     int64
+	// Steps is the number of targets the stream yields (default 8).
+	Steps int
+	// FlipsPerStep is how many distinct diamonds are rerouted onto their
+	// other branch per target (default 1, capped at Pairs).
+	FlipsPerStep int
+	// BackgroundFlows adds identical shortest-path state to every target,
+	// as in DiamondOptions.
+	BackgroundFlows int
+}
+
+// RollingStream is the generated steady-state workload: a random walk of
+// diamond targets over one topology. Each diamond from the standard
+// evaluation workload has two internally disjoint branches; every step
+// flips a few diamonds onto their other branch, producing the stream of
+// small reconfigurations a long-lived controller session faces. Every
+// consecutive (current, target) pair is an ordinary diamond update and
+// therefore feasible at switch granularity.
+type RollingStream struct {
+	topo  *topology.Topology
+	init  *Config
+	specs []ClassSpec
+	pairs []rollingPair
+	r     *rand.Rand
+	perm  []int
+	left  int
+	flips int
+	cur   *Config
+}
+
+type rollingPair struct {
+	cl       Class
+	branches [2][]int
+	onB      bool
+}
+
+// RollingUpdates carves opts.Pairs diamonds into topo (via Diamonds) and
+// returns the rolling random walk over their branch choices.
+func RollingUpdates(topo *topology.Topology, opts RollingOptions) (*RollingStream, error) {
+	sc, err := Diamonds(topo, DiamondOptions{
+		Pairs:           opts.Pairs,
+		Property:        opts.Property,
+		Seed:            opts.Seed,
+		BackgroundFlows: opts.BackgroundFlows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	steps := opts.Steps
+	if steps <= 0 {
+		steps = 8
+	}
+	flips := opts.FlipsPerStep
+	if flips <= 0 {
+		flips = 1
+	}
+	if flips > opts.Pairs {
+		flips = opts.Pairs
+	}
+	s := &RollingStream{
+		topo:  topo,
+		init:  sc.Init,
+		specs: sc.Specs,
+		r:     rand.New(rand.NewSource(opts.Seed ^ 0x5EED)),
+		perm:  make([]int, 0, opts.Pairs),
+		left:  steps,
+		flips: flips,
+		cur:   sc.Init,
+	}
+	for _, cs := range sc.Specs {
+		if !isDiamondClass(cs.Class) {
+			continue // background flow: never rerouted
+		}
+		a, err := PathOf(sc.Init, topo, cs.Class)
+		if err != nil {
+			return nil, err
+		}
+		b, err := PathOf(sc.Final, topo, cs.Class)
+		if err != nil {
+			return nil, err
+		}
+		s.pairs = append(s.pairs, rollingPair{cl: cs.Class, branches: [2][]int{a, b}})
+	}
+	return s, nil
+}
+
+// isDiamondClass distinguishes generator-made diamond classes from the
+// background flows Diamonds also installs (named bg<i>).
+func isDiamondClass(cl Class) bool {
+	return len(cl.Name) >= 4 && cl.Name[:4] == "pair"
+}
+
+// Topo implements Stream.
+func (s *RollingStream) Topo() *topology.Topology { return s.topo }
+
+// Init implements Stream.
+func (s *RollingStream) Init() *Config { return s.init }
+
+// Specs implements Stream.
+func (s *RollingStream) Specs() []ClassSpec { return s.specs }
+
+// Next implements Stream: flip FlipsPerStep distinct random diamonds onto
+// their other branch.
+func (s *RollingStream) Next() (*Config, error) {
+	if s.left == 0 {
+		return nil, io.EOF
+	}
+	s.left--
+	next := s.cur.Clone()
+	s.perm = s.perm[:0]
+	for i := range s.pairs {
+		s.perm = append(s.perm, i)
+	}
+	s.r.Shuffle(len(s.perm), func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+	for _, pi := range s.perm[:s.flips] {
+		p := &s.pairs[pi]
+		p.onB = !p.onB
+		branch := p.branches[0]
+		if p.onB {
+			branch = p.branches[1]
+		}
+		if err := RerouteClass(next, s.topo, p.cl, branch, 10); err != nil {
+			return nil, fmt.Errorf("config: rolling flip of %v: %w", p.cl, err)
+		}
+	}
+	s.cur = next
+	return next, nil
+}
+
+var (
+	_ Stream = (*ScenarioStream)(nil)
+	_ Stream = (*RollingStream)(nil)
+)

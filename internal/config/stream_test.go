@@ -1,0 +1,197 @@
+package config
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"netupdate/internal/topology"
+)
+
+const lineStream = `
+{"name":"line","topology":{"switches":4,"links":[[0,1],[1,2],[2,3],[0,2],[1,3]],
+ "hosts":[{"id":100,"switch":0},{"id":101,"switch":3}]},
+ "classes":[{"name":"c","src":100,"dst":101,"path":[0,1,2,3],"spec":"sw=0 -> F sw=3"}]}
+{"reroute":[{"class":"c","path":[0,2,3]}]}
+{"reroute":[{"class":"c","path":[0,1,3]}]}
+`
+
+func TestScenarioStreamDecode(t *testing.T) {
+	s, err := OpenStream(strings.NewReader(lineStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "line" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if len(s.Specs()) != 1 {
+		t.Fatalf("specs = %d, want 1", len(s.Specs()))
+	}
+	cl := s.Specs()[0].Class
+	p0, err := PathOf(s.Init(), s.Topo(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(p0), 4; got != want {
+		t.Fatalf("init path %v, want length %d", p0, want)
+	}
+	wantPaths := [][]int{{0, 2, 3}, {0, 1, 3}}
+	for i, want := range wantPaths {
+		tgt, err := s.Next()
+		if err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		got, err := PathOf(tgt, s.Topo(), cl)
+		if err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("delta %d: path %v, want %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("delta %d: path %v, want %v", i, got, want)
+			}
+		}
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestScenarioStreamRejectsBadDelta(t *testing.T) {
+	bad := `
+{"name":"line","topology":{"switches":3,"links":[[0,1],[1,2]],
+ "hosts":[{"id":100,"switch":0},{"id":101,"switch":2}]},
+ "classes":[{"name":"c","src":100,"dst":101,"path":[0,1,2],"spec":"true"}]}
+{"reroute":[{"class":"nope","path":[0,1,2]}]}
+`
+	s, err := OpenStream(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("err = %v, want ErrBadDelta", err)
+	}
+	// A bad delta is recoverable: the previous target stands and the
+	// stream keeps decoding (here: straight to EOF).
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF after skipped delta", err)
+	}
+}
+
+func TestRemoveClassRules(t *testing.T) {
+	topo := topology.New("t", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 2)
+	topo.AddHost(200, 0)
+	topo.AddHost(201, 2)
+	clA := Class{Name: "a", SrcHost: 100, DstHost: 101}
+	clB := Class{Name: "b", SrcHost: 200, DstHost: 201}
+	cfg := New()
+	if err := InstallPath(cfg, topo, clA, []int{0, 1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallPath(cfg, topo, clB, []int{0, 1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	RemoveClassRules(cfg, clA)
+	if _, err := PathOf(cfg, topo, clB); err != nil {
+		t.Fatalf("class b must survive: %v", err)
+	}
+	if _, err := PathOf(cfg, topo, clA); err == nil {
+		t.Fatal("class a rules must be gone")
+	}
+	for _, sw := range cfg.Switches() {
+		for _, r := range cfg.Table(sw) {
+			if r.Match == clA.Pattern() {
+				t.Fatalf("leftover rule for class a on sw%d", sw)
+			}
+		}
+	}
+}
+
+func TestRollingUpdatesWalk(t *testing.T) {
+	topo := topology.SmallWorld(60, 4, 0.3, 17)
+	s, err := RollingUpdates(topo, RollingOptions{
+		Pairs: 2, Property: Reachability, Seed: 17, Steps: 6, FlipsPerStep: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Specs()) != 2 {
+		t.Fatalf("specs = %d, want 2 diamond classes", len(s.Specs()))
+	}
+	prev := s.Init()
+	steps := 0
+	for {
+		tgt, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		// Every target must route every class loop-free to its host, and
+		// must differ from its predecessor in at least one switch.
+		for _, cs := range s.Specs() {
+			if _, err := PathOf(tgt, s.Topo(), cs.Class); err != nil {
+				t.Fatalf("step %d: %v", steps, err)
+			}
+		}
+		if d := Diff(prev, tgt); len(d) == 0 {
+			t.Fatalf("step %d: target identical to predecessor", steps)
+		}
+		prev = tgt
+	}
+	if steps != 6 {
+		t.Fatalf("steps = %d, want 6", steps)
+	}
+}
+
+func TestRollingUpdatesStepsAreFeasibleScenarios(t *testing.T) {
+	topo := topology.SmallWorld(50, 4, 0.3, 5)
+	s, err := RollingUpdates(topo, RollingOptions{
+		Pairs: 2, Property: Reachability, Seed: 5, Steps: 3, FlipsPerStep: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.Init()
+	for {
+		tgt, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := &Scenario{Name: "roll", Topo: s.Topo(), Init: prev, Final: tgt, Specs: s.Specs()}
+		if err := sc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		prev = tgt
+	}
+}
+
+// TestScenarioStreamRejectsUnknownFields: a misspelled delta key must
+// fail loudly, not silently decode into a no-op target.
+func TestScenarioStreamRejectsUnknownFields(t *testing.T) {
+	bad := `
+{"name":"line","topology":{"switches":3,"links":[[0,1],[1,2]],
+ "hosts":[{"id":100,"switch":0},{"id":101,"switch":2}]},
+ "classes":[{"name":"c","src":100,"dst":101,"path":[0,1,2],"spec":"true"}]}
+{"rerouted":[{"class":"c","path":[0,1,2]}]}
+`
+	s, err := OpenStream(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err == nil {
+		t.Fatal("misspelled delta key must be rejected")
+	}
+}

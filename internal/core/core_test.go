@@ -107,7 +107,7 @@ func TestFig1RedBlueWaypointSynthesis(t *testing.T) {
 func TestWaitRemovalKeepsPaperBarrier(t *testing.T) {
 	sc := config.Fig1RedBlueWaypoint()
 	_, n := config.Fig1Topology()
-	e, err := newEngine(sc, Options{})
+	e, err := newEngineShell(sc, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"runtime"
 	"time"
 
@@ -22,26 +21,28 @@ import (
 // unit counts where fan-out cannot pay for itself. It returns
 // ErrNoOrdering if no simple careful sequence exists at the requested
 // granularity.
+//
+// Synthesize is the one-shot entry point: it is a thin wrapper that opens
+// a Session for the scenario's endpoints and serves a single target.
+// Callers facing a stream of configuration changes over one topology
+// should hold a Session (or the netupdate.Synthesizer façade) instead and
+// let the per-class structures, label tables, and engine scratch stay
+// warm between syntheses.
 func Synthesize(sc *config.Scenario, opts Options) (*Plan, error) {
 	start := time.Now()
-	e, err := newEngine(sc, opts)
+	s, err := NewSession(sc.Topo, sc.Init, sc.Specs, opts)
 	if err != nil {
 		return nil, err
 	}
-	steps, err := e.run()
-	if err != nil {
-		return nil, err
+	s.ephemeral = true
+	plan, err := s.synthesize(sc.Name, sc.Final)
+	if plan != nil {
+		// One-shot semantics: Elapsed covers structure construction too,
+		// as it did before the session refactor. (Session callers get
+		// per-run time — construction amortizes across their stream.)
+		plan.Stats.Elapsed = time.Since(start)
 	}
-	e.stats.WaitsBefore = countWaits(steps)
-	if !opts.NoWaitRemoval {
-		wrStart := time.Now()
-		steps = e.removeWaits(steps)
-		e.stats.WaitRemovalTime = time.Since(wrStart)
-	}
-	e.stats.WaitsAfter = countWaits(steps)
-	e.collectCheckerStats()
-	e.stats.Elapsed = time.Since(start)
-	return &Plan{Steps: steps, Stats: e.stats}, nil
+	return plan, err
 }
 
 // Search-control sentinels (not terminal failures):
@@ -79,6 +80,13 @@ type engine struct {
 
 	ks       []*kripke.K
 	checkers []mc.Checker
+	// canSkip[i] marks checker i as mc.DeltaInvariant: an empty per-class
+	// delta lets the engine skip its Update/verdict round-trip entirely.
+	canSkip []bool
+	// statsBase snapshots each persistent checker's cumulative counters
+	// at attach time: session checkers live across runs, so per-run stats
+	// are deltas against this baseline.
+	statsBase []mc.Stats
 
 	curTables map[int]network.Table
 
@@ -118,18 +126,32 @@ type engine struct {
 	stats Stats
 }
 
-func newEngine(sc *config.Scenario, opts Options) (*engine, error) {
+// newEngineShell builds an engine minus its per-class structures: units,
+// search order, deadline, and per-run scratch. The session attaches its
+// warm Kripke structures and checkers afterwards; scr (when non-nil)
+// supplies pooled scratch reset in place instead of reallocated.
+func newEngineShell(sc *config.Scenario, opts Options, scr *engineScratch) (*engine, error) {
 	units, err := computeUnits(sc, opts.RuleGranularity, opts.TwoSimple)
 	if err != nil {
 		return nil, err
 	}
 	e := &engine{
-		sc:        sc,
-		opts:      opts,
-		units:     units,
-		visited:   newBitsetSet(),
-		curTables: map[int]network.Table{},
-		stop:      newAbort(),
+		sc:    sc,
+		opts:  opts,
+		units: units,
+		stop:  newAbort(),
+	}
+	if scr != nil {
+		scr.visited.reset()
+		clear(scr.curTables)
+		e.visited = scr.visited
+		e.curTables = scr.curTables
+		e.bfsSeen, e.bfsEpoch = scr.bfsSeen, scr.bfsEpoch
+		e.bfsQueue, e.startsBuf = scr.bfsQueue, scr.startsBuf
+		e.actsA, e.actsB = scr.actsA, scr.actsB
+	} else {
+		e.visited = newBitsetSet()
+		e.curTables = map[int]network.Table{}
 	}
 	workers := e.workerCount()
 	e.shared = newSharedState(workers > 1, opts.FirstPlanWins)
@@ -149,41 +171,16 @@ func newEngine(sc *config.Scenario, opts Options) (*engine, error) {
 	for _, u := range units {
 		e.curTables[u.sw] = sc.Init.Table(u.sw)
 	}
-	factory := opts.Checker.factory()
-	// Verify the final configuration first: if it violates the spec, no
-	// sequence can be correct.
-	for _, cs := range sc.Specs {
-		kf, err := kripke.Build(sc.Topo, sc.Final, cs.Class)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrFinalViolation, err)
-		}
-		chk, err := mc.NewIncremental(kf, cs.Formula)
-		if err != nil {
-			return nil, err
-		}
-		if !chk.Check().OK {
-			return nil, fmt.Errorf("%w: class %v", ErrFinalViolation, cs.Class)
-		}
-	}
-	// Build the per-class structures over the initial configuration and
-	// run the initial full check (Figure 4, line 7).
-	for _, cs := range sc.Specs {
-		k, err := kripke.Build(sc.Topo, sc.Init, cs.Class)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrInitialViolation, err)
-		}
-		chk, err := factory(k, cs.Formula)
-		if err != nil {
-			return nil, err
-		}
-		e.stats.Checks++
-		if !chk.Check().OK {
-			return nil, fmt.Errorf("%w: class %v", ErrInitialViolation, cs.Class)
-		}
-		e.ks = append(e.ks, k)
-		e.checkers = append(e.checkers, chk)
-	}
 	return e, nil
+}
+
+// snapshotCheckerStats records the attached checkers' cumulative counters
+// so collectCheckerStats reports this run's work only.
+func (e *engine) snapshotCheckerStats() {
+	e.statsBase = e.statsBase[:0]
+	for _, c := range e.checkers {
+		e.statsBase = append(e.statsBase, c.Stats())
+	}
 }
 
 // workerCount resolves Options.Parallelism: 0 means GOMAXPROCS, and tiny
@@ -339,6 +336,11 @@ func (e *engine) markDead(b bitset) {
 // applyAndCheck installs the new table for sw in every class structure
 // and re-checks each. On failure it reports the counterexample switches
 // (if any) and leaves reverting to the caller via the returned frames.
+// Classes the unit does not touch — the update yields an empty delta
+// because the switch change is invisible to the class's forwarding — skip
+// the checker round-trip entirely when the backend's verdict depends only
+// on the class structure (mc.DeltaInvariant); most units in multi-class
+// scenarios touch one class, so this is the common case.
 func (e *engine) applyAndCheck(sw int, tbl network.Table) (frames []frame, failed bool, cexSwitches []int, err error) {
 	for ci := range e.ks {
 		delta, uerr := e.ks[ci].UpdateSwitch(sw, tbl)
@@ -350,6 +352,11 @@ func (e *engine) applyAndCheck(sw int, tbl network.Table) (frames []frame, faile
 				return frames, true, switchesOfStates(loop.Cycle), nil
 			}
 			return frames, false, nil, uerr
+		}
+		if len(delta.Changed()) == 0 && e.canSkip[ci] {
+			e.stats.ClassSkips++
+			frames = append(frames, frame{class: ci, delta: delta, token: nil})
+			continue
 		}
 		verdict, tok := e.checkers[ci].Update(delta)
 		e.stats.Checks++
@@ -365,11 +372,15 @@ func (e *engine) applyAndCheck(sw int, tbl network.Table) (frames []frame, faile
 	return frames, false, nil, nil
 }
 
-// revert undoes applied frames in reverse order.
+// revert undoes applied frames in reverse order. A nil token marks a
+// frame whose checker never saw the update (class skip or stateless
+// replay), so only the Kripke structure is rolled back.
 func (e *engine) revert(frames []frame) {
 	for i := len(frames) - 1; i >= 0; i-- {
 		f := frames[i]
-		e.checkers[f.class].Revert(f.token)
+		if f.token != nil {
+			e.checkers[f.class].Revert(f.token)
+		}
 		e.ks[f.class].Revert(f.delta)
 	}
 }
@@ -446,13 +457,17 @@ func (e *engine) matchesWrong(cfg bitset) bool {
 }
 
 func (e *engine) collectCheckerStats() {
-	for _, c := range e.checkers {
+	for i, c := range e.checkers {
 		s := c.Stats()
-		e.stats.StatesLabeled += s.StatesLabeled
-		e.stats.Relabels += s.Relabels
-		e.stats.LabelsInterned += s.LabelsInterned
-		e.stats.ExtendHits += s.ExtendHits
-		e.stats.ExtendMisses += s.ExtendMisses
+		var base mc.Stats
+		if i < len(e.statsBase) {
+			base = e.statsBase[i]
+		}
+		e.stats.StatesLabeled += s.StatesLabeled - base.StatesLabeled
+		e.stats.Relabels += s.Relabels - base.Relabels
+		e.stats.LabelsInterned += s.LabelsInterned - base.LabelsInterned
+		e.stats.ExtendHits += s.ExtendHits - base.ExtendHits
+		e.stats.ExtendMisses += s.ExtendMisses - base.ExtendMisses
 	}
 }
 

@@ -62,6 +62,28 @@ func (k CheckerKind) factory() mc.Factory {
 	}
 }
 
+// warmFactory is the session construction path: the labeling backends
+// draw their closure and intern table from the session's mc.Warmth cache
+// (shared across classes, runs, and the final-verification checkers);
+// the automaton and header-space backends have no structure-independent
+// caches and ignore it.
+func (k CheckerKind) warmFactory() mc.WarmFactory {
+	switch k {
+	case CheckerBatch:
+		return mc.NewBatchWarm
+	case CheckerNuSMV:
+		return func(kk *kripke.K, spec *ltl.Formula, _ *mc.Warmth) (mc.Checker, error) {
+			return buchi.New(kk, spec)
+		}
+	case CheckerNetPlumber:
+		return func(kk *kripke.K, spec *ltl.Formula, _ *mc.Warmth) (mc.Checker, error) {
+			return hsa.New(kk, spec)
+		}
+	default:
+		return mc.NewIncrementalWarm
+	}
+}
+
 // Options configures synthesis. The zero value is the paper's default
 // configuration — incremental checker, switch granularity, counterexample
 // learning, early termination, and wait removal all enabled — run on the
@@ -125,6 +147,7 @@ var (
 type Stats struct {
 	Units           int  // update units (switches or rules)
 	Checks          int  // model-checker calls
+	ClassSkips      int  // checker calls skipped because the unit's delta was empty for the class
 	StatesLabeled   int  // checker work units
 	Relabels        int  // incremental label recomputations that changed a label
 	LabelsInterned  int  // distinct label sets interned by the labeling checkers

@@ -98,6 +98,7 @@ func (e *engine) cloneForWorker() (*engine, error) {
 		opts:        e.opts,
 		units:       e.units,
 		order:       e.order,
+		canSkip:     e.canSkip, // read-only, same checker types per class
 		curTables:   make(map[int]network.Table, len(e.curTables)),
 		visited:     newBitsetSet(),
 		shared:      e.shared,
@@ -273,6 +274,7 @@ func (e *engine) runParallel(empty bitset, workers int) ([]Step, error) {
 // mergeWorkerStats folds a worker engine's counters into the base stats.
 func (e *engine) mergeWorkerStats(w *engine) {
 	e.stats.Checks += w.stats.Checks
+	e.stats.ClassSkips += w.stats.ClassSkips
 	e.stats.CexLearned += w.stats.CexLearned
 	e.stats.WrongPruned += w.stats.WrongPruned
 	e.stats.VisitedPruned += w.stats.VisitedPruned
@@ -392,6 +394,11 @@ func (w *engine) replayUnit(sw int, tbl network.Table) (frames []frame, failed b
 				return frames, true, nil
 			}
 			return frames, false, uerr
+		}
+		if len(delta.Changed()) == 0 && w.canSkip[ci] {
+			w.stats.ClassSkips++
+			frames = append(frames, frame{class: ci, delta: delta, token: nil})
+			continue
 		}
 		if _, stateless := w.checkers[ci].(mc.Stateless); stateless {
 			frames = append(frames, frame{class: ci, delta: delta, token: nil})

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/kripke"
+	"netupdate/internal/mc"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// Session is a long-lived synthesizer bound to one topology and one set
+// of class specifications, serving a stream of target configurations. A
+// production controller faces exactly this shape of load — a sequence of
+// configuration changes over a fixed network — and rebuilding every
+// per-class Kripke structure, re-interning every label, and re-allocating
+// all engine scratch per change throws away state that is expensive to
+// create and cheap to maintain. The session keeps it warm instead:
+//
+//   - per-class Kripke structures are rebound in place over the existing
+//     state-space arena (kripke.K.Rebind) instead of rebuilt, touching
+//     only the switches whose tables changed;
+//   - checkers persist across syntheses through mc.Rebindable, so
+//     interned label sets, closure-extension memos, sink-label caches and
+//     translated automata survive; the mc.Warmth cache additionally
+//     shares closures and label tables between all checkers of one
+//     formula (including the final-verification checkers);
+//   - engine scratch — the visited set, the current-table map, and the
+//     wait-removal BFS buffers — is pooled in the session and reset per
+//     run instead of reallocated.
+//
+// Synthesize(final) produces the plan from the session's current
+// configuration to final and, on success, advances the current
+// configuration. A Session must not be used from more than one goroutine
+// at a time (each Synthesize still fans out to the parallel worker pool
+// internally per Options.Parallelism). Configurations handed to the
+// session are retained and must not be mutated by the caller afterwards.
+type Session struct {
+	topo  *topology.Topology
+	specs []config.ClassSpec
+	opts  Options
+	cur   *config.Config
+
+	warm     *mc.Warmth
+	ks       []*kripke.K
+	checkers []mc.Checker
+	canSkip  []bool // checker i implements mc.DeltaInvariant
+
+	// Final-verification structures, built lazily on the first Synthesize
+	// and rebound to each new target afterwards.
+	fks     []*kripke.K
+	fchecks []mc.Checker
+
+	scratch engineScratch
+	runs    int
+	// ephemeral marks a single-use session (the one-shot Synthesize
+	// wrapper): the post-run resync that keeps warm structures consistent
+	// is pure waste on structures about to be discarded, so it is skipped.
+	ephemeral bool
+}
+
+// engineScratch is the pooled per-run state handed to each engine: reset
+// is O(live entries), not O(capacity), and nothing is reallocated across
+// syntheses.
+type engineScratch struct {
+	visited   *bitsetSet
+	curTables map[int]network.Table
+	bfsSeen   []int32
+	bfsEpoch  int32
+	bfsQueue  []int
+	startsBuf []int
+	actsA     []network.Action
+	actsB     []network.Action
+}
+
+// NewSession builds the warm per-class structures over the initial
+// configuration and verifies it against every specification (returning
+// ErrInitialViolation otherwise). The checker backend, granularity, and
+// search options are fixed for the session's lifetime.
+func NewSession(topo *topology.Topology, init *config.Config, specs []config.ClassSpec, opts Options) (*Session, error) {
+	s := &Session{
+		topo:  topo,
+		specs: specs,
+		opts:  opts,
+		cur:   init,
+		warm:  mc.NewWarmth(),
+		scratch: engineScratch{
+			visited:   newBitsetSet(),
+			curTables: map[int]network.Table{},
+		},
+	}
+	factory := opts.Checker.warmFactory()
+	for _, cs := range specs {
+		k, err := kripke.Build(topo, init, cs.Class)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInitialViolation, err)
+		}
+		chk, err := factory(k, cs.Formula, s.warm)
+		if err != nil {
+			return nil, err
+		}
+		if !chk.Check().OK {
+			return nil, fmt.Errorf("%w: class %v", ErrInitialViolation, cs.Class)
+		}
+		s.ks = append(s.ks, k)
+		s.checkers = append(s.checkers, chk)
+		_, di := chk.(mc.DeltaInvariant)
+		s.canSkip = append(s.canSkip, di)
+	}
+	return s, nil
+}
+
+// Current returns the configuration the session is at: the initial one,
+// or the target of the last successful Synthesize.
+func (s *Session) Current() *config.Config { return s.cur }
+
+// Runs returns the number of Synthesize calls served so far.
+func (s *Session) Runs() int { return s.runs }
+
+// Synthesize runs ORDERUPDATE from the session's current configuration
+// to final, reusing the warm per-class structures, and advances the
+// current configuration on success. Failed syntheses (including
+// ErrNoOrdering) leave the session at its previous configuration, ready
+// for the next target.
+func (s *Session) Synthesize(final *config.Config) (*Plan, error) {
+	return s.synthesize("", final)
+}
+
+func (s *Session) synthesize(name string, final *config.Config) (*Plan, error) {
+	start := time.Now()
+	s.runs++
+	sc := &config.Scenario{
+		Name:  name,
+		Topo:  s.topo,
+		Init:  s.cur,
+		Final: final,
+		Specs: s.specs,
+	}
+	e, err := newEngineShell(sc, s.opts, &s.scratch)
+	if err != nil {
+		return nil, err
+	}
+	// Verify the target before searching: if it violates the spec, no
+	// sequence can be correct (Figure 4, line 2). The initial endpoint
+	// was verified when the session was opened, so a scenario whose
+	// endpoints are both bad reports ErrInitialViolation (from NewSession)
+	// rather than the pre-session ErrFinalViolation. The verification
+	// structures are warm too — rebound, not rebuilt.
+	if err := s.verifyFinal(e, final); err != nil {
+		return nil, err
+	}
+	e.ks, e.checkers, e.canSkip = s.ks, s.checkers, s.canSkip
+	e.snapshotCheckerStats()
+
+	steps, runErr := e.run()
+	var plan *Plan
+	if runErr == nil {
+		e.stats.WaitsBefore = countWaits(steps)
+		if !s.opts.NoWaitRemoval {
+			wrStart := time.Now()
+			steps = e.removeWaits(steps)
+			e.stats.WaitRemovalTime = time.Since(wrStart)
+		}
+		e.stats.WaitsAfter = countWaits(steps)
+		e.collectCheckerStats()
+		e.stats.Elapsed = time.Since(start)
+		plan = &Plan{Steps: steps, Stats: e.stats}
+	}
+	s.reclaimScratch(e)
+
+	// Resync the warm structures to a known configuration: the new
+	// current one on success, the previous one otherwise. The rebind is
+	// diff-aware, so when the engine already left the structures there
+	// (sequential search) it is a table-equality sweep and the checkers
+	// are not touched at all. A single-use session skips this — its
+	// structures are discarded with the session.
+	if s.ephemeral {
+		if runErr != nil {
+			return nil, runErr
+		}
+		s.cur = final
+		return plan, nil
+	}
+	target := s.cur
+	if runErr == nil {
+		target = final
+	}
+	for i := range s.ks {
+		changed, touched, rerr := s.ks[i].Rebind(target)
+		if rerr != nil {
+			// target was verified loop-free for every class (the initial
+			// configuration at session construction, every successful
+			// final here), so this indicates structure corruption.
+			return nil, fmt.Errorf("core: session resync: %v", rerr)
+		}
+		if s.needsRebind(i, changed, touched) {
+			rebindChecker(s.checkers[i])
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	s.cur = final
+	return plan, nil
+}
+
+// verifyFinal checks the target configuration against every class
+// specification through the selected backend, rebinding (or lazily
+// building) the session's dedicated verification structures. On failure
+// the structures are left in a consistent state — either fully absent
+// (lazy build aborted) or bound to a loop-free configuration with their
+// checkers in sync — so the session serves the next target normally.
+func (s *Session) verifyFinal(e *engine, final *config.Config) error {
+	if s.fks == nil {
+		// Build into locals: a failure part-way drops the partial set and
+		// the next Synthesize rebuilds from scratch.
+		factory := s.opts.Checker.warmFactory()
+		fks := make([]*kripke.K, 0, len(s.specs))
+		fchecks := make([]mc.Checker, 0, len(s.specs))
+		for _, cs := range s.specs {
+			kf, err := kripke.Build(s.topo, final, cs.Class)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrFinalViolation, err)
+			}
+			chk, err := factory(kf, cs.Formula, s.warm)
+			if err != nil {
+				return err
+			}
+			e.stats.Checks++
+			if !chk.Check().OK {
+				return fmt.Errorf("%w: class %v", ErrFinalViolation, cs.Class)
+			}
+			fks = append(fks, kf)
+			fchecks = append(fchecks, chk)
+		}
+		s.fks, s.fchecks = fks, fchecks
+		return nil
+	}
+	for i, cs := range s.specs {
+		changed, touched, err := s.fks[i].Rebind(final)
+		if err != nil {
+			// The target forwards class i in a cycle (or is otherwise
+			// malformed). The structure has been rebound toward final;
+			// pull it back to the session's current configuration —
+			// verified loop-free for every class — before refreshing the
+			// checker: relabeling a cyclic structure is undefined.
+			restoredC, restoredT, rerr := s.fks[i].Rebind(s.cur)
+			if rerr != nil {
+				return fmt.Errorf("core: session final-verify resync: %v", rerr)
+			}
+			if s.needsRebind(i, changed, touched) || s.needsRebind(i, restoredC, restoredT) {
+				rebindChecker(s.fchecks[i])
+			}
+			return fmt.Errorf("%w: %v", ErrFinalViolation, err)
+		}
+		if s.needsRebind(i, changed, touched) {
+			rebindChecker(s.fchecks[i])
+		}
+		e.stats.Checks++
+		if !s.fchecks[i].Check().OK {
+			return fmt.Errorf("%w: class %v", ErrFinalViolation, cs.Class)
+		}
+	}
+	return nil
+}
+
+// needsRebind reports whether class i's checker must be refreshed after a
+// structure rebind: label-based backends (mc.DeltaInvariant) depend only
+// on the class's transition relation, while table-tracking backends (the
+// header-space checker) must see every raw table replacement.
+func (s *Session) needsRebind(i int, changed, touched []int) bool {
+	if len(changed) > 0 {
+		return true
+	}
+	return !s.canSkip[i] && len(touched) > 0
+}
+
+// rebindChecker refreshes a checker after its structure was rebound in
+// place. All four shipped backends implement mc.Rebindable; the panic is
+// a loud guard against a future backend that forgets to.
+func rebindChecker(c mc.Checker) {
+	r, ok := c.(mc.Rebindable)
+	if !ok {
+		panic(fmt.Sprintf("core: checker %s is not rebindable", c.Name()))
+	}
+	r.Rebind()
+}
+
+// reclaimScratch takes the (possibly grown) per-run buffers back from the
+// engine so the next synthesis reuses them.
+func (s *Session) reclaimScratch(e *engine) {
+	s.scratch.bfsSeen, s.scratch.bfsEpoch = e.bfsSeen, e.bfsEpoch
+	s.scratch.bfsQueue = e.bfsQueue
+	s.scratch.startsBuf = e.startsBuf
+	s.scratch.actsA, s.scratch.actsB = e.actsA, e.actsB
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+	"netupdate/internal/mc"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// rollingTargets materializes a small rolling-update walk so every engine
+// configuration under test sees the identical stream.
+func rollingTargets(t *testing.T, seed int64, pairs, steps, flips int) (*config.RollingStream, []*config.Config) {
+	t.Helper()
+	topo := topology.SmallWorld(50, 4, 0.3, seed)
+	s, err := config.RollingUpdates(topo, config.RollingOptions{
+		Pairs: pairs, Property: config.Reachability, Seed: seed,
+		Steps: steps, FlipsPerStep: flips,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []*config.Config
+	for {
+		tgt, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, tgt)
+	}
+	return s, targets
+}
+
+// TestSessionWarmColdConformance: the Nth plan from a long-lived session
+// must equal the plan a fresh one-shot Synthesize produces for the same
+// (previous, target) pair — across all four checker backends, sequential
+// and 4-worker deterministic parallel engines. Run with -race in CI, this
+// also exercises worker clones over rebound structures.
+func TestSessionWarmColdConformance(t *testing.T) {
+	stream, targets := rollingTargets(t, 23, 2, 4, 1)
+	for _, kind := range []CheckerKind{CheckerIncremental, CheckerBatch, CheckerNuSMV, CheckerNetPlumber} {
+		for _, workers := range []int{1, 4} {
+			opts := Options{Checker: kind, Parallelism: workers}
+			name := kind.String()
+			sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), opts)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, workers, err)
+			}
+			cur := stream.Init()
+			for n, tgt := range targets {
+				warm, err := sess.Synthesize(tgt)
+				if err != nil {
+					t.Fatalf("%s/%d step %d: warm: %v", name, workers, n, err)
+				}
+				cold, err := Synthesize(&config.Scenario{
+					Name: "cold", Topo: stream.Topo(), Init: cur, Final: tgt,
+					Specs: stream.Specs(),
+				}, opts)
+				if err != nil {
+					t.Fatalf("%s/%d step %d: cold: %v", name, workers, n, err)
+				}
+				if got, want := warm.String(), cold.String(); got != want {
+					t.Fatalf("%s/%d step %d: warm plan diverged:\nwarm %s\ncold %s",
+						name, workers, n, got, want)
+				}
+				if got, want := sess.Current(), tgt; got != want {
+					t.Fatalf("%s/%d step %d: session did not advance", name, workers, n)
+				}
+				cur = tgt
+			}
+			if sess.Runs() != len(targets) {
+				t.Fatalf("%s/%d: runs = %d, want %d", name, workers, sess.Runs(), len(targets))
+			}
+		}
+	}
+}
+
+// TestSessionRebindLabelEquality is the metamorphic rolling-stream walk:
+// after every synthesis (and hence every in-place rebind), the warm
+// incremental checkers' per-state labels must equal those of checkers
+// built from scratch over the session's current configuration.
+func TestSessionRebindLabelEquality(t *testing.T) {
+	stream, targets := rollingTargets(t, 31, 2, 5, 2)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLabels := func(step int) {
+		t.Helper()
+		for ci, cs := range sess.specs {
+			warm, ok := sess.checkers[ci].(*mc.Incremental)
+			if !ok {
+				t.Fatalf("step %d: checker %d is %T, want *mc.Incremental", step, ci, sess.checkers[ci])
+			}
+			k2, err := kripke.Build(sess.topo, sess.cur, cs.Class)
+			if err != nil {
+				t.Fatalf("step %d class %v: %v", step, cs.Class, err)
+			}
+			coldC, err := mc.NewIncremental(k2, cs.Formula)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := coldC.(*mc.Incremental)
+			if warmOK, coldOK := warm.Check().OK, cold.Check().OK; warmOK != coldOK {
+				t.Fatalf("step %d class %v: warm OK=%v cold OK=%v", step, cs.Class, warmOK, coldOK)
+			}
+			for id := 0; id < k2.NumStates(); id++ {
+				wl, cl := warm.Labels(id), cold.Labels(id)
+				if len(wl) != len(cl) {
+					t.Fatalf("step %d class %v state %d: labels diverge\nwarm %v\ncold %v",
+						step, cs.Class, id, wl, cl)
+				}
+				for j := range wl {
+					if wl[j] != cl[j] {
+						t.Fatalf("step %d class %v state %d: labels diverge\nwarm %v\ncold %v",
+							step, cs.Class, id, wl, cl)
+					}
+				}
+			}
+		}
+	}
+	checkLabels(-1)
+	for n, tgt := range targets {
+		if _, err := sess.Synthesize(tgt); err != nil {
+			t.Fatalf("step %d: %v", n, err)
+		}
+		checkLabels(n)
+	}
+}
+
+// TestSessionSurvivesFailedSynthesis: a target that violates the
+// specification (or admits no ordering) must leave the session at its
+// previous configuration with warm state intact, and later syntheses
+// must still conform to one-shot runs.
+func TestSessionSurvivesFailedSynthesis(t *testing.T) {
+	stream, targets := rollingTargets(t, 41, 2, 2, 1)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A target that drops a class entirely violates its reachability spec.
+	bad := stream.Init().Clone()
+	config.RemoveClassRules(bad, stream.Specs()[0].Class)
+	if _, err := sess.Synthesize(bad); !errors.Is(err, ErrFinalViolation) {
+		t.Fatalf("err = %v, want ErrFinalViolation", err)
+	}
+	if sess.Current() != stream.Init() {
+		t.Fatal("failed synthesis must not advance the session")
+	}
+	cur := stream.Init()
+	for n, tgt := range targets {
+		warm, err := sess.Synthesize(tgt)
+		if err != nil {
+			t.Fatalf("step %d: %v", n, err)
+		}
+		cold, err := Synthesize(&config.Scenario{
+			Name: "cold", Topo: stream.Topo(), Init: cur, Final: tgt, Specs: stream.Specs(),
+		}, Options{})
+		if err != nil {
+			t.Fatalf("step %d: cold: %v", n, err)
+		}
+		if warm.String() != cold.String() {
+			t.Fatalf("step %d: plans diverged after a failed synthesis:\nwarm %s\ncold %s",
+				n, warm.String(), cold.String())
+		}
+		cur = tgt
+	}
+}
+
+// TestSessionInitialViolation: a session cannot be opened over an initial
+// configuration that violates the specification.
+func TestSessionInitialViolation(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	_, n := config.Fig1Topology()
+	sc.Specs[0].Formula = ltl.Waypoint(n.T1, n.C2, n.T3)
+	if _, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{}); !errors.Is(err, ErrInitialViolation) {
+		t.Fatalf("err = %v, want ErrInitialViolation", err)
+	}
+}
+
+// TestSessionClassSkips: with more than one class, most units touch only
+// one class's forwarding, so the empty-delta fast path must fire and be
+// counted.
+func TestSessionClassSkips(t *testing.T) {
+	stream, targets := rollingTargets(t, 53, 2, 3, 1)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skips := 0
+	for _, tgt := range targets {
+		plan, err := sess.Synthesize(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skips += plan.Stats.ClassSkips
+	}
+	if skips == 0 {
+		t.Fatal("no class skips recorded on a two-class stream; fast path dead")
+	}
+}
+
+// TestSessionLazyFinalBuildAbortsCleanly: the very first Synthesize
+// failing final verification on a *later* class must drop the partially
+// built verification structures entirely — the next Synthesize rebuilds
+// them and serves normally (regression: partial s.fks caused an index
+// panic on the rebind path).
+func TestSessionLazyFinalBuildAbortsCleanly(t *testing.T) {
+	stream, targets := rollingTargets(t, 67, 2, 2, 1)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0 keeps a valid route; class 1 (the later one) is dropped, so
+	// the lazy final-verify build appends class 0 and then fails.
+	bad := stream.Init().Clone()
+	config.RemoveClassRules(bad, stream.Specs()[1].Class)
+	if _, err := sess.Synthesize(bad); !errors.Is(err, ErrFinalViolation) {
+		t.Fatalf("err = %v, want ErrFinalViolation", err)
+	}
+	cur := stream.Init()
+	for n, tgt := range targets {
+		warm, err := sess.Synthesize(tgt)
+		if err != nil {
+			t.Fatalf("step %d after aborted lazy build: %v", n, err)
+		}
+		cold, err := Synthesize(&config.Scenario{
+			Name: "cold", Topo: stream.Topo(), Init: cur, Final: tgt, Specs: stream.Specs(),
+		}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.String() != cold.String() {
+			t.Fatalf("step %d: plans diverged:\nwarm %s\ncold %s", n, warm.String(), cold.String())
+		}
+		cur = tgt
+	}
+}
+
+// TestSessionSurvivesLoopingTarget: a target that forwards a class in a
+// cycle must fail with ErrFinalViolation — on every submission, not just
+// the first — and leave the session fully serviceable (regression: the
+// rebound-but-never-relabeled verification checker accepted the looping
+// target when it was resubmitted unchanged).
+func TestSessionSurvivesLoopingTarget(t *testing.T) {
+	stream, targets := rollingTargets(t, 71, 2, 2, 1)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A successful run first, so the verification structures exist and
+	// the looping target exercises the rebind path.
+	if _, err := sess.Synthesize(targets[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Loop class 0 between two adjacent switches.
+	topo := stream.Topo()
+	cl := stream.Specs()[0].Class
+	a := 0
+	link, ok := topo.LinkAt(a, topo.Ports(a)[0])
+	if !ok {
+		t.Fatal("switch 0 has no link")
+	}
+	b := link.Peer
+	pab, _ := topo.PortToward(a, b)
+	pba, _ := topo.PortToward(b, a)
+	bad := targets[0].Clone()
+	config.RemoveClassRules(bad, cl)
+	bad.AddRule(a, network.Rule{Priority: 10, Match: cl.Pattern(),
+		Actions: []network.Action{network.Forward(pab)}})
+	bad.AddRule(b, network.Rule{Priority: 10, Match: cl.Pattern(),
+		Actions: []network.Action{network.Forward(pba)}})
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := sess.Synthesize(bad); !errors.Is(err, ErrFinalViolation) {
+			t.Fatalf("attempt %d: err = %v, want ErrFinalViolation", attempt, err)
+		}
+	}
+	// The session still serves good targets, conforming to one-shot runs.
+	warm, err := sess.Synthesize(targets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Synthesize(&config.Scenario{
+		Name: "cold", Topo: topo, Init: targets[0], Final: targets[1], Specs: stream.Specs(),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.String() != cold.String() {
+		t.Fatalf("plans diverged after looping target:\nwarm %s\ncold %s", warm.String(), cold.String())
+	}
+}

@@ -44,6 +44,10 @@ type bitsetSet struct {
 
 func newBitsetSet() *bitsetSet { return &bitsetSet{m: map[uint64][]bitset{}} }
 
+// reset empties the set, keeping the map's buckets so a pooled set costs
+// nothing to reuse across session runs.
+func (s *bitsetSet) reset() { clear(s.m) }
+
 // has reports membership.
 func (s *bitsetSet) has(b bitset) bool {
 	for _, e := range s.m[b.hash()] {

@@ -21,15 +21,27 @@ type Checker struct {
 
 // New builds the checker over the class structure's current tables.
 func New(k *kripke.K, spec *ltl.Formula) (mc.Checker, error) {
+	return &Checker{k: k, p: plumberFor(k), spec: spec}, nil
+}
+
+// plumberFor builds a plumbing graph over the tables currently installed
+// in the class structure.
+func plumberFor(k *kripke.K) *Plumber {
 	tables := map[int]network.Table{}
 	for sw := 0; sw < k.Topo.NumSwitches(); sw++ {
 		if tbl := k.Table(sw); len(tbl) > 0 {
 			tables[sw] = tbl
 		}
 	}
-	p := NewPlumber(k.Topo, tables, FromPacket(k.Class.Packet()))
-	return &Checker{k: k, p: p, spec: spec}, nil
+	return NewPlumber(k.Topo, tables, FromPacket(k.Class.Packet()))
 }
+
+// Rebind implements mc.Rebindable by rebuilding the plumbing graph from
+// the structure's current tables: the header-space engine's bookkeeping
+// is incremental over individual rule operations and cannot absorb an
+// arbitrary in-place rebind any cheaper than a rebuild (the same path
+// CloneFor takes).
+func (c *Checker) Rebind() { c.p = plumberFor(c.k) }
 
 // Name implements mc.Checker.
 func (c *Checker) Name() string { return "netplumber-like" }
@@ -142,6 +154,7 @@ outer:
 }
 
 var (
-	_ mc.Checker   = (*Checker)(nil)
-	_ mc.Cloneable = (*Checker)(nil)
+	_ mc.Checker    = (*Checker)(nil)
+	_ mc.Cloneable  = (*Checker)(nil)
+	_ mc.Rebindable = (*Checker)(nil)
 )

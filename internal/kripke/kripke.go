@@ -76,6 +76,11 @@ type K struct {
 	// outBuf is recomputeSwitch's reusable table-application buffer;
 	// private per structure (clones start fresh).
 	outBuf []network.PortPacket
+	// oldBuf is UpdateSwitch's reusable pre-update successor snapshot;
+	// only genuinely changed entries graduate into the returned Delta.
+	oldBuf [][]int
+	// rootBuf is Rebind's reusable cycle-check root buffer.
+	rootBuf []int
 }
 
 // Build constructs the Kripke structure of class cl under cfg. It returns
@@ -227,12 +232,15 @@ func removeOne(xs []int, v int) []int {
 // changed, with enough information to revert and to re-apply. The state
 // ids and the old/new successor lists are parallel slices, so consumers
 // iterate the changed region without allocating and in a deterministic
-// order (the switch's arrival-state order).
+// order (the switch's arrival-state order). Only states whose successor
+// list genuinely changed are recorded: a table replacement that leaves the
+// class's forwarding intact yields an empty delta, which checkers and the
+// synthesis engine use as a skip-this-class fast path.
 type Delta struct {
 	Switch   int
 	oldTable network.Table
 	newTable network.Table
-	ids      []int   // changed state ids (aliases statesOf; do not mutate)
+	ids      []int   // ids of states whose successors changed
 	oldSucc  [][]int // successor lists before the update
 	newSucc  [][]int // successor lists after the update (nil on error paths)
 }
@@ -252,31 +260,103 @@ func (d *Delta) Changed() []int { return d.ids }
 // configuration as wrong, learn from the cycle, and revert.
 func (k *K) UpdateSwitch(sw int, tbl network.Table) (*Delta, error) {
 	ids := k.statesOf[sw]
-	d := &Delta{
-		Switch:   sw,
-		oldTable: k.tables[sw],
-		newTable: tbl,
-		ids:      ids,
-		oldSucc:  make([][]int, len(ids)),
+	d := &Delta{Switch: sw, oldTable: k.tables[sw], newTable: tbl}
+	// Snapshot the pre-update successor lists into reusable scratch.
+	// Successor slices are replaced wholesale and never mutated in place,
+	// so holding the old headers is safe; only the headers of genuinely
+	// changed states graduate into the delta below.
+	old := k.oldBuf[:0]
+	for _, id := range ids {
+		old = append(old, k.succ[id])
 	}
-	for i, id := range ids {
-		d.oldSucc[i] = k.succ[id]
-	}
+	k.oldBuf = old
 	k.tables[sw] = tbl
 	if err := k.recomputeSwitch(sw); err != nil {
 		// Restore and fail; modification errors are programming errors.
-		k.Revert(d)
+		k.tables[sw] = d.oldTable
+		for i, id := range ids {
+			k.setSucc(id, old[i])
+		}
 		return nil, err
 	}
-	d.newSucc = make([][]int, len(ids))
 	for i, id := range ids {
-		d.newSucc[i] = k.succ[id]
+		if intsEqual(old[i], k.succ[id]) {
+			continue
+		}
+		d.ids = append(d.ids, id)
+		d.oldSucc = append(d.oldSucc, old[i])
+		d.newSucc = append(d.newSucc, k.succ[id])
 	}
-	// A new cycle must pass through a rewired state.
-	if cyc := k.findCycle(ids); cyc != nil {
-		return d, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc)}
+	// A new cycle must pass through a rewired state; an empty delta cannot
+	// have introduced one.
+	if len(d.ids) > 0 {
+		if cyc := k.findCycle(d.ids); cyc != nil {
+			return d, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc)}
+		}
 	}
 	return d, nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rebind rewires the structure in place so it reflects cfg, recomputing
+// only the switches whose installed tables differ — the state space,
+// index, and initial states are fixed by the topology and survive
+// untouched, which is what lets a long-lived session reuse one arena
+// across a whole stream of syntheses. changed lists the switches whose
+// transition function for this class actually changed, so label-based
+// checkers can skip relabeling entirely when the class is unaffected;
+// touched lists every switch whose table was replaced (a superset —
+// checkers tracking raw tables, like the header-space backend, must be
+// refreshed whenever it is non-empty). If cfg forwards the class in a
+// cycle, the structure has still been fully rebound to cfg (tables stay
+// consistent for a later Rebind) and *ErrLoop is returned. Outstanding
+// Deltas, undo tokens, and clones taken before a Rebind must not be
+// replayed afterwards.
+func (k *K) Rebind(cfg *config.Config) (changed, touched []int, err error) {
+	roots := k.rootBuf[:0]
+	for sw := 0; sw < k.Topo.NumSwitches(); sw++ {
+		tbl := cfg.Table(sw)
+		if k.tables[sw].Equal(tbl) {
+			continue
+		}
+		touched = append(touched, sw)
+		ids := k.statesOf[sw]
+		old := k.oldBuf[:0]
+		for _, id := range ids {
+			old = append(old, k.succ[id])
+		}
+		k.oldBuf = old
+		k.tables[sw] = tbl
+		if rerr := k.recomputeSwitch(sw); rerr != nil {
+			k.rootBuf = roots[:0]
+			return changed, touched, rerr
+		}
+		for i, id := range ids {
+			if !intsEqual(old[i], k.succ[id]) {
+				changed = append(changed, sw)
+				roots = append(roots, ids...)
+				break
+			}
+		}
+	}
+	k.rootBuf = roots[:0]
+	if len(roots) > 0 {
+		if cyc := k.findCycle(roots); cyc != nil {
+			return changed, touched, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc)}
+		}
+	}
+	return changed, touched, nil
 }
 
 // Revert undoes an update returned by UpdateSwitch.

@@ -334,3 +334,156 @@ func succsEqual(a, b [][]int) bool {
 	}
 	return true
 }
+
+// TestEmptyDelta: replacing a table with a behaviorally identical one (or
+// one whose differences do not touch this class) must yield an empty
+// delta, the signal the synthesis engine uses to skip the checker.
+func TestEmptyDelta(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same forwarding plus an unrelated rule for another flow: the class's
+	// transitions are unchanged.
+	tbl := cfg.Table(1).Clone()
+	tbl = append(tbl, network.Rule{
+		Priority: 5, Match: network.MatchFlow(200, 201),
+		Actions: []network.Action{network.Forward(topo.Ports(1)[0])},
+	})
+	d, err := k.UpdateSwitch(1, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed()) != 0 {
+		t.Fatalf("changed = %v, want empty delta", d.Changed())
+	}
+	if !k.Table(1).Equal(tbl) {
+		t.Fatal("table must still be installed on an empty delta")
+	}
+	k.Revert(d)
+	if !k.Table(1).Equal(cfg.Table(1)) {
+		t.Fatal("revert must restore the old table")
+	}
+	checkPredInvariant(t, k)
+}
+
+// TestRebind: rebinding in place to another configuration must produce
+// exactly the transitions a fresh Build of that configuration produces,
+// report only the switches whose class forwarding changed, and keep the
+// state arena (ids, init states) intact.
+func TestRebind(t *testing.T) {
+	topo := topology.New("diamond", 4)
+	topo.AddLink(0, 1)
+	topo.AddLink(0, 2)
+	topo.AddLink(1, 3)
+	topo.AddLink(2, 3)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 3)
+	cl := config.Class{SrcHost: 100, DstHost: 101}
+	up := config.New()
+	if err := config.InstallPath(up, topo, cl, []int{0, 1, 3}, 10); err != nil {
+		t.Fatal(err)
+	}
+	down := config.New()
+	if err := config.InstallPath(down, topo, cl, []int{0, 2, 3}, 10); err != nil {
+		t.Fatal(err)
+	}
+	k, err := Build(topo, up, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initBefore := append([]int(nil), k.Init()...)
+	changed, touched, err := k.Rebind(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sw0 redirects, sw1 loses its rule, sw2 gains one; sw3 forwards to
+	// the host in both configurations (identical table: not even visited).
+	want := map[int]bool{0: true, 1: true, 2: true}
+	for _, sw := range changed {
+		if !want[sw] {
+			t.Fatalf("unexpected changed switch %d (changed=%v)", sw, changed)
+		}
+		delete(want, sw)
+	}
+	if len(want) != 0 {
+		t.Fatalf("switches not reported as changed: %v (changed=%v)", want, changed)
+	}
+	// Every table replacement (here: the same three switches) is reported
+	// as touched, the signal table-tracking checkers rebind on.
+	if len(touched) != 3 {
+		t.Fatalf("touched = %v, want the three differing switches", touched)
+	}
+	fresh, err := Build(topo, down, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !succsEqual(snapshotSuccs(k), snapshotSuccs(fresh)) {
+		t.Fatal("rebound transitions differ from a fresh build")
+	}
+	checkPredInvariant(t, k)
+	if !intsEqual(initBefore, k.Init()) {
+		t.Fatal("rebind must not disturb initial states")
+	}
+	// Rebinding to the configuration already installed is a no-op.
+	changed, touched, err = k.Rebind(down)
+	if err != nil || len(changed) != 0 || len(touched) != 0 {
+		t.Fatalf("idempotent rebind: changed=%v touched=%v err=%v", changed, touched, err)
+	}
+	// And back again: the structure keeps tracking the target.
+	if _, _, err := k.Rebind(up); err != nil {
+		t.Fatal(err)
+	}
+	freshUp, err := Build(topo, up, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !succsEqual(snapshotSuccs(k), snapshotSuccs(freshUp)) {
+		t.Fatal("second rebind diverged from a fresh build")
+	}
+}
+
+// TestRebindDetectsLoop: a target configuration that forwards the class
+// in a cycle is reported, and the structure stays consistently bound to
+// that configuration so the session can rebind elsewhere afterwards.
+func TestRebindDetectsLoop(t *testing.T) {
+	topo := topology.New("tri", 3)
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddLink(2, 0)
+	topo.AddHost(100, 0)
+	topo.AddHost(101, 2)
+	cl := config.Class{SrcHost: 100, DstHost: 101}
+	good := config.New()
+	if err := config.InstallPath(good, topo, cl, []int{0, 1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	bad := config.New()
+	for _, hop := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		pt, _ := topo.PortToward(hop[0], hop[1])
+		bad.AddRule(hop[0], network.Rule{
+			Priority: 10, Match: cl.Pattern(),
+			Actions: []network.Action{network.Forward(pt)},
+		})
+	}
+	k, err := Build(topo, good, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *ErrLoop
+	if _, _, err := k.Rebind(bad); !errors.As(err, &loop) {
+		t.Fatalf("err = %v, want ErrLoop", err)
+	}
+	// Recovery: rebind back to the loop-free configuration.
+	if _, _, err := k.Rebind(good); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(topo, good, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !succsEqual(snapshotSuccs(k), snapshotSuccs(fresh)) {
+		t.Fatal("structure did not recover after a loop rebind")
+	}
+}

@@ -52,12 +52,24 @@ func (c *Batch) CloneFor(k2 *kripke.K) (Checker, error) {
 // StatelessMC implements Stateless: every call relabels from scratch.
 func (c *Batch) StatelessMC() {}
 
+// Rebind implements Rebindable. The batch checker re-derives everything
+// on its next Check, so nothing needs refreshing; the interned labels and
+// Extend memos it keeps remain valid (they depend only on the fixed state
+// arena) and make post-rebind relabels cheap.
+func (c *Batch) Rebind() {}
+
+// DeltaInvariantMC implements DeltaInvariant: the verdict is recomputed
+// from the class structure alone, so an empty delta cannot change it.
+func (c *Batch) DeltaInvariantMC() {}
+
 type batchToken struct{}
 
 var (
-	_ Checker   = (*Batch)(nil)
-	_ Cloneable = (*Batch)(nil)
-	_ Stateless = (*Batch)(nil)
-	_           = ltl.Valuation{}
-	_           = kripke.State{}
+	_ Checker        = (*Batch)(nil)
+	_ Cloneable      = (*Batch)(nil)
+	_ Stateless      = (*Batch)(nil)
+	_ Rebindable     = (*Batch)(nil)
+	_ DeltaInvariant = (*Batch)(nil)
+	_                = ltl.Valuation{}
+	_                = kripke.State{}
 )

@@ -78,6 +78,33 @@ type Stateless interface {
 	StatelessMC()
 }
 
+// Rebindable is implemented by every backend that can survive its Kripke
+// structure being rebound in place to a different configuration (see
+// kripke.K.Rebind): Rebind re-derives whatever internal bookkeeping
+// depends on the transition relation while keeping the warm,
+// structure-independent caches — interned labels, closure-extension
+// memos, translated automata — alive across syntheses. It is the entry
+// point long-lived sessions use instead of rebuilding checkers per run.
+// Outstanding undo tokens and clones taken before a Rebind are
+// invalidated and must not be used afterwards.
+type Rebindable interface {
+	// Rebind refreshes the checker after arbitrary in-place changes to
+	// the structure it was built on.
+	Rebind()
+}
+
+// DeltaInvariant marks checkers whose observable verdict is a function of
+// the class Kripke structure alone: an update whose delta is empty (no
+// transition of the class changed) cannot change their answer, so the
+// synthesis engine may skip the Update/verdict round-trip entirely and
+// count a class skip. The header-space backend tracks raw rule tables —
+// it must see every table replacement, empty delta or not — and therefore
+// does not implement this.
+type DeltaInvariant interface {
+	// DeltaInvariantMC is a marker; implementations do nothing.
+	DeltaInvariantMC()
+}
+
 // Cloneable is implemented by checkers that can duplicate themselves for a
 // clone of their Kripke structure (see kripke.K.Clone). The clone carries
 // over the current labeling/bookkeeping where the backend keeps any, so it

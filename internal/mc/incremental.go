@@ -50,6 +50,12 @@ func NewIncremental(k *kripke.K, spec *ltl.Formula) (Checker, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newIncrementalFrom(l, k), nil
+}
+
+// newIncrementalFrom finishes construction over a prepared labeler: the
+// initial full labeling and the violating-initial bookkeeping.
+func newIncrementalFrom(l *labeler, k *kripke.K) *Incremental {
 	l.relabelAll()
 	n := k.NumStates()
 	c := &Incremental{
@@ -67,8 +73,33 @@ func NewIncremental(k *kripke.K, spec *ltl.Formula) (Checker, error) {
 			c.markBad(q0)
 		}
 	}
-	return c, nil
+	return c
 }
+
+// Rebind implements Rebindable: relabel the (rebound) structure in full
+// and re-derive the violating-initial set. The warm state — the shared
+// intern table, the per-state atom valuations, the sink-label cache and
+// the Extend memos — depends only on the fixed state arena, not on the
+// transition relation, so it all survives; in steady state a rebind
+// allocates only for genuinely never-seen-before labels. Outstanding undo
+// tokens and clones are invalidated.
+func (c *Incremental) Rebind() {
+	c.relabelAll()
+	c.badCount = 0
+	c.minBad = -1
+	for _, q0 := range c.k.Init() {
+		c.badInit[q0] = false
+	}
+	for _, q0 := range c.k.Init() {
+		if c.initViolates(q0) {
+			c.markBad(q0)
+		}
+	}
+}
+
+// DeltaInvariantMC implements DeltaInvariant: labels are a function of
+// the class structure, so an empty delta cannot change the verdict.
+func (c *Incremental) DeltaInvariantMC() {}
 
 func (c *Incremental) initViolates(q0 int) bool {
 	for _, v := range c.tab.Label(c.label[q0]) {
@@ -339,6 +370,8 @@ func (c *Incremental) CloneFor(k2 *kripke.K) (Checker, error) {
 }
 
 var (
-	_ Checker   = (*Incremental)(nil)
-	_ Cloneable = (*Incremental)(nil)
+	_ Checker        = (*Incremental)(nil)
+	_ Cloneable      = (*Incremental)(nil)
+	_ Rebindable     = (*Incremental)(nil)
+	_ DeltaInvariant = (*Incremental)(nil)
 )

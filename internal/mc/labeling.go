@@ -53,12 +53,34 @@ type stateEnv struct {
 func (e *stateEnv) Holds(p ltl.Prop) bool { return e.k.HoldsAt(e.id, p) }
 
 func newLabeler(k *kripke.K, spec *ltl.Formula) (*labeler, error) {
-	clo, err := ltl.NewClosure(spec)
-	if err != nil {
-		return nil, err
+	return newLabelerWarm(k, spec, nil)
+}
+
+// newLabelerWarm builds the labeler, drawing the closure and the intern
+// table from the warmth cache when one is supplied (so labels interned by
+// any earlier checker for the same formula are immediately available) and
+// building private ones otherwise.
+func newLabelerWarm(k *kripke.K, spec *ltl.Formula, w *Warmth) (*labeler, error) {
+	var (
+		clo *ltl.Closure
+		tab *LabelTable
+	)
+	if w != nil {
+		e, err := w.entry(spec)
+		if err != nil {
+			return nil, err
+		}
+		clo, tab = e.clo, e.tab
+	} else {
+		var err error
+		clo, err = ltl.NewClosure(spec)
+		if err != nil {
+			return nil, err
+		}
+		tab = NewLabelTable()
 	}
 	n := k.NumStates()
-	l := &labeler{k: k, clo: clo, tab: NewLabelTable()}
+	l := &labeler{k: k, clo: clo, tab: tab}
 	l.atoms = make([]ltl.Valuation, n)
 	env := &stateEnv{k: k}
 	for id := 0; id < n; id++ {

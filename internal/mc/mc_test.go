@@ -420,3 +420,176 @@ func TestStatsAccumulate(t *testing.T) {
 		t.Fatalf("stats not counted: %+v", st)
 	}
 }
+
+// randomConfigFor draws a random loop-free configuration for an existing
+// scene (same topology and class), for exercising Rebind.
+func randomConfigFor(r *rand.Rand, topo *topology.Topology, cl config.Class) (*config.Config, bool) {
+	n := topo.NumSwitches()
+	for attempt := 0; attempt < 20; attempt++ {
+		cfg := config.New()
+		for sw := 0; sw < n; sw++ {
+			if r.Intn(4) == 0 {
+				continue
+			}
+			ports := topo.Ports(sw)
+			cfg.AddRule(sw, fwdRule(cl, ports[r.Intn(len(ports))]))
+		}
+		if _, err := kripke.Build(topo, cfg, cl); err == nil {
+			return cfg, true
+		}
+	}
+	return nil, false
+}
+
+// TestIncrementalRebindMatchesFresh drives one warm checker through a
+// random walk of in-place rebinds and compares, after every step, its
+// verdict and per-state labels against a cold checker built from scratch
+// on the rebound configuration.
+func TestIncrementalRebindMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 40; iter++ {
+		topo, _, cl, k := randomScene(r)
+		spec := randomFormula(r, topo.NumSwitches())
+		warmC, err := NewIncremental(k, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := warmC.(*Incremental)
+		for step := 0; step < 6; step++ {
+			cfg, ok := randomConfigFor(r, topo, cl)
+			if !ok {
+				continue
+			}
+			if _, _, err := k.Rebind(cfg); err != nil {
+				t.Fatalf("iter %d step %d: rebind: %v", iter, step, err)
+			}
+			warm.Rebind()
+			k2, err := kripke.Build(topo, cfg, cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldC, err := NewIncremental(k2, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := coldC.(*Incremental)
+			wv, cv := warm.Check(), cold.Check()
+			if wv.OK != cv.OK {
+				t.Fatalf("iter %d step %d: warm OK=%v cold OK=%v", iter, step, wv.OK, cv.OK)
+			}
+			for id := 0; id < k.NumStates(); id++ {
+				if !valuationsEqual(warm.Labels(id), cold.Labels(id)) {
+					t.Fatalf("iter %d step %d: labels diverge at state %d:\nwarm %v\ncold %v",
+						iter, step, id, warm.Labels(id), cold.Labels(id))
+				}
+			}
+			// The warm checker must still work incrementally after the
+			// rebind: update/revert round-trips agree with the cold one.
+			sw := r.Intn(topo.NumSwitches())
+			ports := topo.Ports(sw)
+			tbl := network.Table{fwdRule(cl, ports[r.Intn(len(ports))])}
+			dw, errW := k.UpdateSwitch(sw, tbl)
+			dc, errC := k2.UpdateSwitch(sw, tbl)
+			if (errW == nil) != (errC == nil) {
+				t.Fatalf("iter %d step %d: update err diverged: %v vs %v", iter, step, errW, errC)
+			}
+			if errW == nil {
+				vw, tokW := warm.Update(dw)
+				vc, tokC := cold.Update(dc)
+				if vw.OK != vc.OK {
+					t.Fatalf("iter %d step %d: post-rebind update OK=%v vs %v", iter, step, vw.OK, vc.OK)
+				}
+				warm.Revert(tokW)
+				cold.Revert(tokC)
+			}
+			k.Revert(dw)
+			k2.Revert(dc)
+		}
+	}
+}
+
+// TestWarmthSharesLabels: two checkers for the same formula built through
+// one Warmth share a label table and a closure, so the second interns
+// (almost) nothing new; distinct formulas get distinct entries.
+func TestWarmthSharesLabels(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	topo, _, cl, k := randomScene(r)
+	spec := ltl.Reachability(0, 1)
+	w := NewWarmth()
+	c1, err := NewIncrementalWarm(k, spec, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interned1 := c1.Stats().LabelsInterned
+	if interned1 == 0 {
+		t.Fatal("first checker interned nothing; test is vacuous")
+	}
+	cfg2, ok := randomConfigFor(r, topo, cl)
+	if !ok {
+		t.Skip("no second configuration found")
+	}
+	k2, err := kripke.Build(topo, cfg2, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewIncrementalWarm(k2, spec, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.(*Incremental).tab; got != c1.(*Incremental).tab {
+		t.Fatal("checkers for one formula must share the warm label table")
+	}
+	if c1.(*Incremental).clo != c2.(*Incremental).clo {
+		t.Fatal("checkers for one formula must share the warm closure")
+	}
+	if w.Len() != 1 {
+		t.Fatalf("warmth entries = %d, want 1", w.Len())
+	}
+	if _, err := NewBatchWarm(k, ltl.Reachability(1, 2), w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("warmth entries = %d, want 2 after a second formula", w.Len())
+	}
+	// Verdicts through the shared table still match brute force.
+	if got, want := c1.Check().OK, bruteForce(k, spec); got != want {
+		t.Fatalf("warm checker verdict = %v, brute force = %v", got, want)
+	}
+}
+
+// TestEmptyDeltaSkipsWork: an update that does not change the class's
+// transitions produces an empty delta, and the incremental checker's
+// Update on it relabels nothing and keeps the verdict.
+func TestEmptyDeltaSkipsWork(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	topo, cfg, _, k := randomScene(r)
+	spec := randomFormula(r, topo.NumSwitches())
+	c, err := NewIncremental(k, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Check()
+	sw := r.Intn(topo.NumSwitches())
+	tbl := cfg.Table(sw).Clone()
+	tbl = append(tbl, network.Rule{ // other-flow rule: class-irrelevant
+		Priority: 1, Match: network.MatchFlow(500, 501),
+		Actions: []network.Action{network.Forward(topo.Ports(sw)[0])},
+	})
+	d, err := k.UpdateSwitch(sw, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed()) != 0 {
+		t.Fatalf("changed = %v, want empty", d.Changed())
+	}
+	labeledBefore := c.Stats().StatesLabeled
+	v, tok := c.Update(d)
+	if v.OK != before.OK {
+		t.Fatalf("verdict changed on empty delta: %v -> %v", before.OK, v.OK)
+	}
+	if got := c.Stats().StatesLabeled; got != labeledBefore {
+		t.Fatalf("empty delta relabeled %d states", got-labeledBefore)
+	}
+	c.Revert(tok)
+	k.Revert(d)
+}

@@ -1,0 +1,84 @@
+package mc
+
+import (
+	"sync"
+
+	"netupdate/internal/kripke"
+	"netupdate/internal/ltl"
+)
+
+// Warmth is the structure-independent cache a long-lived synthesis
+// session shares across checkers and across syntheses: expanded LTL
+// closures and interned label tables, keyed by formula text. Label sets
+// are sets of closure valuations — they carry no reference to any
+// particular Kripke structure — so every checker verifying the same
+// formula can intern into one table, and a checker built over a fresh or
+// rebound structure starts with every label it will ever compute already
+// interned. A nil *Warmth is valid and means "no sharing": each checker
+// builds private state, the one-shot behavior.
+//
+// Concurrency: the entry map is guarded by a mutex (construction-time
+// only); the cached closures are immutable and the label tables are
+// internally synchronized, so checkers on parallel search workers share
+// them freely.
+type Warmth struct {
+	mu      sync.Mutex
+	entries map[string]*warmEntry
+}
+
+type warmEntry struct {
+	clo *ltl.Closure
+	tab *LabelTable
+}
+
+// NewWarmth returns an empty cache.
+func NewWarmth() *Warmth { return &Warmth{entries: map[string]*warmEntry{}} }
+
+// Len reports the number of distinct formulas cached so far.
+func (w *Warmth) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// entry returns the shared closure and label table for spec, building
+// them on first use.
+func (w *Warmth) entry(spec *ltl.Formula) (*warmEntry, error) {
+	key := spec.String()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.entries[key]; ok {
+		return e, nil
+	}
+	clo, err := ltl.NewClosure(spec)
+	if err != nil {
+		return nil, err
+	}
+	e := &warmEntry{clo: clo, tab: NewLabelTable()}
+	w.entries[key] = e
+	return e, nil
+}
+
+// WarmFactory constructs a checker that shares formula-keyed caches
+// through w (which may be nil). Backends without structure-independent
+// caches ignore w.
+type WarmFactory func(k *kripke.K, spec *ltl.Formula, w *Warmth) (Checker, error)
+
+// NewIncrementalWarm is NewIncremental drawing the closure and label
+// table from w.
+func NewIncrementalWarm(k *kripke.K, spec *ltl.Formula, w *Warmth) (Checker, error) {
+	l, err := newLabelerWarm(k, spec, w)
+	if err != nil {
+		return nil, err
+	}
+	return newIncrementalFrom(l, k), nil
+}
+
+// NewBatchWarm is NewBatch drawing the closure and label table from w.
+func NewBatchWarm(k *kripke.K, spec *ltl.Formula, w *Warmth) (Checker, error) {
+	l, err := newLabelerWarm(k, spec, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{labeler: l}, nil
+}

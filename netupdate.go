@@ -78,6 +78,14 @@ type (
 	DiamondOptions = config.DiamondOptions
 	// InfeasibleOptions parameterizes the double-diamond generator.
 	InfeasibleOptions = config.InfeasibleOptions
+	// Stream is a sequence of target configurations over one topology.
+	Stream = config.Stream
+	// ScenarioStream decodes a JSONL stream of configuration deltas.
+	ScenarioStream = config.ScenarioStream
+	// RollingStream is the generated rolling-update workload.
+	RollingStream = config.RollingStream
+	// RollingOptions parameterizes the rolling-update generator.
+	RollingOptions = config.RollingOptions
 	// Property selects a specification family for the generators.
 	Property = config.Property
 	// Fig1Nodes names the switches of the Figure 1 example topology.
@@ -116,6 +124,48 @@ var (
 func Synthesize(sc *Scenario, opts Options) (*Plan, error) {
 	return core.Synthesize(sc, opts)
 }
+
+// Synthesizer is the long-lived, stream-oriented entry point: bound to
+// one topology and one set of class specifications, it serves a sequence
+// of target configurations — the steady-state shape of a production
+// controller's load — while keeping expensive state warm between
+// syntheses. Per-class Kripke structures are rebound in place instead of
+// rebuilt, model-checker caches (interned labels, closure memos,
+// translated automata) persist across runs, and engine scratch is pooled;
+// see DESIGN.md "Session architecture". Synthesize is the one-shot
+// equivalent and is itself a thin wrapper over a single-use session.
+//
+// A Synthesizer must not be used from more than one goroutine at a time;
+// each Synthesize call still parallelizes internally per
+// Options.Parallelism. Configurations passed in are retained and must not
+// be mutated afterwards.
+type Synthesizer struct {
+	s *core.Session
+}
+
+// NewSynthesizer opens a session at the initial configuration, verifying
+// it against every class specification (ErrInitialViolation otherwise).
+func NewSynthesizer(topo *Topology, init *Config, specs []ClassSpec, opts Options) (*Synthesizer, error) {
+	s, err := core.NewSession(topo, init, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Synthesizer{s: s}, nil
+}
+
+// Synthesize plans the update from the session's current configuration to
+// final and advances the session on success. A failed synthesis
+// (including ErrNoOrdering) leaves the session at its previous
+// configuration, ready for the next target.
+func (sy *Synthesizer) Synthesize(final *Config) (*Plan, error) {
+	return sy.s.Synthesize(final)
+}
+
+// Current returns the configuration the session is at.
+func (sy *Synthesizer) Current() *Config { return sy.s.Current() }
+
+// Runs returns the number of syntheses served so far.
+func (sy *Synthesizer) Runs() int { return sy.s.Runs() }
 
 // Counterexample is a violating packet trace through a configuration.
 type Counterexample struct {
@@ -205,6 +255,18 @@ var (
 	PathOf = config.PathOf
 	// Diff lists the switches whose tables differ.
 	Diff = config.Diff
+)
+
+// Stream constructors (see DESIGN.md "Session architecture").
+var (
+	// OpenStream decodes a JSONL scenario stream (header + reroute
+	// deltas) for cmd/netupdate -stream and library use.
+	OpenStream = config.OpenStream
+	// RollingUpdates random-walks diamond targets over one topology, the
+	// generated steady-state workload for long-lived sessions.
+	RollingUpdates = config.RollingUpdates
+	// RerouteClass replaces one class's forwarding state with a new path.
+	RerouteClass = config.RerouteClass
 )
 
 // Scenario generators from the paper's evaluation.

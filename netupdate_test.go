@@ -139,3 +139,35 @@ func TestPublicErrors(t *testing.T) {
 		t.Fatalf("err = %v, want ErrNoOrdering", err)
 	}
 }
+
+func TestPublicSynthesizerStream(t *testing.T) {
+	topo := SmallWorld(50, 4, 0.3, 9)
+	stream, err := RollingUpdates(topo, RollingOptions{
+		Pairs: 2, Property: PropReachability, Seed: 9, Steps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy, err := NewSynthesizer(stream.Topo(), stream.Init(), stream.Specs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		tgt, err := stream.Next()
+		if err != nil {
+			break // io.EOF
+		}
+		plan, err := sy.Synthesize(tgt)
+		if err != nil {
+			t.Fatalf("step %d: %v", steps, err)
+		}
+		if len(plan.Updates()) == 0 {
+			t.Fatalf("step %d: empty plan for a real reroute", steps)
+		}
+		steps++
+	}
+	if steps != 4 || sy.Runs() != 4 {
+		t.Fatalf("steps = %d, runs = %d, want 4", steps, sy.Runs())
+	}
+}
