@@ -267,6 +267,55 @@ func BenchmarkRollingStream(b *testing.B) {
 	})
 }
 
+// BenchmarkDecomposedStream measures interference-partitioned synthesis
+// against the joint search on the multi-region workload (6 independent
+// regions of 2 chained diamonds each), served from a warm session that
+// flip-flops between the two endpoint configurations. One benchmark op is
+// a full round trip (2 syntheses), so both variants do identical logical
+// work per op; the decomposed variant must show lower ns/op — its
+// sub-searches iterate only each region's classes while the joint search
+// pays every class on every unit application — and CI pins its allocs/op
+// (see .github/workflows/ci.yml). BENCH_4.json archives the comparison.
+func BenchmarkDecomposedStream(b *testing.B) {
+	sc, err := bench.MultiRegionWorkload(320, 6, 2, 0, config.Reachability, 320*13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name  string
+		joint bool
+	}{
+		{"joint", true},
+		{"decomposed", false},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			opts := core.Options{Parallelism: 1, Timeout: benchTimeout, NoDecomposition: v.joint}
+			sess, err := core.NewSession(sc.Topo, sc.Init, sc.Specs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime one round trip so label interning and scratch growth
+			// settle before measurement.
+			if _, err := sess.Synthesize(sc.Final); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Synthesize(sc.Init); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Synthesize(sc.Final); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Synthesize(sc.Init); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks ---
 
 func benchScene(b *testing.B, n int) (*config.Scenario, *kripke.K, *ltl.Formula) {

@@ -41,6 +41,7 @@ func main() {
 		rules     = flag.Bool("rules", false, "use rule granularity")
 		twoSimple = flag.Bool("2simple", false, "allow two updates per switch (merge then finalize)")
 		noWaits   = flag.Bool("no-wait-removal", false, "keep all waits")
+		noDecomp  = flag.Bool("no-decompose", false, "always run one joint search instead of partitioning independent update regions")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "search timeout (per synthesis in -stream mode)")
 		parallel  = flag.Int("parallel", 0, "search workers: 0 = one per CPU, 1 = sequential")
 		firstPlan = flag.Bool("first-plan", false, "return the first plan any worker finds (faster, nondeterministic)")
@@ -52,6 +53,7 @@ func main() {
 		RuleGranularity: *rules,
 		TwoSimple:       *twoSimple,
 		NoWaitRemoval:   *noWaits,
+		NoDecomposition: *noDecomp,
 		Timeout:         *timeout,
 		Parallelism:     *parallel,
 		FirstPlanWins:   *firstPlan,
@@ -124,8 +126,8 @@ func run(file string, opts core.Options, rules, verifyOnly, quiet bool) error {
 	}
 	if !quiet {
 		st := plan.Stats
-		fmt.Printf("stats: %d units, %d checks (%d skipped), %d cex learned, %d pruned, waits %d -> %d, %.3fs\n",
-			st.Units, st.Checks, st.ClassSkips, st.CexLearned, st.WrongPruned+st.VisitedPruned,
+		fmt.Printf("stats: %d units in %d component(s), %d checks (%d skipped), %d cex learned, %d pruned, waits %d -> %d, %.3fs\n",
+			st.Units, st.Components, st.Checks, st.ClassSkips, st.CexLearned, st.WrongPruned+st.VisitedPruned,
 			st.WaitsBefore, st.WaitsAfter, st.Elapsed.Seconds())
 	}
 	return nil
@@ -151,6 +153,7 @@ type stepJSON struct {
 // statsJSON is the per-synthesis work summary.
 type statsJSON struct {
 	Units      int     `json:"units"`
+	Components int     `json:"components"`
 	Checks     int     `json:"checks"`
 	ClassSkips int     `json:"classSkips"`
 	Waits      int     `json:"waits"`
@@ -208,6 +211,7 @@ func runStream(in io.Reader, out io.Writer, opts core.Options, quiet bool) error
 			}
 			res.Stats = &statsJSON{
 				Units:      plan.Stats.Units,
+				Components: plan.Stats.Components,
 				Checks:     plan.Stats.Checks,
 				ClassSkips: plan.Stats.ClassSkips,
 				Waits:      plan.Stats.WaitsAfter,

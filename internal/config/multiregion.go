@@ -1,0 +1,498 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netupdate/internal/ltl"
+	"netupdate/internal/topology"
+)
+
+// MultiRegionOptions parameterizes the multi-region workload generator:
+// the honest benchmark for interference-partitioned synthesis. The
+// scenario contains Regions independent groups of diamond updates — the
+// shape of a rolling datacenter update, where each maintenance domain is
+// rerouted on its own — with a tunable number of cross-traffic classes
+// that couple regions back together (a flow spanning two domains, which
+// forces their updates into one joint ordering problem).
+type MultiRegionOptions struct {
+	// Regions is the number of independent update regions (>= 1).
+	Regions int
+	// PairsPerRegion is the number of diamond flips per region (default
+	// 1). Pairs within one region are chained by intra-region link
+	// classes, so every region stays a single interference component no
+	// matter how many diamonds it contains.
+	PairsPerRegion int
+	// Property is the specification family asserted per diamond pair.
+	Property Property
+	// Waypoints per pair for ServiceChaining (default 2).
+	Waypoints int
+	// CrossClasses adds this many coupling classes, each rerouted with
+	// pivots inside two different regions (region i%Regions and region
+	// (i+1)%Regions): the class's next hop changes at an updating switch
+	// of both regions, so the two regions collapse into one interference
+	// component. Zero keeps all regions independent. Requires Regions >= 2.
+	CrossClasses int
+	// InfeasibleRegions appends this many extra regions that are the
+	// double-diamond gadget of Figure 8(h): two opposing classes swapped
+	// between the branches, so no switch-granularity ordering exists for
+	// that region — and hence for the whole scenario. This is the
+	// decomposition stress case: a partitioned search proves impossibility
+	// inside the small gadget component, while a joint search must exhaust
+	// interleavings with every other region's units. Sets Feasible=false.
+	InfeasibleRegions int
+	Seed              int64
+	// HostBase is the first host id to allocate (see DiamondOptions).
+	HostBase int
+	// BackgroundFlows installs identical shortest-path routing for this
+	// many extra host pairs in both configurations, as in DiamondOptions.
+	BackgroundFlows int
+}
+
+// MultiRegion builds the multi-region scenario on topo. With zero
+// CrossClasses the interference partition of the diff has exactly Regions
+// components; every cross class merges two of them. It returns an error
+// if the topology cannot fit the requested regions and links.
+func MultiRegion(topo *topology.Topology, opts MultiRegionOptions) (*Scenario, error) {
+	if opts.Regions <= 0 {
+		return nil, fmt.Errorf("config: MultiRegion: need at least one region")
+	}
+	pairs := opts.PairsPerRegion
+	if pairs <= 0 {
+		pairs = 1
+	}
+	if opts.CrossClasses > 0 && opts.Regions < 2 {
+		return nil, fmt.Errorf("config: MultiRegion: cross classes need at least two regions")
+	}
+	wp := 0
+	switch opts.Property {
+	case Waypointing:
+		wp = 1
+	case ServiceChaining:
+		wp = opts.Waypoints
+		if wp <= 0 {
+			wp = 2
+		}
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	s := &Scenario{
+		Name:     fmt.Sprintf("multiregion-%s-r%d", opts.Property, opts.Regions),
+		Topo:     topo,
+		Init:     New(),
+		Final:    New(),
+		Feasible: true,
+	}
+	used := map[int]bool{}
+	hostID := opts.HostBase
+	if hostID == 0 {
+		hostID = nextHostID(topo)
+	}
+	lk := newLinker(s, used)
+	// pivots[r][p] lists the switches of region r's p-th diamond whose
+	// tables genuinely change (everything but the destination anchor):
+	// the candidate pivots link classes reroute on.
+	pivots := make([][][]int, opts.Regions)
+	for reg := 0; reg < opts.Regions; reg++ {
+		for p := 0; p < pairs; p++ {
+			d, err := buildDiamond(topo, r, used, wp, 2)
+			if err != nil {
+				return nil, fmt.Errorf("config: MultiRegion: region %d pair %d: %w", reg, p, err)
+			}
+			pivots[reg] = append(pivots[reg], diamondPivots(d))
+			srcHost := topo.AddHost(hostID, d.anchors[0])
+			dstHost := topo.AddHost(hostID+1, d.anchors[len(d.anchors)-1])
+			hostID += 2
+			cl := Class{
+				Name:    fmt.Sprintf("r%dp%d", reg, p),
+				SrcHost: srcHost.ID,
+				DstHost: dstHost.ID,
+			}
+			if err := InstallPath(s.Init, topo, cl, d.initPath, 10); err != nil {
+				return nil, err
+			}
+			if err := InstallPath(s.Final, topo, cl, d.finalPath, 10); err != nil {
+				return nil, err
+			}
+			var f *ltl.Formula
+			src, dst := d.anchors[0], d.anchors[len(d.anchors)-1]
+			switch opts.Property {
+			case Reachability:
+				f = ltl.Reachability(src, dst)
+			case Waypointing:
+				f = ltl.Waypoint(src, d.anchors[1], dst)
+			case ServiceChaining:
+				f = ltl.ServiceChain(src, d.anchors[1:len(d.anchors)-1], dst)
+			default:
+				return nil, fmt.Errorf("config: unknown property %v", opts.Property)
+			}
+			s.Specs = append(s.Specs, ClassSpec{Class: cl, Formula: f})
+		}
+		// Chain the region's pairs with intra-region links so the region
+		// remains one interference component regardless of its pair count.
+		for p := 0; p+1 < pairs; p++ {
+			name := fmt.Sprintf("r%dlink%d", reg, p)
+			if err := lk.addLinkClass(r, &hostID, name, pivots[reg][p], pivots[reg][p+1], opts.Property); err != nil {
+				return nil, fmt.Errorf("config: MultiRegion: region %d link %d: %w", reg, p, err)
+			}
+		}
+	}
+	for i := 0; i < opts.CrossClasses; i++ {
+		r1 := i % opts.Regions
+		r2 := (i + 1) % opts.Regions
+		name := fmt.Sprintf("cross%d", i)
+		if err := lk.addLinkClass(r, &hostID, name, regionPivots(pivots[r1]), regionPivots(pivots[r2]), opts.Property); err != nil {
+			return nil, fmt.Errorf("config: MultiRegion: cross class %d: %w", i, err)
+		}
+	}
+	for g := 0; g < opts.InfeasibleRegions; g++ {
+		if err := addGadgetRegion(s, r, used, &hostID, opts.Regions+g); err != nil {
+			return nil, fmt.Errorf("config: MultiRegion: infeasible region %d: %w", g, err)
+		}
+		s.Feasible = false
+	}
+	if err := addBackgroundFlows(s, r, opts.BackgroundFlows, &hostID); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// diamondPivots lists the switches of one diamond whose table changes
+// between the two configurations: every path switch except the
+// destination anchor (whose single rule — deliver to the attached host —
+// is identical in both configurations and therefore never updates).
+func diamondPivots(d *diamond) []int {
+	dst := d.anchors[len(d.anchors)-1]
+	var out []int
+	add := func(sw int) {
+		if sw != dst && !containsInt(out, sw) {
+			out = append(out, sw)
+		}
+	}
+	for _, sw := range d.initPath {
+		add(sw)
+	}
+	for _, sw := range d.finalPath {
+		add(sw)
+	}
+	return out
+}
+
+// addGadgetRegion carves one Figure 8(h) double-diamond gadget as region
+// reg: classes A and B flow in opposite directions over the same diamond
+// and swap branches between the configurations, creating the circular
+// dependency s < x < d < y < s that no switch-granularity ordering can
+// satisfy (see DESIGN.md). The gadget's two classes share its switches,
+// so the gadget is exactly one interference component.
+func addGadgetRegion(s *Scenario, r *rand.Rand, used map[int]bool, hostID *int, reg int) error {
+	d, err := buildDiamond(s.Topo, r, used, 0, 3)
+	if err != nil {
+		return err
+	}
+	src, dst := d.anchors[0], d.anchors[len(d.anchors)-1]
+	hA := s.Topo.AddHost(*hostID, src)
+	hB := s.Topo.AddHost(*hostID+1, dst)
+	*hostID += 2
+	clA := Class{Name: fmt.Sprintf("r%dgA", reg), SrcHost: hA.ID, DstHost: hB.ID}
+	clB := Class{Name: fmt.Sprintf("r%dgB", reg), SrcHost: hB.ID, DstHost: hA.ID}
+	rev := make([]int, len(d.finalPath))
+	for i, v := range d.finalPath {
+		rev[len(rev)-1-i] = v
+	}
+	revInit := make([]int, len(d.initPath))
+	for i, v := range d.initPath {
+		revInit[len(revInit)-1-i] = v
+	}
+	if err := InstallPath(s.Init, s.Topo, clA, d.initPath, 10); err != nil {
+		return err
+	}
+	if err := InstallPath(s.Final, s.Topo, clA, d.finalPath, 10); err != nil {
+		return err
+	}
+	if err := InstallPath(s.Init, s.Topo, clB, rev, 10); err != nil {
+		return err
+	}
+	if err := InstallPath(s.Final, s.Topo, clB, revInit, 10); err != nil {
+		return err
+	}
+	s.Specs = append(s.Specs,
+		ClassSpec{Class: clA, Formula: ltl.Reachability(src, dst)},
+		ClassSpec{Class: clB, Formula: ltl.Reachability(dst, src)},
+	)
+	return nil
+}
+
+// regionPivots flattens a region's per-diamond pivot lists.
+func regionPivots(perDiamond [][]int) []int {
+	var out []int
+	for _, ps := range perDiamond {
+		out = append(out, ps...)
+	}
+	return out
+}
+
+// linker builds coupling classes between update regions. A link class is
+// a flow rerouted so that its next hop changes at one updating switch of
+// each of two regions (the pivots u1 and u2): both pivots then interfere
+// with the link class as well as with their own region's classes, which
+// merges the two regions' interference components. Unlike the diamond
+// generator, the link's initial and final routes need not be disjoint —
+// only the next hop at each pivot must differ — so links fit topologies
+// whose free capacity around the regions is nearly exhausted.
+type linker struct {
+	s    *Scenario
+	used map[int]bool
+	pf   *topology.PathFinder
+	// avoid is the reusable avoid-list buffer: the used set plus
+	// per-query extras.
+	avoid []int
+	// leg buffers, reused across attempts (first legs are cached per
+	// neighbor inside tryLink and use per-call slices).
+	initL2, finalL2 []int
+	neigh1, neigh2  []int
+}
+
+func newLinker(s *Scenario, used map[int]bool) *linker {
+	return &linker{s: s, used: used, pf: s.Topo.NewPathFinder()}
+}
+
+// addLinkClass installs one coupling class between a pivot of pivots1 and
+// a pivot of pivots2: src host on the ingress pivot u1, dst host on a
+// fresh switch d, routed u1 -> u2 -> d in both configurations with
+// different next hops at u1 and at u2. Pivot pairs are tried in random
+// order, in both directions (either region can host the ingress), until
+// one admits the two routes.
+func (lk *linker) addLinkClass(r *rand.Rand, hostID *int, name string, pivots1, pivots2 []int, prop Property) error {
+	if ok, err := lk.linkDirected(r, hostID, name, pivots1, pivots2, prop); ok || err != nil {
+		return err
+	}
+	if ok, err := lk.linkDirected(r, hostID, name, pivots2, pivots1, prop); ok || err != nil {
+		return err
+	}
+	return fmt.Errorf("no room for a link class between the pivot sets %v and %v", pivots1, pivots2)
+}
+
+// linkDirected tries every (ingress, mid) pivot pair with the given role
+// assignment, reporting whether a link was installed.
+func (lk *linker) linkDirected(r *rand.Rand, hostID *int, name string, pivots1, pivots2 []int, prop Property) (bool, error) {
+	perm1 := r.Perm(len(pivots1))
+	perm2 := r.Perm(len(pivots2))
+	for _, i1 := range perm1 {
+		u1 := pivots1[i1]
+		n1 := lk.freeNeighbors(&lk.neigh1, u1)
+		if len(n1) < 2 {
+			continue
+		}
+		for _, i2 := range perm2 {
+			u2 := pivots2[i2]
+			if u2 == u1 {
+				continue
+			}
+			n2 := lk.freeNeighbors(&lk.neigh2, u2)
+			if len(n2) < 2 {
+				continue
+			}
+			ok, err := lk.tryLink(r, hostID, name, u1, u2, n1, n2, prop)
+			if ok || err != nil {
+				return ok, err
+			}
+		}
+	}
+	return false, nil
+}
+
+// tryLink attempts one (u1, u2) pivot pair. The route is built leg by
+// leg: u1 -> u2 entering via two different free neighbors of u1, then
+// u2 -> d via two different free neighbors of u2, where d is a fresh
+// switch. Each configuration's full path is kept simple (the second leg
+// avoids the first leg's switches); the two configurations may share
+// arbitrary interior switches — every shared switch with an identical
+// next hop stays a non-updating bystander of the merged component.
+// Neighbor pairs at both pivots and a bounded sample of destinations are
+// searched until a combination routes.
+func (lk *linker) tryLink(r *rand.Rand, hostID *int, name string, u1, u2 int, n1, n2 []int, prop Property) (bool, error) {
+	topo := lk.s.Topo
+	// First legs depend only on the chosen neighbor of u1; compute each
+	// once.
+	legs1 := make([][]int, len(n1))
+	for i, via := range n1 {
+		var buf []int
+		legs1[i] = lk.legVia(&buf, u1, via, u2, nil)
+	}
+	for ai := range n1 {
+		initL1 := legs1[ai]
+		if initL1 == nil {
+			continue
+		}
+		for bi := range n1 {
+			finalL1 := legs1[bi]
+			if bi == ai || finalL1 == nil {
+				continue
+			}
+			for _, ma := range n2 {
+				if containsInt(initL1, ma) {
+					continue
+				}
+				for _, mb := range n2 {
+					if mb == ma || containsInt(finalL1, mb) {
+						continue
+					}
+					// A bounded sample of fresh destinations: the second
+					// legs only need to reach d without re-entering the
+					// first legs.
+					for try := 0; try < 16; try++ {
+						d := r.Intn(topo.NumSwitches())
+						if lk.used[d] || d == u1 || d == u2 ||
+							containsInt(initL1, d) || containsInt(finalL1, d) {
+							continue
+						}
+						initL2 := lk.legVia(&lk.initL2, u2, ma, d, initL1)
+						finalL2 := lk.legVia(&lk.finalL2, u2, mb, d, finalL1)
+						if initL2 == nil || finalL2 == nil {
+							continue
+						}
+						if !confluent(
+							append(append([]int(nil), initL1...), initL2[1:]...),
+							append(append([]int(nil), finalL1...), finalL2[1:]...),
+							u1, u2) {
+							continue
+						}
+						return true, lk.install(hostID, name, u1, u2, d, initL1, initL2, finalL1, finalL2, prop)
+					}
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+// install materializes a routed link class: hosts at the ingress pivot
+// and the destination, one rule per path switch per configuration, the
+// property, and the claim of every switch whose behavior differs.
+func (lk *linker) install(hostID *int, name string, u1, u2, d int, initL1, initL2, finalL1, finalL2 []int, prop Property) error {
+	topo := lk.s.Topo
+	initPath := append(append([]int(nil), initL1...), initL2[1:]...)
+	finalPath := append(append([]int(nil), finalL1...), finalL2[1:]...)
+	srcHost := topo.AddHost(*hostID, u1)
+	dstHost := topo.AddHost(*hostID+1, d)
+	*hostID += 2
+	cl := Class{Name: name, SrcHost: srcHost.ID, DstHost: dstHost.ID}
+	if err := InstallPath(lk.s.Init, topo, cl, initPath, 10); err != nil {
+		return err
+	}
+	if err := InstallPath(lk.s.Final, topo, cl, finalPath, 10); err != nil {
+		return err
+	}
+	var f *ltl.Formula
+	if prop == Reachability {
+		f = ltl.Reachability(u1, d)
+	} else {
+		f = ltl.Waypoint(u1, u2, d)
+	}
+	lk.s.Specs = append(lk.s.Specs, ClassSpec{Class: cl, Formula: f})
+	lk.claimDiffering(initPath, finalPath)
+	return nil
+}
+
+// pathNext returns the successor of sw on path: the next switch, -1 for
+// the last hop (delivery to the attached host), or -2 when sw is not on
+// the path (the class has no rule there).
+func pathNext(path []int, sw int) int {
+	for i, v := range path {
+		if v == sw {
+			if i+1 < len(path) {
+				return path[i+1]
+			}
+			return -1
+		}
+	}
+	return -2
+}
+
+// confluent reports whether the two routes diverge only at the pivots:
+// every switch on both paths other than u1 and u2 must have the same next
+// hop in both. Rejecting non-confluent pairs keeps the link class a chain
+// of two well-formed diamonds, which is always solvable at switch
+// granularity by the usual downstream-first order — shared interiors
+// visited in opposite orders (or extra divergence points) can otherwise
+// encode the paper's Figure 8(h) circular-dependency gadget inside a
+// single class and make the whole scenario infeasible.
+func confluent(initPath, finalPath []int, u1, u2 int) bool {
+	for _, sw := range initPath {
+		if sw == u1 || sw == u2 {
+			continue
+		}
+		if n := pathNext(finalPath, sw); n != -2 && n != pathNext(initPath, sw) {
+			return false
+		}
+	}
+	return true
+}
+
+// claimDiffering marks used exactly the switches where the link class's
+// forwarding differs between the two configurations: switches on only one
+// of the paths (rule present vs absent) and shared switches whose next
+// hop differs (the pivots). Shared-suffix switches with identical rules
+// stay free — they never update for this class, so later diamonds and
+// links may traverse or reroute on them without creating interference
+// with it, and leaving them unclaimed keeps the free graph connected as
+// links accumulate.
+func (lk *linker) claimDiffering(initPath, finalPath []int) {
+	claim := func(path []int) {
+		for _, sw := range path {
+			if pathNext(initPath, sw) != pathNext(finalPath, sw) {
+				lk.used[sw] = true
+			}
+		}
+	}
+	claim(initPath)
+	claim(finalPath)
+}
+
+// legVia builds the path [from, via, ..., to]: the forced first hop via
+// (a free neighbor of from), then a shortest route from via to to that
+// avoids every used switch, from itself, and every switch of blocked —
+// nil if no such route exists. The returned slice aliases *buf.
+func (lk *linker) legVia(buf *[]int, from, via, to int, blocked []int) []int {
+	avoid := lk.avoid[:0]
+	for sw := range lk.used {
+		avoid = append(avoid, sw)
+	}
+	avoid = append(avoid, from)
+	avoid = append(avoid, blocked...)
+	lk.avoid = avoid
+	leg := append((*buf)[:0], from)
+	if via == to {
+		leg = append(leg, to)
+	} else {
+		n := len(leg)
+		leg = lk.pf.Shortest(leg, via, to, avoid)
+		if len(leg) == n {
+			*buf = leg
+			return nil
+		}
+	}
+	*buf = leg
+	// The second leg's endpoints are exempt from the avoid list inside
+	// Shortest; reject routes that re-enter a blocked switch anyway.
+	if blocked != nil && containsInt(blocked, to) {
+		return nil
+	}
+	return leg
+}
+
+// freeNeighbors collects into *buf the unclaimed switches adjacent to sw.
+func (lk *linker) freeNeighbors(buf *[]int, sw int) []int {
+	out := (*buf)[:0]
+	topo := lk.s.Topo
+	for _, pt := range topo.Ports(sw) {
+		l, ok := topo.LinkAt(sw, pt)
+		if !ok {
+			continue
+		}
+		if !lk.used[l.Peer] && !containsInt(out, l.Peer) {
+			out = append(out, l.Peer)
+		}
+	}
+	*buf = out
+	return out
+}

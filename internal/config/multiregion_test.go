@@ -1,0 +1,98 @@
+package config
+
+import (
+	"testing"
+
+	"netupdate/internal/topology"
+)
+
+func buildMultiRegion(t *testing.T, regions, pairs, cross int) *Scenario {
+	t.Helper()
+	topo := topology.SmallWorld(160, 6, 0.3, 7)
+	sc, err := MultiRegion(topo, MultiRegionOptions{
+		Regions: regions, PairsPerRegion: pairs, CrossClasses: cross,
+		Property: Reachability, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestMultiRegionShape(t *testing.T) {
+	sc := buildMultiRegion(t, 3, 2, 0)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 regions x 2 pairs + 1 intra-region link per region.
+	if got, want := len(sc.Specs), 3*2+3; got != want {
+		t.Fatalf("specs = %d, want %d", got, want)
+	}
+	if len(sc.UpdatingSwitches()) == 0 {
+		t.Fatal("no updating switches")
+	}
+	// Every class must be rerouted or at least routed in both configs;
+	// the diamond pairs and link classes change paths by construction.
+	for _, cs := range sc.Specs {
+		p1, err := PathOf(sc.Init, sc.Topo, cs.Class)
+		if err != nil {
+			t.Fatalf("class %v init: %v", cs.Class, err)
+		}
+		p2, err := PathOf(sc.Final, sc.Topo, cs.Class)
+		if err != nil {
+			t.Fatalf("class %v final: %v", cs.Class, err)
+		}
+		if pathsEqual(p1, p2) {
+			t.Fatalf("class %v is not rerouted (path %v)", cs.Class, p1)
+		}
+	}
+}
+
+func TestMultiRegionCrossCoupling(t *testing.T) {
+	sc := buildMultiRegion(t, 3, 1, 1)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sc.Specs), 3+1; got != want {
+		t.Fatalf("specs = %d, want %d", got, want)
+	}
+	last := sc.Specs[len(sc.Specs)-1]
+	if last.Class.Name != "cross0" {
+		t.Fatalf("last class = %v, want cross0", last.Class)
+	}
+	// The cross class pivots at the source anchors of two regions: its
+	// init and final next hops must differ at its ingress switch.
+	p1, err := PathOf(sc.Init, sc.Topo, last.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PathOf(sc.Final, sc.Topo, last.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1[0] != p2[0] {
+		t.Fatalf("cross class ingress differs: %v vs %v", p1, p2)
+	}
+	if len(p1) < 2 || len(p2) < 2 || p1[1] == p2[1] {
+		t.Fatalf("cross class does not pivot at its ingress: %v vs %v", p1, p2)
+	}
+}
+
+func TestMultiRegionRejectsCrossWithOneRegion(t *testing.T) {
+	topo := topology.SmallWorld(80, 6, 0.3, 7)
+	if _, err := MultiRegion(topo, MultiRegionOptions{Regions: 1, CrossClasses: 1}); err == nil {
+		t.Fatal("expected error: cross classes need >= 2 regions")
+	}
+}
+
+func pathsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

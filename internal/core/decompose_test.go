@@ -1,0 +1,371 @@
+package core
+
+import (
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/topology"
+)
+
+// multiRegionScenario builds the decomposition workload: regions
+// independent diamond groups, optionally coupled by cross classes.
+func multiRegionScenario(t testing.TB, regions, pairs, cross int, seed int64) *config.Scenario {
+	t.Helper()
+	topo := topology.SmallWorld(160, 6, 0.3, 7)
+	sc, err := config.MultiRegion(topo, config.MultiRegionOptions{
+		Regions: regions, PairsPerRegion: pairs, CrossClasses: cross,
+		Property: config.Reachability, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// engineFor builds a session-attached engine shell for white-box
+// partition tests.
+func engineFor(t *testing.T, sc *config.Scenario, opts Options) (*Session, *engine) {
+	t.Helper()
+	s, err := NewSession(sc.Topo, sc.Init, sc.Specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEngineShell(sc, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ks, e.checkers, e.canSkip = s.ks, s.checkers, s.canSkip
+	return s, e
+}
+
+// TestComponentsPartition: on a 3-region workload with no cross traffic
+// the interference graph must fall apart into exactly 3 components that
+// partition the units, switches, and classes; one cross class must merge
+// two of them.
+func TestComponentsPartition(t *testing.T) {
+	sc := multiRegionScenario(t, 3, 1, 0, 11)
+	_, e := engineFor(t, sc, Options{})
+	comps, err := e.components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	unitSeen := make([]bool, len(e.units))
+	classSeen := make([]bool, len(sc.Specs))
+	for _, c := range comps {
+		if len(c.units) == 0 || len(c.classes) == 0 || len(c.switches) == 0 {
+			t.Fatalf("degenerate component %+v", c)
+		}
+		for _, id := range c.units {
+			if unitSeen[id] {
+				t.Fatalf("unit %d in two components", id)
+			}
+			unitSeen[id] = true
+		}
+		for _, ci := range c.classes {
+			if classSeen[ci] {
+				t.Fatalf("class %d in two components", ci)
+			}
+			classSeen[ci] = true
+		}
+	}
+	for id, seen := range unitSeen {
+		if !seen {
+			t.Fatalf("unit %d in no component", id)
+		}
+	}
+	// Components are ordered by lowest unit id.
+	for i := 1; i < len(comps); i++ {
+		if comps[i-1].units[0] >= comps[i].units[0] {
+			t.Fatalf("components out of order: %v then %v", comps[i-1].units, comps[i].units)
+		}
+	}
+
+	scX := multiRegionScenario(t, 3, 1, 1, 11)
+	_, eX := engineFor(t, scX, Options{})
+	compsX, err := eX.components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compsX) != 2 {
+		t.Fatalf("components with one cross class = %d, want 2", len(compsX))
+	}
+	if eX.stats.FootprintProbes == 0 {
+		t.Fatal("footprint pre-pass ran no probes")
+	}
+}
+
+// TestDecomposedSynthesis: the partitioned engine must produce valid
+// plans on multi-region workloads, report the component count, agree
+// with the joint engine on feasibility, and stay deterministic across
+// worker counts.
+func TestDecomposedSynthesis(t *testing.T) {
+	sc := multiRegionScenario(t, 3, 1, 0, 11)
+	joint, err := Synthesize(sc, Options{NoDecomposition: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPlan(t, sc, joint)
+	if joint.Stats.Components != 1 {
+		t.Fatalf("joint Components = %d, want 1", joint.Stats.Components)
+	}
+	var first *Plan
+	for _, workers := range []int{1, 4} {
+		plan, err := Synthesize(sc, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("decomposed workers=%d: %v", workers, err)
+		}
+		verifyPlan(t, sc, plan)
+		if plan.Stats.Components != 3 {
+			t.Fatalf("workers=%d: Components = %d, want 3", workers, plan.Stats.Components)
+		}
+		if len(plan.Stats.ComponentElapsed) != 3 {
+			t.Fatalf("workers=%d: ComponentElapsed = %v, want 3 entries", workers, plan.Stats.ComponentElapsed)
+		}
+		if plan.Stats.FootprintProbes == 0 {
+			t.Fatalf("workers=%d: no footprint probes recorded", workers)
+		}
+		if first == nil {
+			first = plan
+		} else if plan.String() != first.String() {
+			t.Fatalf("decomposed plan depends on worker count:\n 1: %s\n%d: %s",
+				first, workers, plan)
+		}
+	}
+	// The plans must reach the same final configuration; step orders may
+	// legitimately differ between joint and decomposed search.
+	if got, want := len(first.Updates()), len(joint.Updates()); got != want {
+		t.Fatalf("decomposed updates = %d, joint = %d", got, want)
+	}
+}
+
+// TestDecomposedConformanceSingleComponent: whenever the partition finds
+// a single component — connected diffs, every Figure 1 example, the
+// infeasible gadget — the decomposed engine must return byte-identical
+// plans to the joint engine, across all four backends at 1 and 4
+// workers. Multi-component scenarios must still agree on feasibility and
+// validity.
+func TestDecomposedConformanceSingleComponent(t *testing.T) {
+	cases := []conformanceCase{
+		{name: "fig1-red-green", sc: config.Fig1RedGreen()},
+		{name: "fig1-red-blue", sc: config.Fig1RedBlue()},
+		{name: "fig1-waypoint", sc: config.Fig1RedBlueWaypoint()},
+	}
+	topo := topology.SmallWorld(60, 4, 0.3, 60)
+	sc, err := config.Diamonds(topo, config.DiamondOptions{
+		Pairs: 1, Property: config.Reachability, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, conformanceCase{name: "diamond-single", sc: sc})
+	topoI := topology.SmallWorld(40, 4, 0.3, 21)
+	scInf, err := config.Infeasible(topoI, config.InfeasibleOptions{Gadgets: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases,
+		conformanceCase{name: "infeasible-switch", sc: scInf},
+		conformanceCase{name: "infeasible-2simple", sc: scInf, opts: Options{TwoSimple: true}},
+		conformanceCase{name: "infeasible-rules", sc: scInf, opts: Options{RuleGranularity: true}},
+	)
+	for _, c := range cases {
+		for _, kind := range []CheckerKind{CheckerIncremental, CheckerBatch, CheckerNuSMV, CheckerNetPlumber} {
+			if kind == CheckerNetPlumber && !c.sc.Feasible {
+				continue // no counterexamples: exhaustive impossibility proof is too slow
+			}
+			for _, workers := range []int{1, 4} {
+				name := c.name + "/" + kind.String()
+				jointOpts := c.opts
+				jointOpts.Checker = kind
+				jointOpts.Parallelism = workers
+				jointOpts.NoDecomposition = true
+				jointFeasible, jointPlan := synthesizeOutcome(t, name+"/joint", c.sc, jointOpts)
+				decOpts := jointOpts
+				decOpts.NoDecomposition = false
+				feasible, plan := synthesizeOutcome(t, name+"/decomposed", c.sc, decOpts)
+				if feasible != jointFeasible {
+					t.Fatalf("%s workers=%d: decomposed feasible=%v, joint=%v",
+						name, workers, feasible, jointFeasible)
+				}
+				if !feasible {
+					continue
+				}
+				verifyPlan(t, c.sc, plan)
+				if plan.Stats.Components <= 1 {
+					if got, want := plan.String(), jointPlan.String(); got != want {
+						t.Fatalf("%s workers=%d: single-component plan diverged:\n got %s\nwant %s",
+							name, workers, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecomposedSolveOrderMetamorphic: the order in which components are
+// solved — whichever goroutine picks them up, whatever permutation the
+// queue feeds — must never change the composed plan.
+func TestDecomposedSolveOrderMetamorphic(t *testing.T) {
+	sc := multiRegionScenario(t, 3, 1, 0, 11)
+	base, err := Synthesize(sc, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Components != 3 {
+		t.Fatalf("Components = %d, want 3", base.Stats.Components)
+	}
+	defer func() { testSolveOrder = nil }()
+	for _, perm := range [][]int{{2, 1, 0}, {1, 2, 0}, {2, 0, 1}, {0, 2, 1}} {
+		perm := perm
+		testSolveOrder = func(n int) []int {
+			if n != len(perm) {
+				t.Fatalf("solve order hook saw %d components, want %d", n, len(perm))
+			}
+			return perm
+		}
+		plan, err := Synthesize(sc, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		if plan.String() != base.String() {
+			t.Fatalf("solve order %v changed the composed plan:\n got %s\nwant %s",
+				perm, plan, base)
+		}
+	}
+	testSolveOrder = nil
+	// Concurrent component scheduling (workers > components use slots =
+	// components) must agree too; run a few times to shake schedules.
+	for i := 0; i < 3; i++ {
+		plan, err := Synthesize(sc, Options{Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.String() != base.String() {
+			t.Fatalf("concurrent solve changed the composed plan:\n got %s\nwant %s", plan, base)
+		}
+	}
+}
+
+// TestDecomposedInfeasibleRegion: a workload with one double-diamond
+// gadget region has no switch-granularity ordering; the decomposed and
+// joint engines must agree on impossibility, with the decomposed proof
+// confined to the gadget's component.
+func TestDecomposedInfeasibleRegion(t *testing.T) {
+	topo := topology.SmallWorld(160, 6, 0.3, 7)
+	sc, err := config.MultiRegion(topo, config.MultiRegionOptions{
+		Regions: 2, InfeasibleRegions: 1,
+		Property: config.Reachability, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Feasible {
+		t.Fatal("scenario with a gadget region must be marked infeasible")
+	}
+	if _, err := Synthesize(sc, Options{NoDecomposition: true, Parallelism: 1}); err != ErrNoOrdering {
+		t.Fatalf("joint err = %v, want ErrNoOrdering", err)
+	}
+	if _, err := Synthesize(sc, Options{Parallelism: 1}); err != ErrNoOrdering {
+		t.Fatalf("decomposed err = %v, want ErrNoOrdering", err)
+	}
+	// At rule granularity the gadget is solvable; the decomposed engine
+	// must find a valid composed plan there too.
+	plan, err := Synthesize(sc, Options{RuleGranularity: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPlan(t, sc, plan)
+	if plan.Stats.Components < 2 {
+		t.Fatalf("rule-granularity Components = %d, want >= 2", plan.Stats.Components)
+	}
+}
+
+// TestHeaderSpaceForcesJoint: the header-space backend tracks raw rule
+// tables, so the session must never partition its searches.
+func TestHeaderSpaceForcesJoint(t *testing.T) {
+	sc := multiRegionScenario(t, 3, 1, 0, 11)
+	plan, err := Synthesize(sc, Options{Checker: CheckerNetPlumber, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPlan(t, sc, plan)
+	if plan.Stats.Components != 1 {
+		t.Fatalf("Components = %d, want 1 (forced joint)", plan.Stats.Components)
+	}
+	if plan.Stats.FootprintProbes != 0 {
+		t.Fatalf("FootprintProbes = %d, want 0 (pre-pass skipped)", plan.Stats.FootprintProbes)
+	}
+}
+
+// TestDecomposedSessionStream: a long-lived session must serve
+// decomposed syntheses back and forth, resyncing its warm structures
+// between runs.
+func TestDecomposedSessionStream(t *testing.T) {
+	sc := multiRegionScenario(t, 3, 1, 0, 11)
+	s, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		fwd, err := s.Synthesize(sc.Final)
+		if err != nil {
+			t.Fatalf("round %d forward: %v", round, err)
+		}
+		verifyPlan(t, sc, fwd)
+		if fwd.Stats.Components != 3 {
+			t.Fatalf("round %d forward: Components = %d, want 3", round, fwd.Stats.Components)
+		}
+		back, err := s.Synthesize(sc.Init)
+		if err != nil {
+			t.Fatalf("round %d back: %v", round, err)
+		}
+		if back.Stats.Components != 3 {
+			t.Fatalf("round %d back: Components = %d, want 3", round, back.Stats.Components)
+		}
+	}
+	if s.Runs() != 4 {
+		t.Fatalf("runs = %d, want 4", s.Runs())
+	}
+}
+
+// TestDecomposedFailureResync: when one component of a decomposed run
+// fails, the components that already succeeded have left their classes'
+// warm structures at the final tables. The session must pull every
+// structure back to its current configuration — a regression here
+// corrupts every subsequent synthesis served by the session.
+func TestDecomposedFailureResync(t *testing.T) {
+	topo := topology.SmallWorld(160, 6, 0.3, 7)
+	sc, err := config.MultiRegion(topo, config.MultiRegionOptions{
+		Regions: 2, InfeasibleRegions: 1,
+		Property: config.Reachability, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := s.Synthesize(sc.Final); err != ErrNoOrdering {
+			t.Fatalf("attempt %d: err = %v, want ErrNoOrdering", attempt, err)
+		}
+		if d := config.Diff(s.Current(), sc.Init); len(d) != 0 {
+			t.Fatalf("attempt %d: session advanced despite failure (diff %v)", attempt, d)
+		}
+		// Every warm structure must be back at the initial configuration,
+		// including the classes of the components that succeeded before
+		// the gadget component failed.
+		for i, k := range s.ks {
+			for _, sw := range config.Diff(sc.Init, sc.Final) {
+				if !k.Table(sw).Equal(sc.Init.Table(sw)) {
+					t.Fatalf("attempt %d: class %d structure holds a stale table on sw%d after failed run",
+						attempt, i, sw)
+				}
+			}
+		}
+	}
+}

@@ -113,6 +113,12 @@ type engine struct {
 	deadline    time.Time
 	hasDeadline bool
 
+	// cexBuf is the pooled counterexample-switch buffer handed out by
+	// applyAndCheck. Each failed check overwrites it, so callers must
+	// consume the returned slice (learn does, immediately) before the next
+	// check. Private per engine, so parallel workers never contend.
+	cexBuf []int
+
 	// Wait-removal scratch (see waits.go): epoch-stamped BFS marks, the
 	// BFS queue/start buffers, and the class-output comparison buffers.
 	// Private per engine, so parallel workers never contend.
@@ -135,6 +141,14 @@ func newEngineShell(sc *config.Scenario, opts Options, scr *engineScratch) (*eng
 	if err != nil {
 		return nil, err
 	}
+	return newEngineShellWith(sc, opts, units, scr), nil
+}
+
+// newEngineShellWith is newEngineShell for callers that already hold the
+// unit list — component sub-searches reuse the joint shell's units
+// (renumbered component-locally) rather than re-deriving the diff and
+// the destination ranks per component.
+func newEngineShellWith(sc *config.Scenario, opts Options, units []unit, scr *engineScratch) *engine {
 	e := &engine{
 		sc:    sc,
 		opts:  opts,
@@ -171,7 +185,7 @@ func newEngineShell(sc *config.Scenario, opts Options, scr *engineScratch) (*eng
 	for _, u := range units {
 		e.curTables[u.sw] = sc.Init.Table(u.sw)
 	}
-	return e, nil
+	return e
 }
 
 // snapshotCheckerStats records the attached checkers' cumulative counters
@@ -349,7 +363,8 @@ func (e *engine) applyAndCheck(sw int, tbl network.Table) (frames []frame, faile
 			if errors.As(uerr, &loop) {
 				// The update is applied; roll it back after learning.
 				e.ks[ci].Revert(delta)
-				return frames, true, switchesOfStates(loop.Cycle), nil
+				e.cexBuf = e.ks[ci].AppendSwitches(e.cexBuf[:0], loop.IDs)
+				return frames, true, e.cexBuf, nil
 			}
 			return frames, false, nil, uerr
 		}
@@ -364,7 +379,8 @@ func (e *engine) applyAndCheck(sw int, tbl network.Table) (frames []frame, faile
 		if !verdict.OK {
 			var sws []int
 			if verdict.HasCex && len(verdict.Cex) > 0 {
-				sws = switchesOfIDs(e.ks[ci], verdict.Cex)
+				e.cexBuf = e.ks[ci].AppendSwitches(e.cexBuf[:0], verdict.Cex)
+				sws = e.cexBuf
 			}
 			return frames, true, sws, nil
 		}
@@ -471,26 +487,16 @@ func (e *engine) collectCheckerStats() {
 	}
 }
 
-func switchesOfStates(states []kripke.State) []int {
-	seen := map[int]bool{}
+// unitSwitches returns the switches this run's units touch, ascending
+// and deduplicated (computeUnits emits units per diff switch in
+// ascending order). These are the only switches a run can leave deviating
+// from its endpoint configurations, which is what lets the session
+// restrict its post-run rebind sweep to them.
+func (e *engine) unitSwitches() []int {
 	var out []int
-	for _, s := range states {
-		if !seen[s.Sw] {
-			seen[s.Sw] = true
-			out = append(out, s.Sw)
-		}
-	}
-	return out
-}
-
-func switchesOfIDs(k *kripke.K, ids []int) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, id := range ids {
-		sw := k.StateAt(id).Sw
-		if !seen[sw] {
-			seen[sw] = true
-			out = append(out, sw)
+	for _, u := range e.units {
+		if n := len(out); n == 0 || out[n-1] != u.sw {
+			out = append(out, u.sw)
 		}
 	}
 	return out

@@ -113,6 +113,16 @@ type Options struct {
 	// transient table growth on the merged switches. Ignored when
 	// RuleGranularity is set.
 	TwoSimple bool
+	// NoDecomposition disables interference-partitioned search (see
+	// decompose.go): the diff is always solved as one joint ORDERUPDATE
+	// search, as in the paper. By default the engine splits the update
+	// units into independent subproblems — connected components of the
+	// unit-interference graph, where two units interfere when they touch
+	// the same switch or affect a common traffic class — solves each with
+	// its own sub-search, and composes the sub-plans in deterministic
+	// order. Used by the ablation benchmarks and as the joint baseline of
+	// the decomposition comparison.
+	NoDecomposition bool
 	// NoWaitRemoval disables the wait-removal post-pass (Section 4.2.C).
 	NoWaitRemoval bool
 	// NoEarlyTermination disables SAT-based early termination (4.2.B).
@@ -163,6 +173,38 @@ type Stats struct {
 	WaitsAfter      int  // waits remaining after removal
 	WaitRemovalTime time.Duration
 	Elapsed         time.Duration
+
+	// Decomposition counters (see decompose.go). Components is the number
+	// of independent subproblems the interference partition produced (1
+	// when the search ran joint — disabled, forced by the backend, or a
+	// genuinely connected diff). FootprintProbes counts the apply/revert
+	// probes of the footprint pre-pass. ComponentElapsed records each
+	// sub-search's wall time in composition order (components sorted by
+	// lowest unit index); empty for joint runs.
+	Components       int
+	FootprintProbes  int
+	ComponentElapsed []time.Duration
+}
+
+// addSearch folds the counters of one component sub-search into st. The
+// work counters are additive across subproblems; labeling counters arrive
+// already collected against the sub-engine's checker snapshots.
+func (st *Stats) addSearch(o Stats) {
+	st.Checks += o.Checks
+	st.ClassSkips += o.ClassSkips
+	st.StatesLabeled += o.StatesLabeled
+	st.Relabels += o.Relabels
+	st.LabelsInterned += o.LabelsInterned
+	st.ExtendHits += o.ExtendHits
+	st.ExtendMisses += o.ExtendMisses
+	st.CexLearned += o.CexLearned
+	st.WrongPruned += o.WrongPruned
+	st.VisitedPruned += o.VisitedPruned
+	st.Backtracks += o.Backtracks
+	st.SATCalls += o.SATCalls
+	if o.EarlyTerminate {
+		st.EarlyTerminate = true
+	}
 }
 
 var (

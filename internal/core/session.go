@@ -49,9 +49,17 @@ type Session struct {
 	canSkip  []bool // checker i implements mc.DeltaInvariant
 
 	// Final-verification structures, built lazily on the first Synthesize
-	// and rebound to each new target afterwards.
+	// and rebound to each new target afterwards; fcur is the configuration
+	// they are currently bound to, so each rebind only examines the diff
+	// against it instead of sweeping every switch per class.
 	fks     []*kripke.K
 	fchecks []mc.Checker
+	fcur    *config.Config
+
+	// Rebind scratch shared by the resync and final-verify paths: the
+	// per-switch rule-diff list and the per-class rebind candidate list.
+	diffBuf []swDiff
+	swBuf   []int
 
 	scratch engineScratch
 	runs    int
@@ -152,9 +160,25 @@ func (s *Session) synthesize(name string, final *config.Config) (*Plan, error) {
 		return nil, err
 	}
 	e.ks, e.checkers, e.canSkip = s.ks, s.checkers, s.canSkip
-	e.snapshotCheckerStats()
 
-	steps, runErr := e.run()
+	// Partition the diff into independent subproblems where possible (see
+	// decompose.go); a connected (or forced-joint) diff runs the ordinary
+	// joint search, which keeps single-component plans byte-identical to
+	// the undecomposed engine.
+	var steps []Step
+	var runErr error
+	comps, derr := s.decompose(e)
+	decomposed := derr == nil && comps != nil
+	switch {
+	case derr != nil:
+		runErr = derr
+	case decomposed:
+		steps, runErr = s.runDecomposed(e, comps, final)
+	default:
+		e.stats.Components = 1
+		e.snapshotCheckerStats()
+		steps, runErr = e.run()
+	}
 	var plan *Plan
 	if runErr == nil {
 		e.stats.WaitsBefore = countWaits(steps)
@@ -164,7 +188,11 @@ func (s *Session) synthesize(name string, final *config.Config) (*Plan, error) {
 			e.stats.WaitRemovalTime = time.Since(wrStart)
 		}
 		e.stats.WaitsAfter = countWaits(steps)
-		e.collectCheckerStats()
+		if !decomposed {
+			// Decomposed runs already collected per-component checker
+			// deltas; collecting again here would double-count.
+			e.collectCheckerStats()
+		}
 		e.stats.Elapsed = time.Since(start)
 		plan = &Plan{Steps: steps, Stats: e.stats}
 	}
@@ -187,16 +215,28 @@ func (s *Session) synthesize(name string, final *config.Config) (*Plan, error) {
 	if runErr == nil {
 		target = final
 	}
+	// Only the run's unit switches can deviate from target: the search
+	// and the footprint pre-pass mutate nothing else, and target differs
+	// from the previous configuration exactly on the diff the units
+	// cover. Restricting the rebind to those switches — and, per class,
+	// adopting every switch whose rule changes cannot affect it — keeps
+	// resync cost proportional to the diff, not the network times the
+	// class count. The rule diffs span the two endpoints (s.cur vs final,
+	// not vs target): even when the run failed and target is s.cur, a
+	// decomposed run's *successful* components left their classes'
+	// structures at final tables, and a class the endpoint diff cannot
+	// affect may adopt either endpoint's table while every other class
+	// gets a real rebind against its actual structure state.
+	cands := e.unitSwitches()
+	s.diffBuf = ruleDiffs(s.diffBuf, s.cur, final, cands)
 	for i := range s.ks {
-		changed, touched, rerr := s.ks[i].Rebind(target)
+		var rerr error
+		s.swBuf, rerr = s.rebindClass(i, s.ks[i], s.checkers[i], target, cands, s.diffBuf, s.swBuf)
 		if rerr != nil {
 			// target was verified loop-free for every class (the initial
 			// configuration at session construction, every successful
 			// final here), so this indicates structure corruption.
 			return nil, fmt.Errorf("core: session resync: %v", rerr)
-		}
-		if s.needsRebind(i, changed, touched) {
-			rebindChecker(s.checkers[i])
 		}
 	}
 	if runErr != nil {
@@ -236,34 +276,138 @@ func (s *Session) verifyFinal(e *engine, final *config.Config) error {
 			fchecks = append(fchecks, chk)
 		}
 		s.fks, s.fchecks = fks, fchecks
+		s.fcur = final
 		return nil
 	}
-	for i, cs := range s.specs {
-		changed, touched, err := s.fks[i].Rebind(final)
+	// Phase 1: rebind every verification structure to the new target.
+	// The candidate switches — the diff against the configuration the
+	// structures are currently bound to — and their rule changes are
+	// computed once and shared across classes, so rebinding costs O(diff)
+	// per class (with class-unaffected switches adopted outright), not
+	// O(switches). If the target forwards some class in a cycle, every
+	// structure is pulled back to the session's current configuration
+	// (verified loop-free for every class) before refreshing the
+	// checkers: relabeling a cyclic structure is undefined. This restore
+	// path is rare and uses the absolute full-sweep rebind.
+	cands := config.Diff(s.fcur, final)
+	s.diffBuf = ruleDiffs(s.diffBuf, s.fcur, final, cands)
+	for i := range s.specs {
+		var err error
+		s.swBuf, err = s.rebindClass(i, s.fks[i], s.fchecks[i], final, cands, s.diffBuf, s.swBuf)
 		if err != nil {
-			// The target forwards class i in a cycle (or is otherwise
-			// malformed). The structure has been rebound toward final;
-			// pull it back to the session's current configuration —
-			// verified loop-free for every class — before refreshing the
-			// checker: relabeling a cyclic structure is undefined.
-			restoredC, restoredT, rerr := s.fks[i].Rebind(s.cur)
-			if rerr != nil {
-				return fmt.Errorf("core: session final-verify resync: %v", rerr)
+			for j := range s.specs {
+				rc, rt, rerr := s.fks[j].Rebind(s.cur)
+				if rerr != nil {
+					return fmt.Errorf("core: session final-verify resync: %v", rerr)
+				}
+				// rebindClass refreshes checkers up to the failing class;
+				// after the restore, refresh any class whose structure
+				// moved in either direction (the failing class included —
+				// its forward rebind was partial).
+				if s.needsRebind(j, rc, rt) || j == i {
+					rebindChecker(s.fchecks[j])
+				}
 			}
-			if s.needsRebind(i, changed, touched) || s.needsRebind(i, restoredC, restoredT) {
-				rebindChecker(s.fchecks[i])
-			}
+			s.fcur = s.cur
 			return fmt.Errorf("%w: %v", ErrFinalViolation, err)
 		}
-		if s.needsRebind(i, changed, touched) {
-			rebindChecker(s.fchecks[i])
-		}
+	}
+	s.fcur = final
+	// Phase 2: check every class. A violating target leaves the
+	// structures bound to it — loop-free, checkers in sync — ready for
+	// the next rebind.
+	for i, cs := range s.specs {
 		e.stats.Checks++
 		if !s.fchecks[i].Check().OK {
 			return fmt.Errorf("%w: class %v", ErrFinalViolation, cs.Class)
 		}
 	}
 	return nil
+}
+
+// swDiff records the rules that change on one switch between the
+// configuration a structure is bound to and the rebind target.
+type swDiff struct {
+	sw             int
+	removed, added []network.Rule
+}
+
+// affects reports whether any changed rule matches the class packet: if
+// none does, the class's forwarding at the switch is identical under both
+// tables and the structure may adopt the new table without recomputation.
+func (d *swDiff) affects(pkt network.Packet) bool {
+	return rulesAffect(d.removed, d.added, pkt)
+}
+
+// rulesAffect reports whether any of the changed rules matches the class
+// packet. A class no changed rule matches keeps identical forwarding
+// under both tables — table application is priority-set semantics, so a
+// rule that cannot match contributes nothing and a pure reorder of
+// identical rules changes nothing either. This single predicate backs
+// both the footprint pre-filter and the resync adopt filter.
+func rulesAffect(removed, added []network.Rule, pkt network.Packet) bool {
+	for _, r := range removed {
+		if headerMatches(r.Match, pkt) {
+			return true
+		}
+	}
+	for _, r := range added {
+		if headerMatches(r.Match, pkt) {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleDiffs collects the per-switch rule changes between from and to over
+// the candidate switches, once — the diff is class-independent, so every
+// class's rebind shares it.
+func ruleDiffs(dst []swDiff, from, to *config.Config, cands []int) []swDiff {
+	dst = dst[:0]
+	for _, sw := range cands {
+		removed, added := diffTables(from.Table(sw), to.Table(sw))
+		if len(removed) > 0 || len(added) > 0 {
+			dst = append(dst, swDiff{sw: sw, removed: removed, added: added})
+		}
+	}
+	return dst
+}
+
+// rebindClass resyncs one per-class structure (and its checker) to
+// target. Delta-invariant backends skip recomputation on every diff
+// switch whose changed rules cannot affect the class — the table is
+// adopted, the labels stay valid — and pay a real rebind only on the
+// rest. Table-tracking backends (header-space) rebind every candidate.
+// swBuf is the caller's scratch for the rebind list.
+func (s *Session) rebindClass(i int, k *kripke.K, chk mc.Checker, target *config.Config, cands []int, diffs []swDiff, swBuf []int) ([]int, error) {
+	if !s.canSkip[i] {
+		changed, touched, err := k.RebindSwitches(target, cands)
+		if err != nil {
+			return swBuf, err
+		}
+		if s.needsRebind(i, changed, touched) {
+			rebindChecker(chk)
+		}
+		return swBuf, nil
+	}
+	pkt := s.specs[i].Class.Packet()
+	rebindList := swBuf[:0]
+	for di := range diffs {
+		d := &diffs[di]
+		if d.affects(pkt) {
+			rebindList = append(rebindList, d.sw)
+		} else {
+			k.AdoptTable(d.sw, target.Table(d.sw))
+		}
+	}
+	changed, touched, err := k.RebindSwitches(target, rebindList)
+	if err != nil {
+		return rebindList, err
+	}
+	if s.needsRebind(i, changed, touched) {
+		rebindChecker(chk)
+	}
+	return rebindList, nil
 }
 
 // needsRebind reports whether class i's checker must be refreshed after a

@@ -45,10 +45,14 @@ func (s State) String() string {
 
 // ErrLoop is returned when a configuration induces a forwarding loop for
 // the class; the states on the cycle are reported for counterexample
-// learning.
+// learning. IDs carries the same cycle as state ids in the structure that
+// produced the error, so hot-path consumers (the synthesis engine's
+// counterexample learning) can extract switches through K.AppendSwitches
+// without re-resolving states.
 type ErrLoop struct {
 	Class config.Class
 	Cycle []State
+	IDs   []int
 }
 
 func (e *ErrLoop) Error() string {
@@ -139,7 +143,7 @@ func Build(topo *topology.Topology, cfg *config.Config, cl config.Class) (*K, er
 		}
 	}
 	if cyc := k.findCycle(nil); cyc != nil {
-		return nil, &ErrLoop{Class: cl, Cycle: k.statesFor(cyc)}
+		return nil, &ErrLoop{Class: cl, Cycle: k.statesFor(cyc), IDs: cyc}
 	}
 	return k, nil
 }
@@ -291,7 +295,7 @@ func (k *K) UpdateSwitch(sw int, tbl network.Table) (*Delta, error) {
 	// have introduced one.
 	if len(d.ids) > 0 {
 		if cyc := k.findCycle(d.ids); cyc != nil {
-			return d, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc)}
+			return d, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc), IDs: cyc}
 		}
 	}
 	return d, nil
@@ -324,11 +328,30 @@ func intsEqual(a, b []int) bool {
 // Deltas, undo tokens, and clones taken before a Rebind must not be
 // replayed afterwards.
 func (k *K) Rebind(cfg *config.Config) (changed, touched []int, err error) {
+	return k.rebind(cfg, nil, true)
+}
+
+// RebindSwitches is Rebind restricted to the given candidate switches:
+// only their tables are compared and recomputed (an empty list — nil or
+// not — rebinds nothing). The caller must guarantee that every switch
+// outside the candidate list already has cfg's table installed in this
+// structure — sessions know exactly which switches a synthesis run (or a
+// target diff) could have touched, and skipping the full O(switches)
+// equality sweep per class is what keeps per-synthesis resync cost
+// proportional to the diff, not the network.
+func (k *K) RebindSwitches(cfg *config.Config, switches []int) (changed, touched []int, err error) {
+	return k.rebind(cfg, switches, false)
+}
+
+// rebind implements Rebind over either every switch (sweepAll) or the
+// listed candidates; the explicit flag keeps a nil candidate slice from
+// silently meaning "sweep everything".
+func (k *K) rebind(cfg *config.Config, candidates []int, sweepAll bool) (changed, touched []int, err error) {
 	roots := k.rootBuf[:0]
-	for sw := 0; sw < k.Topo.NumSwitches(); sw++ {
+	sweep := func(sw int) error {
 		tbl := cfg.Table(sw)
 		if k.tables[sw].Equal(tbl) {
-			continue
+			return nil
 		}
 		touched = append(touched, sw)
 		ids := k.statesOf[sw]
@@ -339,8 +362,7 @@ func (k *K) Rebind(cfg *config.Config) (changed, touched []int, err error) {
 		k.oldBuf = old
 		k.tables[sw] = tbl
 		if rerr := k.recomputeSwitch(sw); rerr != nil {
-			k.rootBuf = roots[:0]
-			return changed, touched, rerr
+			return rerr
 		}
 		for i, id := range ids {
 			if !intsEqual(old[i], k.succ[id]) {
@@ -349,15 +371,42 @@ func (k *K) Rebind(cfg *config.Config) (changed, touched []int, err error) {
 				break
 			}
 		}
+		return nil
+	}
+	if sweepAll {
+		for sw := 0; sw < k.Topo.NumSwitches(); sw++ {
+			if rerr := sweep(sw); rerr != nil {
+				k.rootBuf = roots[:0]
+				return changed, touched, rerr
+			}
+		}
+	} else {
+		for _, sw := range candidates {
+			if rerr := sweep(sw); rerr != nil {
+				k.rootBuf = roots[:0]
+				return changed, touched, rerr
+			}
+		}
 	}
 	k.rootBuf = roots[:0]
 	if len(roots) > 0 {
 		if cyc := k.findCycle(roots); cyc != nil {
-			return changed, touched, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc)}
+			return changed, touched, &ErrLoop{Class: k.Class, Cycle: k.statesFor(cyc), IDs: cyc}
 		}
 	}
 	return changed, touched, nil
 }
+
+// AdoptTable installs tbl as sw's table without recomputing transitions.
+// The caller must guarantee the class's forwarding behavior at sw is
+// identical under the old and the new table — e.g. no rule added or
+// removed by the change matches the class packet (table application is
+// priority-set semantics, so such a change cannot alter any output) —
+// which leaves the transition relation, and every checker labeling over
+// it, untouched and valid. Sessions use this to resync foreign switches
+// of a diff in O(1) per switch instead of paying a full recompute for
+// every class the change cannot affect.
+func (k *K) AdoptTable(sw int, tbl network.Table) { k.tables[sw] = tbl }
 
 // Revert undoes an update returned by UpdateSwitch.
 func (k *K) Revert(d *Delta) {
@@ -453,6 +502,27 @@ func (k *K) findCycle(from []int) []int {
 		}
 	}
 	return nil
+}
+
+// AppendSwitches appends to dst the distinct switches of the given state
+// ids in first-appearance order, deduplicating against everything already
+// in dst. It is the shared counterexample-switch extraction of the
+// synthesis engine (violating traces and forwarding-loop cycles both
+// arrive as state ids): it allocates only when dst must grow, so callers
+// pool the buffer across the search's failed checks. Counterexamples are
+// short, so the dedup is a linear scan rather than a map.
+func (k *K) AppendSwitches(dst []int, ids []int) []int {
+outer:
+	for _, id := range ids {
+		sw := k.states[id].Sw
+		for _, seen := range dst {
+			if seen == sw {
+				continue outer
+			}
+		}
+		dst = append(dst, sw)
+	}
+	return dst
 }
 
 func (k *K) statesFor(ids []int) []State {

@@ -487,3 +487,82 @@ func TestRebindDetectsLoop(t *testing.T) {
 		t.Fatal("structure did not recover after a loop rebind")
 	}
 }
+
+// TestAppendSwitches: the shared counterexample-switch extraction must
+// deduplicate switches in first-appearance order, honor entries already
+// present in dst, and reuse the caller's buffer without allocating when
+// capacity suffices.
+func TestAppendSwitches(t *testing.T) {
+	topo, cfg, cl := lineScene()
+	k, err := Build(topo, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect one arrival state per switch, plus duplicates.
+	var ids []int
+	for _, sw := range []int{1, 1, 0, 2, 0, 1} {
+		ids = append(ids, k.StatesOf(sw)[0])
+	}
+	got := k.AppendSwitches(nil, ids)
+	want := []int{1, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("AppendSwitches = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendSwitches = %v, want %v", got, want)
+		}
+	}
+	// Entries already in dst are deduplicated against too.
+	pre := k.AppendSwitches([]int{1}, ids)
+	if len(pre) != 3 || pre[0] != 1 || pre[1] != 0 || pre[2] != 2 {
+		t.Fatalf("AppendSwitches with seeded dst = %v, want [1 0 2]", pre)
+	}
+	// A pooled buffer with enough capacity is reused, not reallocated.
+	buf := make([]int, 0, 8)
+	out := k.AppendSwitches(buf, ids)
+	if &out[:1][0] != &buf[:1][0] {
+		t.Fatal("AppendSwitches reallocated despite sufficient capacity")
+	}
+	// ErrLoop carries ids consistent with its states, so the loop path of
+	// the engine can use the same helper.
+	bad := cfg.Clone()
+	bad.SetTable(1, network.Table{{
+		Priority: 99, Match: cl.Pattern(),
+		Actions: []network.Action{network.Forward(mustPortToward(t, topo, 1, 0))},
+	}})
+	bad.SetTable(0, network.Table{
+		{Priority: 99, Match: cl.Pattern(),
+			Actions: []network.Action{network.Forward(mustPortToward(t, topo, 0, 1))}},
+	})
+	_, err = Build(topo, bad, cl)
+	var loop *ErrLoop
+	if !errors.As(err, &loop) {
+		t.Fatalf("err = %v, want *ErrLoop", err)
+	}
+	if len(loop.IDs) != len(loop.Cycle) {
+		t.Fatalf("loop IDs/Cycle length mismatch: %d vs %d", len(loop.IDs), len(loop.Cycle))
+	}
+	k2, err := Build(topo, cfg, cl) // any structure over the same topology
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range loop.IDs {
+		if k2.StateAt(id) != loop.Cycle[i] {
+			t.Fatalf("loop id %d resolves to %v, want %v", id, k2.StateAt(id), loop.Cycle[i])
+		}
+	}
+	sws := k2.AppendSwitches(nil, loop.IDs)
+	if len(sws) != 2 {
+		t.Fatalf("loop switches = %v, want the two looping switches", sws)
+	}
+}
+
+func mustPortToward(t *testing.T, topo *topology.Topology, from, to int) topology.Port {
+	t.Helper()
+	p, ok := topo.PortToward(from, to)
+	if !ok {
+		t.Fatalf("no port from sw%d toward sw%d", from, to)
+	}
+	return p
+}

@@ -78,6 +78,10 @@ type (
 	DiamondOptions = config.DiamondOptions
 	// InfeasibleOptions parameterizes the double-diamond generator.
 	InfeasibleOptions = config.InfeasibleOptions
+	// MultiRegionOptions parameterizes the multi-region workload
+	// generator (independent update regions plus coupling cross traffic),
+	// the natural workload for the decomposition layer.
+	MultiRegionOptions = config.MultiRegionOptions
 	// Stream is a sequence of target configurations over one topology.
 	Stream = config.Stream
 	// ScenarioStream decodes a JSONL stream of configuration deltas.
@@ -276,6 +280,10 @@ var (
 	// Infeasible builds the switch-granularity-impossible workload of
 	// Figure 8(h).
 	Infeasible = config.Infeasible
+	// MultiRegion builds k independent diamond regions plus optional
+	// cross-traffic classes that couple them; see DESIGN.md
+	// "Decomposition layer".
+	MultiRegion = config.MultiRegion
 	// Fig1RedGreen, Fig1RedBlue, Fig1RedBlueWaypoint are the Overview
 	// scenarios on the Figure 1 datacenter; Fig1Topology builds the bare
 	// topology with its named nodes.
