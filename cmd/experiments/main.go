@@ -7,7 +7,9 @@
 //	experiments -fig stream -json   # warm-session vs cold synthesis
 //
 // Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation,
-// parallel, stream, decomp, all. The -scale flag selects problem sizes: "small" finishes
+// parallel, stream, decomp, server, all. "-fig server" compares warm
+// multi-tenant pool serving against cold per-request synthesis.
+// The -scale flag selects problem sizes: "small" finishes
 // in seconds, "medium" in minutes, "full" approaches the paper's sizes
 // (up to 1500 switches for 8g) and can take much longer. -parallel sets
 // the worker count used by every figure run; the default (0) pins the
@@ -27,20 +29,23 @@ import (
 )
 
 type scale struct {
-	fig7Sizes    []int
-	fig7dfSizes  []int
-	fig8gSizes   []int
-	fig8hSizes   []int
-	fig8iSizes   []int
-	checkerSize  int
-	ablationSize int
-	parSizes     []int
-	parWorkers   int
-	streamSizes  []int
-	streamSteps  int
-	decompSizes  []int
-	decompRegion int
-	timeout      time.Duration
+	fig7Sizes      []int
+	fig7dfSizes    []int
+	fig8gSizes     []int
+	fig8hSizes     []int
+	fig8iSizes     []int
+	checkerSize    int
+	ablationSize   int
+	parSizes       []int
+	parWorkers     int
+	streamSizes    []int
+	streamSteps    int
+	decompSizes    []int
+	decompRegion   int
+	serverTenants  []int
+	serverSwitches int
+	serverSteps    int
+	timeout        time.Duration
 }
 
 var scales = map[string]scale{
@@ -51,12 +56,15 @@ var scales = map[string]scale{
 		fig8hSizes:  []int{40, 80},
 		fig8iSizes:  []int{40, 80},
 		checkerSize: 60, ablationSize: 60,
-		parSizes:     []int{60, 120},
-		streamSizes:  []int{40, 80},
-		streamSteps:  8,
-		decompSizes:  []int{240, 320},
-		decompRegion: 6,
-		timeout:      time.Minute,
+		parSizes:       []int{60, 120},
+		streamSizes:    []int{40, 80},
+		streamSteps:    8,
+		decompSizes:    []int{240, 320},
+		decompRegion:   6,
+		serverTenants:  []int{4, 8},
+		serverSwitches: 40,
+		serverSteps:    8,
+		timeout:        time.Minute,
 	},
 	"medium": {
 		fig7Sizes:   []int{50, 100, 200, 300},
@@ -65,12 +73,15 @@ var scales = map[string]scale{
 		fig8hSizes:  []int{100, 200, 400},
 		fig8iSizes:  []int{100, 200},
 		checkerSize: 200, ablationSize: 150,
-		parSizes:     []int{120, 240},
-		streamSizes:  []int{80, 160},
-		streamSteps:  12,
-		decompSizes:  []int{320, 400},
-		decompRegion: 8,
-		timeout:      5 * time.Minute,
+		parSizes:       []int{120, 240},
+		streamSizes:    []int{80, 160},
+		streamSteps:    12,
+		decompSizes:    []int{320, 400},
+		decompRegion:   8,
+		serverTenants:  []int{8, 16},
+		serverSwitches: 60,
+		serverSteps:    10,
+		timeout:        5 * time.Minute,
 	},
 	"full": {
 		fig7Sizes:   []int{100, 200, 400, 600},
@@ -79,18 +90,21 @@ var scales = map[string]scale{
 		fig8hSizes:  []int{200, 400, 800},
 		fig8iSizes:  []int{200, 400, 800},
 		checkerSize: 400, ablationSize: 300,
-		parSizes:     []int{240, 480},
-		streamSizes:  []int{200, 400},
-		streamSteps:  16,
-		decompSizes:  []int{400, 560},
-		decompRegion: 10,
-		timeout:      10 * time.Minute,
+		parSizes:       []int{240, 480},
+		streamSizes:    []int{200, 400},
+		streamSteps:    16,
+		decompSizes:    []int{400, 560},
+		decompRegion:   10,
+		serverTenants:  []int{16, 32},
+		serverSwitches: 80,
+		serverSteps:    12,
+		timeout:        10 * time.Minute,
 	},
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|all")
 		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
 		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
 		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
@@ -205,6 +219,11 @@ func run(fig string, sc scale) ([]*bench.Table, error) {
 	}
 	if all || fig == "decomp" {
 		if err := add(bench.DecompCompare(sc.decompSizes, sc.decompRegion, sc.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if all || fig == "server" {
+		if err := add(bench.ServerCompare(sc.serverTenants, sc.serverSwitches, sc.serverSteps, 4)); err != nil {
 			return nil, err
 		}
 	}

@@ -18,19 +18,28 @@
 //
 //	netupdate -stream < stream.jsonl
 //	netupdate -stream -checker incremental -parallel 4 < stream.jsonl
+//
+// Stream mode is a thin stdin/stdout client of the internal/server pool
+// — the same serving layer, wire format, and admission control as the
+// netupdated daemon. SIGINT/SIGTERM shut it down gracefully: input stops,
+// the in-flight synthesis finishes, and its plan line is flushed before
+// exit.
 package main
 
 import (
-	"encoding/json"
+	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"netupdate/internal/config"
 	"netupdate/internal/core"
+	"netupdate/internal/server"
 )
 
 func main() {
@@ -76,7 +85,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "netupdate: -stream reads from stdin and synthesizes every delta; it cannot be combined with -f or -verify")
 			os.Exit(2)
 		}
-		if err := runStream(os.Stdin, os.Stdout, opts, *quiet); err != nil {
+		if err := runStream(opts, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 			os.Exit(1)
 		}
@@ -133,117 +142,33 @@ func run(file string, opts core.Options, rules, verifyOnly, quiet bool) error {
 	return nil
 }
 
-// streamResult is one output line of -stream mode.
-type streamResult struct {
-	Step   int        `json:"step"`
-	Result string     `json:"result"` // "plan" | "impossible" | "error"
-	Steps  []stepJSON `json:"steps,omitempty"`
-	Error  string     `json:"error,omitempty"`
-	Stats  *statsJSON `json:"stats,omitempty"`
-}
-
-// stepJSON is one plan element. Switch is a pointer so switch 0 is
-// emitted while wait barriers carry no switch at all.
-type stepJSON struct {
-	Op     string `json:"op"` // "update" | "wait" | "add" | "del"
-	Switch *int   `json:"switch,omitempty"`
-	Rule   string `json:"rule,omitempty"`
-}
-
-// statsJSON is the per-synthesis work summary.
-type statsJSON struct {
-	Units      int     `json:"units"`
-	Components int     `json:"components"`
-	Checks     int     `json:"checks"`
-	ClassSkips int     `json:"classSkips"`
-	Waits      int     `json:"waits"`
-	ElapsedMS  float64 `json:"elapsedMs"`
-}
-
-// runStream serves a JSONL scenario stream over one warm session: every
-// decoded delta becomes a synthesis from the session's current
-// configuration to the delta's target, and the result is emitted as one
-// JSON line. Bad deltas do not kill the stream: semantically invalid
-// ones (config.ErrBadDelta) and infeasible or violating targets are
-// reported and skipped, leaving the session at its last good
-// configuration. Only JSON decode errors — after which the stream
-// position is unreliable — are terminal.
-func runStream(in io.Reader, out io.Writer, opts core.Options, quiet bool) error {
-	s, err := config.OpenStream(in)
-	if err != nil {
-		return err
+// runStream serves the stdin JSONL stream as a client of a single-tenant
+// internal/server pool: the stream header registers the tenant, every
+// delta is synthesized through the pool's warm session, and one JSON
+// result line (the daemon's wire format, internal/server.Result) is
+// emitted per delta. Bad deltas do not kill the stream: semantically
+// invalid ones (config.ErrBadDelta) and infeasible or violating targets
+// are reported — with their input line — and skipped. Only JSON decode
+// errors, after which the stream position is unreliable, are terminal.
+// SIGINT/SIGTERM stop input, finish the in-flight synthesis, and flush
+// its result line before exiting.
+func runStream(opts core.Options, quiet bool) error {
+	pool := server.NewPool(server.PoolOptions{
+		Workers:     1, // one tenant, single-flight: more would idle
+		MaxSessions: 1,
+		QueueDepth:  1,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	out := bufio.NewWriter(os.Stdout)
+	err := server.ServeStdio(ctx, os.Stdin, out, os.Stderr, pool, opts, quiet)
+	if ferr := out.Flush(); err == nil {
+		err = ferr
 	}
-	sess, err := core.NewSession(s.Topo(), s.Init(), s.Specs(), opts)
-	if err != nil {
-		return err
+	closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if cerr := pool.Close(closeCtx); err == nil {
+		err = cerr
 	}
-	if !quiet {
-		fmt.Fprintf(os.Stderr, "stream %q: %d switches, %d classes\n",
-			s.Name(), s.Topo().NumSwitches(), len(s.Specs()))
-	}
-	enc := json.NewEncoder(out)
-	step := 0
-	for {
-		tgt, err := s.Next()
-		if err == io.EOF {
-			break
-		}
-		if errors.Is(err, config.ErrBadDelta) {
-			step++
-			if encErr := enc.Encode(streamResult{
-				Step: step, Result: "error", Error: err.Error(),
-			}); encErr != nil {
-				return encErr
-			}
-			continue
-		}
-		if err != nil {
-			return err
-		}
-		step++
-		plan, serr := sess.Synthesize(tgt)
-		res := streamResult{Step: step}
-		switch {
-		case serr == nil:
-			res.Result = "plan"
-			for _, st := range plan.Steps {
-				res.Steps = append(res.Steps, stepOf(st))
-			}
-			res.Stats = &statsJSON{
-				Units:      plan.Stats.Units,
-				Components: plan.Stats.Components,
-				Checks:     plan.Stats.Checks,
-				ClassSkips: plan.Stats.ClassSkips,
-				Waits:      plan.Stats.WaitsAfter,
-				ElapsedMS:  float64(plan.Stats.Elapsed.Microseconds()) / 1000,
-			}
-		case errors.Is(serr, core.ErrNoOrdering):
-			res.Result = "impossible"
-		default:
-			res.Result = "error"
-			res.Error = serr.Error()
-		}
-		if err := enc.Encode(res); err != nil {
-			return err
-		}
-	}
-	if !quiet {
-		fmt.Fprintf(os.Stderr, "stream done: %d syntheses served\n", step)
-	}
-	return nil
-}
-
-func stepOf(s core.Step) stepJSON {
-	if s.Wait {
-		return stepJSON{Op: "wait"}
-	}
-	sw := s.Switch
-	switch {
-	case s.IsRule && s.RuleAdd:
-		return stepJSON{Op: "add", Switch: &sw, Rule: s.Rule.String()}
-	case s.IsRule:
-		return stepJSON{Op: "del", Switch: &sw, Rule: s.Rule.String()}
-	default:
-		return stepJSON{Op: "update", Switch: &sw}
-	}
+	return err
 }

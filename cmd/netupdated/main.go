@@ -1,0 +1,86 @@
+// Command netupdated is the multi-tenant synthesis daemon: it serves the
+// warm-session pool of internal/server over HTTP.
+//
+//	netupdated -addr :8080
+//	netupdated -addr :8080 -workers 8 -max-sessions 128 -queue 16 -timeout 30s
+//
+// Endpoints (see internal/server for the wire format):
+//
+//	POST /v1/tenants                   register a scenario, returns {"id": ...}
+//	POST /v1/tenants/{id}/synthesize   JSONL deltas in, JSONL plan lines out
+//	GET  /v1/tenants/{id}/stats        per-tenant serving summary
+//	GET  /metrics                      pool/queue/latency counters
+//	GET  /healthz                      liveness
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, lets
+// in-flight syntheses finish (bounded by -drain), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netupdate/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "global synthesis worker budget: 0 = one per CPU")
+		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "warm sessions held at once (LRU eviction beyond; negative = unbounded)")
+		queue       = flag.Int("queue", server.DefaultQueueDepth, "per-tenant outstanding-request bound (queue-full load shedding beyond)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline when the client sets none (0 = none)")
+		drain       = flag.Duration("drain", time.Minute, "shutdown grace for in-flight syntheses")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *maxSessions, *queue, *timeout, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "netupdated: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxSessions, queue int, timeout, drain time.Duration) error {
+	pool := server.NewPool(server.PoolOptions{
+		Workers:        workers,
+		MaxSessions:    maxSessions,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+	})
+	srv := &http.Server{Addr: addr, Handler: server.NewHandler(pool)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "netupdated: serving on %s (workers=%d, max-sessions=%d, queue=%d)\n",
+			addr, pool.Stats().Workers, maxSessions, queue)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure etc.
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "netupdated: signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Shutdown stops the listener and waits for open requests; closing
+	// the pool afterwards catches stragglers Shutdown abandoned.
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := pool.Close(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "netupdated: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "netupdated: drained, bye")
+	return nil
+}

@@ -65,6 +65,91 @@ func RerouteClass(cfg *Config, topo *topology.Topology, cl Class, path []int, pr
 	return InstallPath(cfg, topo, cl, path, priority)
 }
 
+// LineCountingReader wraps a stream reader and records where each line
+// starts, so decoders that report byte offsets (encoding/json) can be
+// translated to the 1-based line numbers humans grep for in a JSONL
+// stream. It is what lets stream and request decode errors name the
+// offending line instead of a bare byte offset. Long-lived consumers
+// (the stream CLI, a held-open daemon connection) call Prune after each
+// decoded value so the newline index stays bounded by the decoder's
+// unread window instead of growing with the whole stream.
+type LineCountingReader struct {
+	r    io.Reader
+	nl   []int64 // offsets of '\n' served and not yet pruned
+	base int     // newlines pruned away (all below every retained offset)
+	n    int64   // total bytes served
+}
+
+// NewLineCountingReader wraps r.
+func NewLineCountingReader(r io.Reader) *LineCountingReader {
+	return &LineCountingReader{r: r}
+}
+
+// Read implements io.Reader.
+func (t *LineCountingReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	for i := 0; i < n; i++ {
+		if p[i] == '\n' {
+			t.nl = append(t.nl, t.n+int64(i))
+		}
+	}
+	t.n += int64(n)
+	return n, err
+}
+
+// LineAt returns the 1-based line number containing byte offset off.
+// Offsets at or past the bytes served so far land on the last known
+// line; offsets already pruned land on the first retained line.
+func (t *LineCountingReader) LineAt(off int64) int {
+	lo, hi := 0, len(t.nl)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.nl[mid] < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return t.base + lo + 1
+}
+
+// Prune forgets newline offsets below off, keeping the line index
+// bounded for endless streams. Callers prune up to the decoder's
+// position after handling each value: every offset a later decode error
+// can report is at or past it.
+func (t *LineCountingReader) Prune(off int64) {
+	i := 0
+	for i < len(t.nl) && t.nl[i] < off {
+		i++
+	}
+	if i > 0 {
+		t.base += i
+		t.nl = append(t.nl[:0], t.nl[i:]...)
+	}
+}
+
+// DecodeErrorLine maps a json decode error (or, failing that, the
+// decoder's current input offset) to the line it occurred on. Syntax and
+// type errors carry their own stream offset; other errors — including
+// io.ErrUnexpectedEOF and DisallowUnknownFields rejections — are
+// attributed to the decoder's position after the failed read.
+func (t *LineCountingReader) DecodeErrorLine(err error, dec *json.Decoder) int {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return t.LineAt(syn.Offset)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return t.LineAt(typ.Offset)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		// The decoder position does not advance past a value it could not
+		// finish scanning; the truncation itself is at the end of input.
+		return t.LineAt(t.n)
+	}
+	return t.LineAt(dec.InputOffset())
+}
+
 // StreamHeader is the first JSON value of a scenario stream: the fixed
 // topology, and every traffic class with its initial route and LTL
 // specification.
@@ -109,20 +194,95 @@ type Reroute struct {
 // stream position is unreliable and the stream must be abandoned.
 var ErrBadDelta = errors.New("config: invalid stream delta")
 
+// StreamBase is a validated stream header: the fixed topology, the
+// initial configuration the class paths install, the per-class
+// specifications, and the class name index deltas resolve against. It is
+// the shared (de)serialized form of a synthesis scenario stream — the
+// ScenarioStream decoder applies deltas to it locally, and the server
+// pool stores one per tenant and applies request deltas to the tenant's
+// current configuration on the service side.
+type StreamBase struct {
+	Name  string
+	Topo  *topology.Topology
+	Init  *Config
+	Specs []ClassSpec
+
+	byName map[string]Class
+	prio   int
+}
+
+// Build validates the header and constructs the base: the topology, every
+// class's initial route, and its parsed LTL specification.
+func (h *StreamHeader) Build() (*StreamBase, error) {
+	topo, err := h.Topology.Build(h.Name)
+	if err != nil {
+		return nil, err
+	}
+	b := &StreamBase{
+		Name:   h.Name,
+		Topo:   topo,
+		Init:   New(),
+		byName: map[string]Class{},
+		prio:   10,
+	}
+	for i, cf := range h.Classes {
+		cl := Class{Name: cf.Name, SrcHost: cf.Src, DstHost: cf.Dst}
+		if cl.Name == "" {
+			cl.Name = fmt.Sprintf("class%d", i)
+		}
+		if _, dup := b.byName[cl.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate class %q", cl.Name)
+		}
+		b.byName[cl.Name] = cl
+		if err := InstallPath(b.Init, topo, cl, cf.Path, b.prio); err != nil {
+			return nil, fmt.Errorf("config: class %s: %w", cl.Name, err)
+		}
+		spec, err := ltl.Parse(cf.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("config: class %s spec: %w", cl.Name, err)
+		}
+		b.Specs = append(b.Specs, ClassSpec{Class: cl, Formula: spec})
+	}
+	if len(b.Specs) == 0 {
+		return nil, fmt.Errorf("config: stream has no traffic classes")
+	}
+	return b, nil
+}
+
+// Apply builds the target configuration one delta describes: cur cloned
+// with every rerouted class moved to its new path, each validated to
+// still deliver. Semantic failures are wrapped in ErrBadDelta and cur is
+// unaffected, so the caller may report and continue.
+func (b *StreamBase) Apply(cur *Config, d *StreamDelta) (*Config, error) {
+	next := cur.Clone()
+	for _, rr := range d.Reroute {
+		cl, ok := b.byName[rr.Class]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown class %q", ErrBadDelta, rr.Class)
+		}
+		if err := RerouteClass(next, b.Topo, cl, rr.Path, b.prio); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadDelta, err)
+		}
+		if _, err := PathOf(next, b.Topo, cl); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadDelta, err)
+		}
+	}
+	return next, nil
+}
+
 // ScenarioStream decodes a JSONL synthesis stream: a StreamHeader
 // followed by any number of StreamDelta values (one JSON value per line
 // by convention; any whitespace separation decodes). Each delta is
 // applied on top of the previous target, so targets accumulate: a class
-// not rerouted by a delta keeps its current path.
+// not rerouted by a delta keeps its current path. Decode and validation
+// errors are positioned: they carry the delta's ordinal and the input
+// line it sits on (see LineCountingReader).
 type ScenarioStream struct {
-	name    string
-	topo    *topology.Topology
-	init    *Config
-	specs   []ClassSpec
-	byName  map[string]Class
+	base    *StreamBase
 	cur     *Config // last target handed out
 	dec     *json.Decoder
-	prio    int
+	lines   *LineCountingReader
+	line    int // input line of the last decoded delta
 	emitted int
 }
 
@@ -131,88 +291,60 @@ type ScenarioStream struct {
 // are rejected (like the scenario-file loader), so a misspelled delta key
 // fails loudly instead of silently producing a no-op target.
 func OpenStream(r io.Reader) (*ScenarioStream, error) {
-	dec := json.NewDecoder(r)
+	lines := NewLineCountingReader(r)
+	dec := json.NewDecoder(lines)
 	dec.DisallowUnknownFields()
 	var h StreamHeader
 	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("config: stream header: %w", err)
+		return nil, fmt.Errorf("config: stream header (line %d): %w",
+			lines.DecodeErrorLine(err, dec), err)
 	}
-	topo, err := h.Topology.Build(h.Name)
+	base, err := h.Build()
 	if err != nil {
 		return nil, err
 	}
-	s := &ScenarioStream{
-		name:   h.Name,
-		topo:   topo,
-		init:   New(),
-		byName: map[string]Class{},
-		dec:    dec,
-		prio:   10,
-	}
-	for i, cf := range h.Classes {
-		cl := Class{Name: cf.Name, SrcHost: cf.Src, DstHost: cf.Dst}
-		if cl.Name == "" {
-			cl.Name = fmt.Sprintf("class%d", i)
-		}
-		if _, dup := s.byName[cl.Name]; dup {
-			return nil, fmt.Errorf("config: duplicate class %q", cl.Name)
-		}
-		s.byName[cl.Name] = cl
-		if err := InstallPath(s.init, topo, cl, cf.Path, s.prio); err != nil {
-			return nil, fmt.Errorf("config: class %s: %w", cl.Name, err)
-		}
-		spec, err := ltl.Parse(cf.Spec)
-		if err != nil {
-			return nil, fmt.Errorf("config: class %s spec: %w", cl.Name, err)
-		}
-		s.specs = append(s.specs, ClassSpec{Class: cl, Formula: spec})
-	}
-	if len(s.specs) == 0 {
-		return nil, fmt.Errorf("config: stream has no traffic classes")
-	}
-	s.cur = s.init
-	return s, nil
+	return &ScenarioStream{base: base, cur: base.Init, dec: dec, lines: lines}, nil
 }
 
 // Name returns the stream's name from the header.
-func (s *ScenarioStream) Name() string { return s.name }
+func (s *ScenarioStream) Name() string { return s.base.Name }
 
 // Topo implements Stream.
-func (s *ScenarioStream) Topo() *topology.Topology { return s.topo }
+func (s *ScenarioStream) Topo() *topology.Topology { return s.base.Topo }
 
 // Init implements Stream.
-func (s *ScenarioStream) Init() *Config { return s.init }
+func (s *ScenarioStream) Init() *Config { return s.base.Init }
 
 // Specs implements Stream.
-func (s *ScenarioStream) Specs() []ClassSpec { return s.specs }
+func (s *ScenarioStream) Specs() []ClassSpec { return s.base.Specs }
+
+// Line returns the input line of the last delta Next decoded (0 before
+// the first call). Errors from Next already embed it; callers relaying
+// results elsewhere (the stream CLI, the daemon) use it to position
+// their own reports.
+func (s *ScenarioStream) Line() int { return s.line }
 
 // Next implements Stream: decode the next delta, apply it to the previous
 // target, and validate that every rerouted class still delivers. A
 // semantically invalid delta is reported wrapped in ErrBadDelta and
 // skipped — the previous target stands and Next may be called again; only
 // decode errors (after which the stream position is unreliable) are
-// terminal.
+// terminal. Both kinds carry the offending input line.
 func (s *ScenarioStream) Next() (*Config, error) {
 	var d StreamDelta
 	if err := s.dec.Decode(&d); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("config: stream delta %d: %w", s.emitted+1, err)
+		return nil, fmt.Errorf("config: stream delta %d (line %d): %w",
+			s.emitted+1, s.lines.DecodeErrorLine(err, s.dec), err)
 	}
 	s.emitted++
-	next := s.cur.Clone()
-	for _, rr := range d.Reroute {
-		cl, ok := s.byName[rr.Class]
-		if !ok {
-			return nil, fmt.Errorf("%w %d: unknown class %q", ErrBadDelta, s.emitted, rr.Class)
-		}
-		if err := RerouteClass(next, s.topo, cl, rr.Path, s.prio); err != nil {
-			return nil, fmt.Errorf("%w %d: %v", ErrBadDelta, s.emitted, err)
-		}
-		if _, err := PathOf(next, s.topo, cl); err != nil {
-			return nil, fmt.Errorf("%w %d: %v", ErrBadDelta, s.emitted, err)
-		}
+	s.line = s.lines.LineAt(s.dec.InputOffset() - 1)
+	s.lines.Prune(s.dec.InputOffset())
+	next, err := s.base.Apply(s.cur, &d)
+	if err != nil {
+		return nil, fmt.Errorf("%w (delta %d, line %d)", err, s.emitted, s.line)
 	}
 	s.cur = next
 	return next, nil

@@ -195,3 +195,109 @@ func TestScenarioStreamRejectsUnknownFields(t *testing.T) {
 		t.Fatal("misspelled delta key must be rejected")
 	}
 }
+
+// TestScenarioStreamErrorsCarryLineNumbers: both semantic (ErrBadDelta)
+// and syntax decode errors must name the offending JSONL input line.
+func TestScenarioStreamErrorsCarryLineNumbers(t *testing.T) {
+	// Header spans lines 2-4; the first (good) delta is line 5, the bad
+	// delta is line 6, and line 7 holds garbage for the syntax-error case.
+	in := `
+{"name":"line","topology":{"switches":4,"links":[[0,1],[1,2],[2,3],[0,2]],
+ "hosts":[{"id":100,"switch":0},{"id":101,"switch":3}]},
+ "classes":[{"name":"c","src":100,"dst":101,"path":[0,1,2,3],"spec":"sw=0 -> F sw=3"}]}
+{"reroute":[{"class":"c","path":[0,2,3]}]}
+{"reroute":[{"class":"nope","path":[0,1,2,3]}]}
+{"reroute":
+`
+	s, err := OpenStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Line(); got != 5 {
+		t.Fatalf("good delta line = %d, want 5", got)
+	}
+	_, err = s.Next()
+	if !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("err = %v, want ErrBadDelta", err)
+	}
+	if !strings.Contains(err.Error(), "line 6") {
+		t.Fatalf("bad-delta error lacks line number: %v", err)
+	}
+	_, err = s.Next()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated delta must be a decode error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 7") && !strings.Contains(err.Error(), "line 8") {
+		t.Fatalf("decode error lacks line number: %v", err)
+	}
+}
+
+// TestLineCountingReader: offsets map to 1-based lines.
+func TestLineCountingReader(t *testing.T) {
+	r := NewLineCountingReader(strings.NewReader("ab\ncd\nef"))
+	buf := make([]byte, 3) // force multiple short reads
+	for {
+		if _, err := r.Read(buf); err != nil {
+			break
+		}
+	}
+	for _, tc := range []struct {
+		off  int64
+		want int
+	}{{0, 1}, {1, 1}, {2, 1}, {3, 2}, {5, 2}, {6, 3}, {7, 3}, {100, 3}} {
+		if got := r.LineAt(tc.off); got != tc.want {
+			t.Fatalf("LineAt(%d) = %d, want %d", tc.off, got, tc.want)
+		}
+	}
+	// Pruning forgets early offsets but preserves line numbering for
+	// everything at or past the prune point.
+	r.Prune(3)
+	for _, tc := range []struct {
+		off  int64
+		want int
+	}{{3, 2}, {5, 2}, {6, 3}, {100, 3}} {
+		if got := r.LineAt(tc.off); got != tc.want {
+			t.Fatalf("after Prune(3): LineAt(%d) = %d, want %d", tc.off, got, tc.want)
+		}
+	}
+	r.Prune(100)
+	if got := r.LineAt(100); got != 3 {
+		t.Fatalf("after Prune(100): LineAt(100) = %d, want 3", got)
+	}
+}
+
+// TestStreamBaseApply: the shared delta applicator leaves the input
+// configuration untouched and validates reroutes.
+func TestStreamBaseApply(t *testing.T) {
+	h := StreamHeader{
+		Name: "b",
+		Topology: TopologyFile{
+			Switches: 4,
+			Links:    [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}},
+			Hosts:    []HostFile{{ID: 100, Switch: 0}, {ID: 101, Switch: 3}},
+		},
+		Classes: []StreamClass{{Name: "c", Src: 100, Dst: 101, Path: []int{0, 1, 2, 3}, Spec: "true"}},
+	}
+	b, err := h.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := b.Apply(b.Init, &StreamDelta{Reroute: []Reroute{{Class: "c", Path: []int{0, 2, 3}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := b.Specs[0].Class
+	p, err := PathOf(next, b.Topo, cl)
+	if err != nil || len(p) != 3 {
+		t.Fatalf("rerouted path %v (%v), want length 3", p, err)
+	}
+	if p0, err := PathOf(b.Init, b.Topo, cl); err != nil || len(p0) != 4 {
+		t.Fatalf("Apply mutated its input: %v (%v)", p0, err)
+	}
+	if _, err := b.Apply(b.Init, &StreamDelta{Reroute: []Reroute{{Class: "x", Path: []int{0}}}}); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("unknown class: err = %v, want ErrBadDelta", err)
+	}
+}

@@ -402,6 +402,7 @@ func (s *Session) solveComponent(e *engine, c *component, idx int, final *config
 	opts := s.opts
 	opts.Parallelism = inner
 	ec := newEngineShellWith(scC, opts, units, nil)
+	ec.bindContext(e.ctx)
 	ec.ks, ec.checkers, ec.canSkip = ks, checkers, canSkip
 	ec.snapshotCheckerStats()
 	steps, err := ec.run()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"time"
@@ -35,7 +36,7 @@ func Synthesize(sc *config.Scenario, opts Options) (*Plan, error) {
 		return nil, err
 	}
 	s.ephemeral = true
-	plan, err := s.synthesize(sc.Name, sc.Final)
+	plan, err := s.synthesize(context.Background(), sc.Name, sc.Final)
 	if plan != nil {
 		// One-shot semantics: Elapsed covers structure construction too,
 		// as it did before the session refactor. (Session callers get
@@ -113,6 +114,14 @@ type engine struct {
 	deadline    time.Time
 	hasDeadline bool
 
+	// ctx/ctxDone carry the caller's request context (see
+	// Session.SynthesizeContext): the DFS polls ctxDone next to the
+	// deadline check, so an expired or canceled request stops the search
+	// promptly instead of running to the engine's own timeout. Nil when
+	// the caller did not supply a context.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+
 	// cexBuf is the pooled counterexample-switch buffer handed out by
 	// applyAndCheck. Each failed check overwrites it, so callers must
 	// consume the returned slice (learn does, immediately) before the next
@@ -188,6 +197,30 @@ func newEngineShellWith(sc *config.Scenario, opts Options, units []unit, scr *en
 	return e
 }
 
+// bindContext attaches a request context to the engine: the DFS polls it
+// for cancellation, and a context deadline earlier than the one derived
+// from Options.Timeout tightens the engine deadline.
+func (e *engine) bindContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	e.ctx = ctx
+	e.ctxDone = ctx.Done()
+	if d, ok := ctx.Deadline(); ok && (!e.hasDeadline || d.Before(e.deadline)) {
+		e.deadline = d
+		e.hasDeadline = true
+	}
+}
+
+// ctxErr maps a finished context to the engine's typed failures:
+// deadline expiry is a timeout, everything else a cancellation.
+func ctxErr(ctx context.Context) error {
+	if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return ErrCanceled
+}
+
 // snapshotCheckerStats records the attached checkers' cumulative counters
 // so collectCheckerStats reports this run's work only.
 func (e *engine) snapshotCheckerStats() {
@@ -239,6 +272,13 @@ func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 	}
 	if e.hasDeadline && time.Now().After(e.deadline) {
 		return nil, ErrTimeout
+	}
+	if e.ctxDone != nil {
+		select {
+		case <-e.ctxDone:
+			return nil, ctxErr(e.ctx)
+		default:
+		}
 	}
 	if e.fanDepth > 0 && depth == e.fanDepth {
 		if err := e.emit(e.path); err != nil {

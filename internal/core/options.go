@@ -143,8 +143,13 @@ var (
 	// at the requested granularity (the algorithm's "impossible" answer,
 	// Figure 8h).
 	ErrNoOrdering = errors.New("core: no correct update ordering exists")
-	// ErrTimeout reports that the search exceeded Options.Timeout.
+	// ErrTimeout reports that the search exceeded Options.Timeout (or the
+	// deadline of the context passed to Session.SynthesizeContext,
+	// whichever is earlier).
 	ErrTimeout = errors.New("core: synthesis timed out")
+	// ErrCanceled reports that the context passed to
+	// Session.SynthesizeContext was canceled before the search finished.
+	ErrCanceled = errors.New("core: synthesis canceled")
 	// ErrInitialViolation reports that the initial configuration already
 	// violates the specification.
 	ErrInitialViolation = errors.New("core: initial configuration violates the specification")

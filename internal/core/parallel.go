@@ -105,6 +105,8 @@ func (e *engine) cloneForWorker() (*engine, error) {
 		stop:        e.stop,
 		deadline:    e.deadline,
 		hasDeadline: e.hasDeadline,
+		ctx:         e.ctx,
+		ctxDone:     e.ctxDone,
 	}
 	for sw, tbl := range e.curTables {
 		w.curTables[sw] = tbl

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -133,11 +134,25 @@ func (s *Session) Runs() int { return s.runs }
 // ErrNoOrdering) leave the session at its previous configuration, ready
 // for the next target.
 func (s *Session) Synthesize(final *config.Config) (*Plan, error) {
-	return s.synthesize("", final)
+	return s.synthesize(context.Background(), "", final)
 }
 
-func (s *Session) synthesize(name string, final *config.Config) (*Plan, error) {
+// SynthesizeContext is Synthesize with a request context: the search
+// polls ctx and aborts with ErrTimeout when its deadline expires before
+// Options.Timeout (the earlier of the two bounds the search) or
+// ErrCanceled when it is canceled outright. An aborted synthesis behaves
+// like any failed one — the session resyncs to its previous configuration
+// and serves the next target normally.
+func (s *Session) SynthesizeContext(ctx context.Context, final *config.Config) (*Plan, error) {
+	return s.synthesize(ctx, "", final)
+}
+
+func (s *Session) synthesize(ctx context.Context, name string, final *config.Config) (*Plan, error) {
 	start := time.Now()
+	if ctx != nil && ctx.Err() != nil {
+		// Dead on arrival: do not touch the warm structures at all.
+		return nil, ctxErr(ctx)
+	}
 	s.runs++
 	sc := &config.Scenario{
 		Name:  name,
@@ -150,6 +165,7 @@ func (s *Session) synthesize(name string, final *config.Config) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.bindContext(ctx)
 	// Verify the target before searching: if it violates the spec, no
 	// sequence can be correct (Figure 4, line 2). The initial endpoint
 	// was verified when the session was opened, so a scenario whose

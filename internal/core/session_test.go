@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	"netupdate/internal/config"
 	"netupdate/internal/kripke"
@@ -296,5 +298,71 @@ func TestSessionSurvivesLoopingTarget(t *testing.T) {
 	}
 	if warm.String() != cold.String() {
 		t.Fatalf("plans diverged after looping target:\nwarm %s\ncold %s", warm.String(), cold.String())
+	}
+}
+
+// TestSynthesizeContextCanceled: an already-canceled context fails with
+// ErrCanceled before touching the warm structures, and the session keeps
+// serving afterwards — the canceled run must not corrupt or advance it.
+func TestSynthesizeContextCanceled(t *testing.T) {
+	stream, targets := rollingTargets(t, 41, 2, 2, 1)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.SynthesizeContext(ctx, targets[0]); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if sess.Current() != stream.Init() {
+		t.Fatal("canceled run advanced the session")
+	}
+	plan, err := sess.SynthesizeContext(context.Background(), targets[0])
+	if err != nil {
+		t.Fatalf("session dead after canceled run: %v", err)
+	}
+	cold, err := Synthesize(&config.Scenario{
+		Name: "cold", Topo: stream.Topo(), Init: stream.Init(),
+		Final: targets[0], Specs: stream.Specs(),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.String() != cold.String() {
+		t.Fatalf("post-cancel plan diverged:\nwarm %s\ncold %s", plan, cold)
+	}
+}
+
+// TestSynthesizeContextDeadline: a context deadline bounds the search
+// like Options.Timeout does, reporting ErrTimeout — and a search aborted
+// mid-flight leaves the session consistent for the next target.
+func TestSynthesizeContextDeadline(t *testing.T) {
+	topo := topology.SmallWorld(60, 4, 0.3, 31)
+	sc, err := config.Infeasible(topo, config.InfeasibleOptions{Gadgets: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{
+		NoCexLearning:      true,
+		NoEarlyTermination: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, serr := sess.SynthesizeContext(ctx, sc.Final)
+	if !errors.Is(serr, ErrTimeout) && !errors.Is(serr, ErrNoOrdering) {
+		t.Fatalf("err = %v, want timeout (or fast exhaustion)", serr)
+	}
+	// The session must still be at its initial configuration and able to
+	// serve a trivial follow-up (the identity update synthesizes to an
+	// empty plan).
+	if sess.Current() != sc.Init {
+		t.Fatal("aborted run advanced the session")
+	}
+	if _, err := sess.SynthesizeContext(context.Background(), sc.Init); err != nil {
+		t.Fatalf("session dead after deadline abort: %v", err)
 	}
 }

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// testSpec is a minimal diamond tenant: one class with two internally
+// disjoint paths between switch 0 and 3.
+func testSpec(name string) *TenantSpec {
+	return &TenantSpec{
+		StreamHeader: config.StreamHeader{
+			Name: name,
+			Topology: config.TopologyFile{
+				Switches: 4,
+				Links:    [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}},
+				Hosts:    []config.HostFile{{ID: 100, Switch: 0}, {ID: 101, Switch: 3}},
+			},
+			Classes: []config.StreamClass{{
+				Name: "c", Src: 100, Dst: 101,
+				Path: []int{0, 1, 3}, Spec: "sw=0 -> F sw=3",
+			}},
+		},
+	}
+}
+
+func flipDelta() *config.StreamDelta {
+	return &config.StreamDelta{Reroute: []config.Reroute{{Class: "c", Path: []int{0, 2, 3}}}}
+}
+
+// TestQueueFullLoadShedding drives the admission controller through its
+// bound deterministically: with a queue depth of 2, one request parked
+// inside the engine (via the test seam) and one queued behind the tenant
+// gate, the third admission attempt must shed with ErrQueueFull — and
+// the parked requests must complete untouched once released.
+func TestQueueFullLoadShedding(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 2})
+	entered := make(chan string)
+	release := make(chan struct{})
+	p.beforeSynthesize = func(id string) {
+		entered <- id
+		<-release
+	}
+	info, err := p.Register(testSpec("shed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		plan *core.Plan
+		err  error
+	}
+	results := make(chan outcome, 2)
+	issue := func() {
+		plan, err := p.Synthesize(context.Background(), info.ID, flipDelta())
+		results <- outcome{plan, err}
+	}
+	go issue() // A: admitted, holds gate+slot, parks in the seam
+	<-entered
+	go issue() // B: admitted, queued on the tenant gate
+	waitPending(t, p, info.ID, 2)
+
+	// C: the queue is at its bound; admission must shed without queuing.
+	_, serr := p.Synthesize(context.Background(), info.ID, flipDelta())
+	if !errors.Is(serr, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", serr)
+	}
+	if !Retryable(serr) {
+		t.Fatal("queue-full must be retryable")
+	}
+
+	close(release) // A finishes; B takes the gate, parks, finds release closed
+	<-entered
+	for i := 0; i < 2; i++ {
+		if out := <-results; out.err != nil {
+			t.Fatalf("parked request %d failed: %v", i, out.err)
+		}
+	}
+	st := p.Stats()
+	if st.RejectedQueueFull != 1 || st.Plans != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// waitPending polls the tenant's admitted-request counter (internal test:
+// there is no external signal for "queued behind the gate").
+func waitPending(t *testing.T, p *Pool, id string, want int32) {
+	t.Helper()
+	p.mu.Lock()
+	tn := p.tenants[id]
+	p.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for tn.pending.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d, want %d", tn.pending.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueWaitHonorsDeadline: a request expiring while queued behind the
+// tenant gate reports core.ErrTimeout without ever running.
+func TestQueueWaitHonorsDeadline(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 4})
+	entered := make(chan string)
+	release := make(chan struct{})
+	p.beforeSynthesize = func(id string) {
+		entered <- id
+		<-release
+	}
+	info, err := p.Register(testSpec("expire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Synthesize(context.Background(), info.ID, flipDelta())
+		done <- err
+	}()
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, serr := p.Synthesize(ctx, info.ID, flipDelta())
+	if !errors.Is(serr, core.ErrTimeout) {
+		t.Fatalf("err = %v, want core.ErrTimeout", serr)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked request failed: %v", err)
+	}
+	if st := p.Stats(); st.DeadlineExpired != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOptionsSpecRoundTrip: the CLI flag set survives the spec encoding.
+func TestOptionsSpecRoundTrip(t *testing.T) {
+	in := core.Options{
+		Checker:            core.CheckerNuSMV,
+		RuleGranularity:    true,
+		TwoSimple:          true,
+		NoWaitRemoval:      true,
+		NoDecomposition:    true,
+		Parallelism:        3,
+		FirstPlanWins:      true,
+		NoCexLearning:      true,
+		NoEarlyTermination: true,
+		NoHeuristicOrder:   true,
+		Timeout:            500 * time.Microsecond, // sub-ms must survive
+	}
+	out, err := OptionsSpecOf(in).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip lost options:\nin  %+v\nout %+v", in, out)
+	}
+	if _, err := (OptionsSpec{Checker: "nope"}).Build(); err == nil {
+		t.Fatal("unknown checker must be rejected")
+	}
+}
+
+// TestFingerprintStability: equal specs share an id, different specs do
+// not.
+func TestFingerprintStability(t *testing.T) {
+	a, err := testSpec("fp").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSpec("fp").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equal specs fingerprint differently: %s vs %s", a, b)
+	}
+	other := testSpec("fp")
+	other.Options.Parallel = 2
+	c, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different options must fingerprint differently")
+	}
+}
+
+// TestHTTPQueueFull429: over the daemon surface, a shed request carries
+// an in-band retryable error line; the HTTP pre-flight errors (unknown
+// tenant) got their status codes in http_test.go. Queue-full inside a
+// streaming response cannot change the status line — the Result line's
+// retryable flag is the contract.
+func TestHTTPQueueFull429(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	entered := make(chan string)
+	release := make(chan struct{})
+	p.beforeSynthesize = func(id string) {
+		entered <- id
+		<-release
+	}
+	info, err := p.Register(testSpec("h429"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+
+	parked := make(chan error, 1)
+	go func() {
+		_, err := p.Synthesize(context.Background(), info.ID, flipDelta())
+		parked <- err
+	}()
+	<-entered
+
+	resp, err := http.Post(ts.URL+"/v1/tenants/"+info.ID+"/synthesize",
+		"application/x-ndjson", strings.NewReader(`{"reroute":[{"class":"c","path":[0,2,3]}]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Result != "error" || !res.Retryable || !strings.Contains(res.Error, "queue full") {
+		t.Fatalf("shed result = %+v", res)
+	}
+	close(release) // the shed request never reached the seam; only A parks
+	if err := <-parked; err != nil {
+		t.Fatalf("parked request failed: %v", err)
+	}
+}

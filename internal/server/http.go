@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// NewHandler builds the daemon's HTTP surface over a pool:
+//
+//	POST /v1/tenants                   register a scenario, returns {id}
+//	POST /v1/tenants/{id}/synthesize   JSONL deltas in, JSONL plan lines out
+//	GET  /v1/tenants/{id}/stats        per-tenant serving summary
+//	GET  /metrics                      pool/queue/latency counters (Prometheus text)
+//	GET  /healthz                      liveness
+//
+// The synthesize endpoint streams: each request-body line is one
+// StreamDelta, answered in order by one Result line, flushed as it is
+// produced — a controller can hold the connection open and read plans as
+// they land. An optional ?timeout=DURATION caps each delta's synthesis
+// (the request context still bounds the whole exchange).
+func NewHandler(p *Pool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		handleRegister(p, w, r)
+	})
+	mux.HandleFunc("POST /v1/tenants/{id}/synthesize", func(w http.ResponseWriter, r *http.Request) {
+		handleSynthesize(p, w, r)
+	})
+	mux.HandleFunc("GET /v1/tenants/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		handleStats(p, w, r)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(p, w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError is the uniform JSON error envelope for non-streaming
+// failures.
+type httpError struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+	// Line positions request-body decode errors.
+	Line int `json:"line,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error, line int) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(httpError{Error: err.Error(), Retryable: Retryable(err), Line: line})
+}
+
+// statusOf maps pool errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrTimeout), errors.Is(err, core.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, config.ErrBadDelta):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func handleRegister(p *Pool, w http.ResponseWriter, r *http.Request) {
+	lines := config.NewLineCountingReader(r.Body)
+	dec := json.NewDecoder(lines)
+	dec.DisallowUnknownFields()
+	var spec TenantSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: tenant spec: %w", err), lines.DecodeErrorLine(err, dec))
+		return
+	}
+	info, err := p.Register(&spec)
+	if err != nil {
+		writeError(w, statusOf(err), err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if info.Created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+func handleSynthesize(p *Pool, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !p.Lookup(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownTenant, id), 0)
+		return
+	}
+	var perDelta time.Duration
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("server: bad timeout %q (want a positive Go duration)", q), 0)
+			return
+		}
+		perDelta = d
+	}
+
+	// The endpoint interleaves request-body reads with response writes;
+	// HTTP/1.x closes the body on the first write unless full duplex is
+	// enabled (HTTP/2 is duplex natively and reports ErrNotSupported —
+	// ignored, like the handler-doesn't-support case).
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	lines := config.NewLineCountingReader(r.Body)
+	dec := json.NewDecoder(lines)
+	dec.DisallowUnknownFields()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	seq := 0
+	for {
+		var d config.StreamDelta
+		if err := dec.Decode(&d); err != nil {
+			if err == io.EOF {
+				return
+			}
+			// The body position is unreliable after a syntax error:
+			// report the offending line and stop this request. The
+			// connection stays usable and already-emitted results stand.
+			seq++
+			_ = enc.Encode(Result{
+				Seq: seq, Tenant: id, Result: "error",
+				Error: fmt.Sprintf("tenant %s: request body: %v", id, err),
+				Line:  lines.DecodeErrorLine(err, dec),
+			})
+			return
+		}
+		seq++
+		line := lines.LineAt(dec.InputOffset() - 1)
+		lines.Prune(dec.InputOffset())
+		ctx := r.Context()
+		cancel := func() {}
+		if perDelta > 0 {
+			ctx, cancel = context.WithTimeout(ctx, perDelta)
+		}
+		plan, err := p.Synthesize(ctx, id, &d)
+		cancel()
+		res := NewResult(seq, id, plan, err)
+		if err != nil && errors.Is(err, config.ErrBadDelta) {
+			res.Line = line
+		}
+		if encErr := enc.Encode(res); encErr != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func handleStats(p *Pool, w http.ResponseWriter, r *http.Request) {
+	st, err := p.TenantStats(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// handleMetrics renders the pool counters in the Prometheus text
+// exposition format (hand-rolled: the repo takes no dependencies).
+func handleMetrics(p *Pool, w http.ResponseWriter) {
+	st := p.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	put := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	put("netupdate_pool_tenants", "Registered tenants.", "gauge", float64(st.Tenants))
+	put("netupdate_pool_warm_sessions", "Sessions currently held warm.", "gauge", float64(st.WarmSessions))
+	put("netupdate_pool_workers", "Global synthesis worker budget.", "gauge", float64(st.Workers))
+	put("netupdate_requests_total", "Synthesis requests received.", "counter", float64(st.Requests))
+	put("netupdate_plans_total", "Requests answered with a plan.", "counter", float64(st.Plans))
+	put("netupdate_infeasible_total", "Requests with no correct ordering.", "counter", float64(st.Infeasible))
+	put("netupdate_failures_total", "Requests failed for other reasons.", "counter", float64(st.Failures))
+	put("netupdate_bad_requests_total", "Semantically invalid deltas.", "counter", float64(st.BadRequests))
+	put("netupdate_rejected_queue_full_total", "Requests shed by per-tenant queue bounds.", "counter", float64(st.RejectedQueueFull))
+	put("netupdate_deadline_expired_total", "Requests whose deadline fired.", "counter", float64(st.DeadlineExpired))
+	put("netupdate_canceled_total", "Requests canceled by the client.", "counter", float64(st.Canceled))
+	put("netupdate_evictions_total", "Warm sessions evicted under the LRU budget.", "counter", float64(st.Evictions))
+	put("netupdate_session_rebuilds_total", "Sessions rebuilt after eviction.", "counter", float64(st.SessionRebuilds))
+	put("netupdate_queue_wait_seconds_total", "Total time requests spent queued.", "counter", st.QueueWaitMSTotal/1e3)
+	put("netupdate_synthesis_seconds_total", "Total engine time.", "counter", st.SynthMSTotal/1e3)
+	put("netupdate_synthesis_seconds_max", "Slowest synthesis so far.", "gauge", st.SynthMSMax/1e3)
+}

@@ -1,0 +1,537 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// Pool defaults.
+const (
+	// DefaultMaxSessions is the warm-session budget when
+	// PoolOptions.MaxSessions is zero.
+	DefaultMaxSessions = 64
+	// DefaultQueueDepth is the per-tenant outstanding-request bound when
+	// PoolOptions.QueueDepth is zero.
+	DefaultQueueDepth = 8
+)
+
+// PoolOptions is pool-level serving policy; per-tenant engine options
+// arrive with each TenantSpec.
+type PoolOptions struct {
+	// Workers is the global synthesis budget: at most this many
+	// syntheses run at once across all tenants. Zero means one per CPU.
+	// (Each synthesis may itself parallelize per the tenant's Parallel
+	// option; operators sizing a box should budget Workers x Parallel.)
+	Workers int
+	// MaxSessions bounds the warm sessions held at once; the
+	// least-recently-used idle session beyond it is evicted and rebuilt
+	// from its tenant spec on the next request. Zero means
+	// DefaultMaxSessions; negative means unbounded.
+	MaxSessions int
+	// QueueDepth bounds each tenant's outstanding requests (running +
+	// queued); requests beyond it are shed with ErrQueueFull. Zero means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// DefaultTimeout is applied as the request deadline when the caller's
+	// context has none. Zero means no default.
+	DefaultTimeout time.Duration
+}
+
+func (o PoolOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o PoolOptions) maxSessions() int {
+	switch {
+	case o.MaxSessions > 0:
+		return o.MaxSessions
+	case o.MaxSessions < 0:
+		return int(^uint(0) >> 1) // unbounded
+	}
+	return DefaultMaxSessions
+}
+
+func (o PoolOptions) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return DefaultQueueDepth
+}
+
+// tenant is the pool's runtime state for one registered scenario.
+//
+// Locking: the pool mutex guards the tenant map, the LRU list, and every
+// tenant's sess/elem fields. The per-tenant gate (a 1-slot semaphore)
+// serializes synthesis — core.Session is single-flight — and also
+// protects cur, which only advances while the gate is held. Eviction
+// takes a tenant's gate non-blockingly, so a session is never torn down
+// under a running synthesis.
+type tenant struct {
+	id   string
+	spec *TenantSpec
+	base *config.StreamBase
+	opts core.Options
+
+	gate    chan struct{} // cap 1: the single-flight session lock
+	pending atomic.Int32  // admitted requests (running + queued)
+
+	cur  *config.Config // current configuration; survives eviction
+	sess *core.Session  // nil when cold
+	elem *list.Element  // position in the pool LRU; nil when cold
+
+	runs, plans, failures atomic.Int64
+	// builds counts session constructions; every one past the first is a
+	// rebuild after eviction.
+	builds  atomic.Int64
+	lastNS  atomic.Int64
+	totalNS atomic.Int64
+}
+
+// Pool is the multi-tenant synthesis service: it owns one warm session
+// per hot tenant, admits requests against bounded per-tenant queues,
+// schedules them over a global worker budget, and evicts cold sessions
+// under an LRU budget. All methods are safe for concurrent use.
+type Pool struct {
+	opts  PoolOptions
+	slots chan struct{} // global worker budget
+
+	mu       sync.Mutex // tenants, lru, closed, inflight.Add vs Close
+	tenants  map[string]*tenant
+	lru      *list.List // of *tenant, front = hottest; warm tenants only
+	closed   bool
+	inflight sync.WaitGroup
+
+	m poolMetrics
+
+	// beforeSynthesize is a test seam invoked while the tenant gate and a
+	// worker slot are held, just before the engine runs. Nil in
+	// production.
+	beforeSynthesize func(tenantID string)
+}
+
+// poolMetrics are the monotonic serving counters behind GET /metrics.
+type poolMetrics struct {
+	requests, plans, infeasible, failures atomic.Int64
+	badRequests                           atomic.Int64
+	rejectedQueue, expired, canceled      atomic.Int64
+	evictions, rebuilds                   atomic.Int64
+	queueWaitNS, synthNS                  atomic.Int64
+	maxSynthNS                            atomic.Int64
+}
+
+// NewPool builds an empty pool.
+func NewPool(opts PoolOptions) *Pool {
+	return &Pool{
+		opts:    opts,
+		slots:   make(chan struct{}, opts.workers()),
+		tenants: map[string]*tenant{},
+		lru:     list.New(),
+	}
+}
+
+// Register validates a tenant spec, derives its fingerprint id, and
+// builds the tenant's warm session (verifying the initial configuration
+// against every class specification). Registering an already-known
+// fingerprint is idempotent: the existing tenant is returned with
+// Created=false and its warm state untouched.
+func (p *Pool) Register(spec *TenantSpec) (*TenantInfo, error) {
+	id, err := spec.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := spec.Options.Build()
+	if err != nil {
+		return nil, err
+	}
+	base, err := spec.StreamHeader.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if t, ok := p.tenants[id]; ok {
+		info := p.infoLocked(t, false)
+		p.mu.Unlock()
+		return info, nil
+	}
+	p.mu.Unlock()
+
+	// Pre-warm outside the pool lock: session construction verifies the
+	// initial configuration and can be expensive. The tenant is published
+	// only after it succeeds, so a returned id is always servable — a
+	// concurrent duplicate registration at worst builds a session it then
+	// discards.
+	sess, err := core.NewSession(base.Topo, base.Init, base.Specs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %s: %w", id, err)
+	}
+	t := &tenant{
+		id:   id,
+		spec: spec,
+		base: base,
+		opts: opts,
+		gate: make(chan struct{}, 1),
+		cur:  base.Init,
+	}
+	t.builds.Add(1)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if existing, ok := p.tenants[id]; ok {
+		info := p.infoLocked(existing, false)
+		p.mu.Unlock()
+		return info, nil // lost the race; drop our duplicate session
+	}
+	t.sess = sess
+	t.elem = p.lru.PushFront(t)
+	p.tenants[id] = t
+	p.evictLocked()
+	info := p.infoLocked(t, true)
+	p.mu.Unlock()
+	return info, nil
+}
+
+func (p *Pool) infoLocked(t *tenant, created bool) *TenantInfo {
+	return &TenantInfo{
+		ID:       t.id,
+		Created:  created,
+		Name:     t.base.Name,
+		Classes:  len(t.base.Specs),
+		Switches: t.base.Topo.NumSwitches(),
+	}
+}
+
+// Lookup reports whether a tenant id is registered.
+func (p *Pool) Lookup(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.tenants[id]
+	return ok
+}
+
+// Synthesize serves one request: the tenant's current configuration is
+// advanced by the delta and a plan to reach it is synthesized on the
+// tenant's warm session. Admission is two-staged — the bounded per-tenant
+// queue sheds overload with ErrQueueFull before any queuing, then the
+// request waits (under its deadline) for the tenant's single-flight gate
+// and a global worker slot. The context deadline propagates into the
+// engine; when the caller's context has none, PoolOptions.DefaultTimeout
+// is applied. Failed syntheses (including core.ErrNoOrdering and
+// deadline expiry) leave the tenant at its previous configuration.
+func (p *Pool) Synthesize(ctx context.Context, id string, delta *config.StreamDelta) (*core.Plan, error) {
+	p.m.requests.Add(1)
+	t, err := p.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	defer p.inflight.Done()
+	defer t.pending.Add(-1)
+
+	if p.opts.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.opts.DefaultTimeout)
+			defer cancel()
+		}
+	}
+
+	// Tenant gate first (sessions are single-flight), then a worker slot
+	// — never the reverse, so a tenant's queued requests cannot hog the
+	// global budget while waiting on their own serialization.
+	enqueued := time.Now()
+	select {
+	case t.gate <- struct{}{}:
+	case <-ctx.Done():
+		return nil, p.expireErr(ctx, t)
+	}
+	defer func() { <-t.gate }()
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, p.expireErr(ctx, t)
+	}
+	defer func() { <-p.slots }()
+	p.m.queueWaitNS.Add(time.Since(enqueued).Nanoseconds())
+
+	if hook := p.beforeSynthesize; hook != nil {
+		hook(t.id)
+	}
+
+	target, err := t.base.Apply(t.cur, delta)
+	if err != nil {
+		p.m.badRequests.Add(1)
+		return nil, fmt.Errorf("server: tenant %s: %w", t.id, err)
+	}
+
+	sess, err := p.ensureWarm(t)
+	if err != nil {
+		p.m.failures.Add(1)
+		t.failures.Add(1)
+		return nil, fmt.Errorf("server: tenant %s: session rebuild: %w", t.id, err)
+	}
+
+	start := time.Now()
+	plan, serr := sess.SynthesizeContext(ctx, target)
+	elapsed := time.Since(start).Nanoseconds()
+	t.runs.Add(1)
+	t.lastNS.Store(elapsed)
+	t.totalNS.Add(elapsed)
+	p.m.synthNS.Add(elapsed)
+	for {
+		cur := p.m.maxSynthNS.Load()
+		if elapsed <= cur || p.m.maxSynthNS.CompareAndSwap(cur, elapsed) {
+			break
+		}
+	}
+	switch {
+	case serr == nil:
+		t.cur = target
+		t.plans.Add(1)
+		p.m.plans.Add(1)
+		return plan, nil
+	case isInfeasible(serr):
+		p.m.infeasible.Add(1)
+	case isExpiry(serr):
+		p.countExpiry(serr)
+	default:
+		p.m.failures.Add(1)
+	}
+	t.failures.Add(1)
+	return nil, fmt.Errorf("server: tenant %s: %w", t.id, serr)
+}
+
+// admit performs queue admission: tenant lookup, closed check, the
+// bounded pending counter, and in-flight accounting for drain. On
+// success the caller owns one pending slot and one inflight token.
+func (p *Pool) admit(id string) (*tenant, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	t, ok := p.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, id)
+	}
+	depth := int32(p.opts.queueDepth())
+	for {
+		n := t.pending.Load()
+		if n >= depth {
+			p.m.rejectedQueue.Add(1)
+			return nil, fmt.Errorf("%w (tenant %s, %d outstanding)", ErrQueueFull, t.id, n)
+		}
+		if t.pending.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	p.inflight.Add(1)
+	return t, nil
+}
+
+// expireErr maps a context that fired while the request was queued.
+func (p *Pool) expireErr(ctx context.Context, t *tenant) error {
+	err := ctxQueueErr(ctx)
+	p.countExpiry(err)
+	t.failures.Add(1)
+	return fmt.Errorf("server: tenant %s: request expired while queued: %w", t.id, err)
+}
+
+func (p *Pool) countExpiry(err error) {
+	if isCanceled(err) {
+		p.m.canceled.Add(1)
+	} else {
+		p.m.expired.Add(1)
+	}
+}
+
+func ctxQueueErr(ctx context.Context) error {
+	if ctx.Err() == context.DeadlineExceeded {
+		return core.ErrTimeout
+	}
+	return core.ErrCanceled
+}
+
+func isInfeasible(err error) bool { return errors.Is(err, core.ErrNoOrdering) }
+
+func isExpiry(err error) bool {
+	return errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrCanceled)
+}
+
+func isCanceled(err error) bool { return errors.Is(err, core.ErrCanceled) }
+
+// ensureWarm returns the tenant's session, building it from the stored
+// spec and current configuration when cold, and refreshes the tenant's
+// LRU position. Must be called with the tenant gate held. A build beyond
+// the budget evicts the least-recently-used idle session.
+func (p *Pool) ensureWarm(t *tenant) (*core.Session, error) {
+	p.mu.Lock()
+	if t.sess != nil {
+		p.lru.MoveToFront(t.elem)
+		sess := t.sess
+		p.mu.Unlock()
+		return sess, nil
+	}
+	p.mu.Unlock()
+
+	// Build outside the pool lock: construction rebuilds every per-class
+	// structure and may take longer than other tenants can wait. The gate
+	// keeps this single-flight per tenant.
+	sess, err := core.NewSession(t.base.Topo, t.cur, t.base.Specs, t.opts)
+	if err != nil {
+		return nil, err
+	}
+	if t.builds.Add(1) > 1 {
+		p.m.rebuilds.Add(1)
+	}
+
+	p.mu.Lock()
+	t.sess = sess
+	t.elem = p.lru.PushFront(t)
+	p.evictLocked()
+	p.mu.Unlock()
+	return sess, nil
+}
+
+// evictLocked enforces the warm-session budget: walk the LRU from the
+// cold end, dropping sessions whose tenants are idle (their gate can be
+// taken without blocking) until the budget holds. Busy tenants are
+// skipped — a session is never torn down mid-synthesis — so the budget is
+// soft under extreme concurrency and re-enforced as gates free up.
+func (p *Pool) evictLocked() {
+	budget := p.opts.maxSessions()
+	for e := p.lru.Back(); e != nil && p.lru.Len() > budget; {
+		prev := e.Prev()
+		t := e.Value.(*tenant)
+		select {
+		case t.gate <- struct{}{}:
+			t.sess = nil
+			t.elem = nil
+			p.lru.Remove(e)
+			p.m.evictions.Add(1)
+			<-t.gate
+		default:
+			// In flight (or its caller holds the gate): skip.
+		}
+		e = prev
+	}
+}
+
+// TenantStats returns one tenant's serving summary.
+func (p *Pool) TenantStats(id string) (*TenantStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, id)
+	}
+	st := &TenantStats{
+		ID:       t.id,
+		Name:     t.base.Name,
+		Classes:  len(t.base.Specs),
+		Switches: t.base.Topo.NumSwitches(),
+		Warm:     t.sess != nil,
+		Pending:  int(t.pending.Load()),
+		Runs:     t.runs.Load(),
+		Plans:    t.plans.Load(),
+		Failures: t.failures.Load(),
+	}
+	if b := t.builds.Load(); b > 1 {
+		st.Rebuilds = b - 1
+	}
+	st.LastSynthMS = float64(t.lastNS.Load()) / 1e6
+	if st.Runs > 0 {
+		st.MeanSynthMS = float64(t.totalNS.Load()) / 1e6 / float64(st.Runs)
+	}
+	return st, nil
+}
+
+// PoolStats is the pool-wide serving summary behind GET /metrics.
+type PoolStats struct {
+	Tenants      int   `json:"tenants"`
+	WarmSessions int   `json:"warmSessions"`
+	Workers      int   `json:"workers"`
+	Requests     int64 `json:"requests"`
+	Plans        int64 `json:"plans"`
+	Infeasible   int64 `json:"infeasible"`
+	Failures     int64 `json:"failures"`
+	BadRequests  int64 `json:"badRequests"`
+	// RejectedQueueFull counts load-shed admissions (ErrQueueFull).
+	RejectedQueueFull int64 `json:"rejectedQueueFull"`
+	// DeadlineExpired counts requests whose deadline fired (queued or
+	// mid-search); Canceled counts outright context cancellations.
+	DeadlineExpired int64 `json:"deadlineExpired"`
+	Canceled        int64 `json:"canceled"`
+	Evictions       int64 `json:"evictions"`
+	SessionRebuilds int64 `json:"sessionRebuilds"`
+	// Latency totals for deriving rates and means externally.
+	QueueWaitMSTotal float64 `json:"queueWaitMsTotal"`
+	SynthMSTotal     float64 `json:"synthMsTotal"`
+	SynthMSMax       float64 `json:"synthMsMax"`
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	tenants := len(p.tenants)
+	warm := p.lru.Len()
+	p.mu.Unlock()
+	return PoolStats{
+		Tenants:           tenants,
+		WarmSessions:      warm,
+		Workers:           p.opts.workers(),
+		Requests:          p.m.requests.Load(),
+		Plans:             p.m.plans.Load(),
+		Infeasible:        p.m.infeasible.Load(),
+		Failures:          p.m.failures.Load(),
+		BadRequests:       p.m.badRequests.Load(),
+		RejectedQueueFull: p.m.rejectedQueue.Load(),
+		DeadlineExpired:   p.m.expired.Load(),
+		Canceled:          p.m.canceled.Load(),
+		Evictions:         p.m.evictions.Load(),
+		SessionRebuilds:   p.m.rebuilds.Load(),
+		QueueWaitMSTotal:  float64(p.m.queueWaitNS.Load()) / 1e6,
+		SynthMSTotal:      float64(p.m.synthNS.Load()) / 1e6,
+		SynthMSMax:        float64(p.m.maxSynthNS.Load()) / 1e6,
+	}
+}
+
+// Close drains the pool: new requests (and registrations) are refused
+// with ErrPoolClosed immediately, in-flight syntheses run to completion,
+// and Close returns once they have — or when ctx expires, in which case
+// the stragglers keep their worker slots but the pool accepts nothing
+// new. Close is idempotent.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,364 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netupdate"
+	"netupdate/internal/bench"
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+	"netupdate/internal/server"
+)
+
+// expectedPlans replays one tenant's delta sequence on a dedicated
+// netupdate.Synthesizer — the single-tenant baseline the pool must match
+// byte for byte.
+func expectedPlans(t *testing.T, tl *bench.TenantLoad) []string {
+	t.Helper()
+	base, err := tl.Spec.StreamHeader.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := tl.Spec.Options.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy, err := netupdate.NewSynthesizer(base.Topo, base.Init, base.Specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := base.Init
+	var plans []string
+	for i := range tl.Deltas {
+		tgt, err := base.Apply(cur, &tl.Deltas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := sy.Synthesize(tgt)
+		if err != nil {
+			t.Fatalf("baseline delta %d: %v", i, err)
+		}
+		plans = append(plans, plan.String())
+		cur = tgt
+	}
+	return plans
+}
+
+// poolPlans replays every tenant's deltas through one shared pool, all
+// tenants concurrently (per-tenant order preserved), returning each
+// tenant's plan strings.
+func poolPlans(t *testing.T, p *server.Pool, loads []*bench.TenantLoad) [][]string {
+	t.Helper()
+	ids := make([]string, len(loads))
+	for i, tl := range loads {
+		info, err := p.Register(tl.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	out := make([][]string, len(loads))
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	for i := range loads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for di := range loads[i].Deltas {
+				plan, err := p.Synthesize(context.Background(), ids[i], &loads[i].Deltas[di])
+				if err != nil {
+					errs[i] = fmt.Errorf("delta %d: %w", di, err)
+					return
+				}
+				out[i] = append(out[i], plan.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// TestPoolMultiTenantConformance: >= 8 tenants served concurrently from
+// one pool must produce plans byte-identical to a dedicated per-tenant
+// Synthesizer, across all four checker backends. Run with -race in CI,
+// this doubles as the cross-tenant concurrency soundness check.
+func TestPoolMultiTenantConformance(t *testing.T) {
+	for _, checker := range []string{"incremental", "batch", "nusmv", "netplumber"} {
+		t.Run(checker, func(t *testing.T) {
+			loads, err := bench.MakeTenantLoads(8, 40, 3, server.OptionsSpec{Checker: checker}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := server.NewPool(server.PoolOptions{Workers: 4})
+			got := poolPlans(t, p, loads)
+			for i, tl := range loads {
+				want := expectedPlans(t, tl)
+				if len(got[i]) != len(want) {
+					t.Fatalf("tenant %d: %d plans, want %d", i, len(got[i]), len(want))
+				}
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Fatalf("tenant %d delta %d: plan diverged:\npool %s\nsolo %s",
+							i, j, got[i][j], want[j])
+					}
+				}
+			}
+			st := p.Stats()
+			if st.Tenants != 8 || st.Plans != int64(8*3) {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+// TestPoolEvictionRebuild: a pool with a 2-session budget serving 4
+// tenants round-robin must evict and rebuild sessions — and still produce
+// plans byte-identical to dedicated baselines, because a rebuilt session
+// resumes from the tenant's stored current configuration.
+func TestPoolEvictionRebuild(t *testing.T) {
+	loads, err := bench.MakeTenantLoads(4, 40, 3, server.OptionsSpec{}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := server.NewPool(server.PoolOptions{Workers: 1, MaxSessions: 2})
+	ids := make([]string, len(loads))
+	for i, tl := range loads {
+		info, err := p.Register(tl.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	// Round-robin across tenants so every request lands on a freshly
+	// evicted tenant (4 tenants, budget 2).
+	got := make([][]string, len(loads))
+	for di := 0; di < 3; di++ {
+		for i := range loads {
+			plan, err := p.Synthesize(context.Background(), ids[i], &loads[i].Deltas[di])
+			if err != nil {
+				t.Fatalf("tenant %d delta %d: %v", i, di, err)
+			}
+			got[i] = append(got[i], plan.String())
+		}
+	}
+	for i, tl := range loads {
+		want := expectedPlans(t, tl)
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("tenant %d delta %d: plan diverged after eviction:\npool %s\nsolo %s",
+					i, j, got[i][j], want[j])
+			}
+		}
+	}
+	st := p.Stats()
+	if st.WarmSessions > 2 {
+		t.Fatalf("warm sessions = %d, budget 2", st.WarmSessions)
+	}
+	if st.Evictions == 0 || st.SessionRebuilds == 0 {
+		t.Fatalf("expected evictions and rebuilds, got %+v", st)
+	}
+	// Tenant stats reflect the cold/warm split.
+	cold := 0
+	for _, id := range ids {
+		ts, err := p.TenantStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ts.Warm {
+			cold++
+		}
+		if ts.Runs != 3 || ts.Plans != 3 {
+			t.Fatalf("tenant %s stats = %+v", id, ts)
+		}
+	}
+	if cold != 2 {
+		t.Fatalf("cold tenants = %d, want 2", cold)
+	}
+}
+
+// TestPoolDeadlineExceeded: a request whose context deadline fires
+// mid-search reports core.ErrTimeout (retryable), leaves the tenant at
+// its previous configuration, and the next request succeeds.
+func TestPoolDeadlineExceeded(t *testing.T) {
+	loads, err := bench.MakeTenantLoads(1, 60, 2, server.OptionsSpec{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := server.NewPool(server.PoolOptions{Workers: 1})
+	info, err := p.Register(loads[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	_, serr := p.Synthesize(ctx, info.ID, &loads[0].Deltas[0])
+	cancel()
+	if !errors.Is(serr, core.ErrTimeout) {
+		t.Fatalf("err = %v, want core.ErrTimeout", serr)
+	}
+	if !server.Retryable(serr) {
+		t.Fatal("deadline expiry must be retryable")
+	}
+	if plan, err := p.Synthesize(context.Background(), info.ID, &loads[0].Deltas[0]); err != nil || plan == nil {
+		t.Fatalf("tenant dead after expired request: %v", err)
+	}
+	st := p.Stats()
+	if st.DeadlineExpired != 1 || st.Plans != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPoolUnknownTenantAndBadDelta: typed errors for the two client
+// mistakes.
+func TestPoolUnknownTenantAndBadDelta(t *testing.T) {
+	loads, err := bench.MakeTenantLoads(1, 40, 1, server.OptionsSpec{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := server.NewPool(server.PoolOptions{})
+	if _, err := p.Synthesize(context.Background(), "tdeadbeef", &loads[0].Deltas[0]); !errors.Is(err, server.ErrUnknownTenant) {
+		t.Fatalf("err = %v, want ErrUnknownTenant", err)
+	}
+	info, err := p.Register(loads[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := config.StreamDelta{Reroute: []config.Reroute{{Class: "nope", Path: []int{0, 1}}}}
+	_, serr := p.Synthesize(context.Background(), info.ID, &bad)
+	if !errors.Is(serr, config.ErrBadDelta) {
+		t.Fatalf("err = %v, want config.ErrBadDelta", serr)
+	}
+	if server.Retryable(serr) {
+		t.Fatal("a bad delta is not retryable")
+	}
+	// And the tenant still works.
+	if _, err := p.Synthesize(context.Background(), info.ID, &loads[0].Deltas[0]); err != nil {
+		t.Fatalf("tenant dead after bad delta: %v", err)
+	}
+}
+
+// TestPoolRegisterIdempotent: the same spec fingerprints to the same
+// tenant; a different spec (other options) is a different tenant.
+func TestPoolRegisterIdempotent(t *testing.T) {
+	loads, err := bench.MakeTenantLoads(1, 40, 1, server.OptionsSpec{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := server.NewPool(server.PoolOptions{})
+	a, err := p.Register(loads[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Register(loads[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Created || b.Created || a.ID != b.ID {
+		t.Fatalf("a = %+v, b = %+v", a, b)
+	}
+	other := *loads[0].Spec
+	other.Options = server.OptionsSpec{Checker: "batch"}
+	c, err := p.Register(&other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Created || c.ID == a.ID {
+		t.Fatalf("distinct options must be a distinct tenant: %+v vs %+v", c, a)
+	}
+}
+
+// TestPoolClose: a draining pool refuses new work but finishes what it
+// admitted.
+func TestPoolClose(t *testing.T) {
+	loads, err := bench.MakeTenantLoads(1, 40, 1, server.OptionsSpec{}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := server.NewPool(server.PoolOptions{})
+	info, err := p.Register(loads[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Synthesize(context.Background(), info.ID, &loads[0].Deltas[0]); !errors.Is(err, server.ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := p.Register(loads[0].Spec); !errors.Is(err, server.ErrPoolClosed) {
+		t.Fatalf("register after close: err = %v, want ErrPoolClosed", err)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal("Close must be idempotent:", err)
+	}
+}
+
+// TestPoolSoak: sustained mixed-tenant traffic with a tight session
+// budget and enough workers to overlap everything — the race-clean soak
+// for the admission, eviction, and rebuild machinery (CI runs it under
+// -race). Queue-full sheds are tolerated; anything else fails.
+func TestPoolSoak(t *testing.T) {
+	rounds := 4
+	if testing.Short() {
+		rounds = 2
+	}
+	loads, err := bench.MakeTenantLoads(6, 40, rounds, server.OptionsSpec{}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := server.NewPool(server.PoolOptions{
+		Workers: 4, MaxSessions: 2, QueueDepth: 2, DefaultTimeout: time.Minute,
+	})
+	ids := make([]string, len(loads))
+	for i, tl := range loads {
+		info, err := p.Register(tl.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	var wg sync.WaitGroup
+	for i := range loads {
+		// Two clients per tenant hammering the same delta sequence:
+		// contention on the tenant gate, the queue bound, and the LRU.
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for di := range loads[i].Deltas {
+					_, err := p.Synthesize(context.Background(), ids[i], &loads[i].Deltas[di])
+					switch {
+					case err == nil:
+					case errors.Is(err, server.ErrQueueFull):
+					case errors.Is(err, config.ErrBadDelta):
+						// A duplicate flip of an already-flipped diamond
+						// can be a no-op reroute; still a valid target.
+						t.Errorf("unexpected bad delta: %v", err)
+					default:
+						t.Errorf("soak: %v", err)
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Plans == 0 {
+		t.Fatalf("soak served nothing: %+v", st)
+	}
+	if st.WarmSessions > 2 {
+		t.Fatalf("budget violated at rest: %+v", st)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

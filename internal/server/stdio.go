@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// ServeStdio is the stdin/stdout serving surface: it reads a JSONL
+// scenario stream (a config.StreamHeader, then one config.StreamDelta
+// per line), registers the header as a tenant of the pool, serves every
+// delta through Pool.Synthesize, and emits one Result line per delta on
+// out. It is what `netupdate -stream` runs — the same pool, admission
+// control, and wire format as the daemon, minus HTTP.
+//
+// Shutdown is graceful: when ctx is canceled (the CLI wires SIGINT and
+// SIGTERM to it), ServeStdio stops accepting input, lets the in-flight
+// synthesis finish, flushes its pending result line, and returns nil.
+// Semantically invalid deltas (config.ErrBadDelta) are reported on their
+// input line and skipped; only decode errors — after which the stream
+// position is unreliable — are terminal, and they too are reported as a
+// positioned Result line first.
+func ServeStdio(ctx context.Context, in io.Reader, out io.Writer, errw io.Writer, p *Pool, opts core.Options, quiet bool) error {
+	lines := config.NewLineCountingReader(in)
+	dec := json.NewDecoder(lines)
+	dec.DisallowUnknownFields()
+	var h config.StreamHeader
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("server: stream header (line %d): %w", lines.DecodeErrorLine(err, dec), err)
+	}
+	spec := &TenantSpec{StreamHeader: h, Options: OptionsSpecOf(opts)}
+	info, err := p.Register(spec)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(errw, "stream %q: tenant %s, %d switches, %d classes\n",
+			info.Name, info.ID, info.Switches, info.Classes)
+	}
+
+	// Decode on a separate goroutine so a signal interrupts the wait for
+	// the next line, not just the synthesis between lines. The reader owns
+	// dec/lines; after cancellation its last pending item is dropped and
+	// the goroutine exits on the next read (or stays blocked on a silent
+	// stdin until the process exits, holding nothing).
+	type item struct {
+		delta config.StreamDelta
+		line  int
+		err   error
+		errLn int
+	}
+	items := make(chan item)
+	go func() {
+		defer close(items)
+		for {
+			var it item
+			if err := dec.Decode(&it.delta); err != nil {
+				if err != io.EOF {
+					it.err = err
+					it.errLn = lines.DecodeErrorLine(err, dec)
+					select {
+					case items <- it:
+					case <-ctx.Done():
+					}
+				}
+				return
+			}
+			it.line = lines.LineAt(dec.InputOffset() - 1)
+			lines.Prune(dec.InputOffset())
+			select {
+			case items <- it:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	enc := json.NewEncoder(out)
+	seq := 0
+	defer func() {
+		if !quiet {
+			fmt.Fprintf(errw, "stream done: %d syntheses served\n", seq)
+		}
+	}()
+	for {
+		var it item
+		var ok bool
+		select {
+		case it, ok = <-items:
+			if !ok {
+				return nil // EOF
+			}
+		case <-ctx.Done():
+			if !quiet {
+				fmt.Fprintln(errw, "signal: stopped accepting input, draining")
+			}
+			return nil
+		}
+		seq++
+		if it.err != nil {
+			res := Result{
+				Seq: seq, Tenant: info.ID, Result: "error",
+				Error: fmt.Sprintf("tenant %s: stream: %v", info.ID, it.err),
+				Line:  it.errLn,
+			}
+			if encErr := enc.Encode(res); encErr != nil {
+				return encErr
+			}
+			return fmt.Errorf("server: tenant %s: stream delta %d (line %d): %w",
+				info.ID, seq, it.errLn, it.err)
+		}
+		// The in-flight synthesis deliberately ignores ctx: a signal
+		// stops intake, the current request finishes and its plan line is
+		// flushed (the engine's own Options.Timeout still bounds it).
+		plan, serr := p.Synthesize(context.Background(), info.ID, &it.delta)
+		res := NewResult(seq, info.ID, plan, serr)
+		if serr != nil && errors.Is(serr, config.ErrBadDelta) {
+			res.Line = it.line
+		}
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	}
+}

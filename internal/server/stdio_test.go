@@ -1,0 +1,149 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/server"
+)
+
+const stdioStream = `{"name":"line","topology":{"switches":4,"links":[[0,1],[1,3],[0,2],[2,3]],
+ "hosts":[{"id":100,"switch":0},{"id":101,"switch":3}]},
+ "classes":[{"name":"c","src":100,"dst":101,"path":[0,1,3],"spec":"sw=0 -> F sw=3"}]}
+{"reroute":[{"class":"c","path":[0,2,3]}]}
+{"reroute":[{"class":"missing","path":[0,2,3]}]}
+{"reroute":[{"class":"c","path":[0,1,3]}]}
+`
+
+// lockedBuffer lets the test poll output written from ServeStdio's
+// goroutine without a race.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := strings.TrimSpace(b.buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// TestServeStdioEndToEnd: the -stream serving surface over a pool — one
+// result line per delta, bad deltas positioned and skipped, stream
+// summary on errw.
+func TestServeStdioEndToEnd(t *testing.T) {
+	p := server.NewPool(server.PoolOptions{Workers: 1, MaxSessions: 1, QueueDepth: 1})
+	var out, errw lockedBuffer
+	err := server.ServeStdio(context.Background(), strings.NewReader(stdioStream),
+		&out, &errw, p, core.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := out.lines()
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	var results []server.Result
+	for _, l := range lines {
+		var r server.Result
+		if err := json.Unmarshal([]byte(l), &r); err != nil {
+			t.Fatalf("%q: %v", l, err)
+		}
+		results = append(results, r)
+	}
+	if results[0].Result != "plan" || results[0].Seq != 1 || results[0].Tenant == "" {
+		t.Fatalf("first = %+v", results[0])
+	}
+	if results[1].Result != "error" || results[1].Line != 5 ||
+		!strings.Contains(results[1].Error, results[1].Tenant) {
+		t.Fatalf("bad delta must carry tenant and line 5 (header spans 3 lines): %+v", results[1])
+	}
+	if results[2].Result != "plan" {
+		t.Fatalf("third = %+v", results[2])
+	}
+	if elog := strings.Join(errw.lines(), "\n"); !strings.Contains(elog, "3 syntheses served") {
+		t.Fatalf("summary missing: %q", elog)
+	}
+}
+
+// TestServeStdioGracefulCancel: canceling the context (the CLI's signal
+// path) stops intake — the already-served result lines stand, ServeStdio
+// returns nil, and the input is never read to EOF.
+func TestServeStdioGracefulCancel(t *testing.T) {
+	pr, pw := io.Pipe()
+	p := server.NewPool(server.PoolOptions{Workers: 1, MaxSessions: 1, QueueDepth: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out, errw lockedBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- server.ServeStdio(ctx, pr, &out, &errw, p, core.Options{}, true)
+	}()
+	header := `{"name":"line","topology":{"switches":4,"links":[[0,1],[1,3],[0,2],[2,3]],"hosts":[{"id":100,"switch":0},{"id":101,"switch":3}]},"classes":[{"name":"c","src":100,"dst":101,"path":[0,1,3],"spec":"sw=0 -> F sw=3"}]}`
+	if _, err := io.WriteString(pw, header+"\n"+`{"reroute":[{"class":"c","path":[0,2,3]}]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the in-flight delta's plan line to flush, then "send the
+	// signal" while the reader is blocked on a silent stdin.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(out.lines()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no result line; out = %q", out.lines())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown must not error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeStdio did not return after cancel")
+	}
+	if lines := out.lines(); len(lines) != 1 {
+		t.Fatalf("flushed lines = %q, want the one in-flight result", lines)
+	}
+	pw.Close()
+}
+
+// TestServeStdioDecodeErrorTerminal: a syntax error mid-stream emits a
+// positioned error line and then fails the stream.
+func TestServeStdioDecodeErrorTerminal(t *testing.T) {
+	in := strings.ReplaceAll(stdioStream, `{"reroute":[{"class":"missing","path":[0,2,3]}]}`, `{"reroute": broken`)
+	p := server.NewPool(server.PoolOptions{Workers: 1, MaxSessions: 1, QueueDepth: 1})
+	var out, errw lockedBuffer
+	err := server.ServeStdio(context.Background(), strings.NewReader(in), &out, &errw, p, core.Options{}, true)
+	if err == nil {
+		t.Fatal("syntax error must be terminal")
+	}
+	lines := out.lines()
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	var last server.Result
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Result != "error" || last.Line != 5 {
+		t.Fatalf("decode error must be positioned on line 5: %+v", last)
+	}
+}

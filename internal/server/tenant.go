@@ -1,0 +1,168 @@
+// Package server is the multi-tenant synthesis service layer: a pool of
+// warm core.Session instances keyed by a tenant fingerprint (topology +
+// class specifications + engine options), an admission controller that
+// keeps cross-tenant synthesis concurrent under a global worker budget
+// while serializing each tenant's single-flight session, and two serving
+// surfaces over the same pool — the HTTP/JSONL daemon (cmd/netupdated)
+// and the stdin/stdout stream client (netupdate -stream). See DESIGN.md
+// "Service layer".
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// TenantSpec is the registration document for one tenant: a scenario
+// stream header (topology, traffic classes with initial routes and LTL
+// specifications — exactly the first line of a netupdate -stream input)
+// plus the engine options the tenant's session is built with. The spec is
+// retained by the pool: it is the durable form a tenant's session is
+// rebuilt from after cold eviction.
+type TenantSpec struct {
+	config.StreamHeader
+	Options OptionsSpec `json:"options,omitempty"`
+}
+
+// OptionsSpec is the JSON form of the engine options that shape a
+// tenant's session — a faithful encoding of every core.Options field
+// (Build ∘ OptionsSpecOf is the identity), so no flag the stream CLI
+// accepts is silently dropped on its way through the pool. The worker
+// budget and queue bounds are pool-level policy, not per-tenant.
+type OptionsSpec struct {
+	// Checker selects the backend: "incremental" (default), "batch",
+	// "nusmv", or "netplumber".
+	Checker string `json:"checker,omitempty"`
+	// Rules switches to rule-granularity updates.
+	Rules bool `json:"rules,omitempty"`
+	// TwoSimple allows two updates per switch (merge then finalize).
+	TwoSimple bool `json:"twoSimple,omitempty"`
+	// NoWaitRemoval keeps every wait barrier.
+	NoWaitRemoval bool `json:"noWaitRemoval,omitempty"`
+	// NoDecompose forces one joint search per request.
+	NoDecompose bool `json:"noDecompose,omitempty"`
+	// Parallel is the per-synthesis worker count (0 = one per CPU, 1 =
+	// sequential).
+	Parallel int `json:"parallel,omitempty"`
+	// FirstPlan commits the first plan any search worker finds (faster,
+	// nondeterministic) instead of the sequential-equivalent plan.
+	FirstPlan bool `json:"firstPlan,omitempty"`
+	// NoCexLearning, NoEarlyTermination, and NoHeuristicOrder are the
+	// engine's ablation switches.
+	NoCexLearning      bool `json:"noCexLearning,omitempty"`
+	NoEarlyTermination bool `json:"noEarlyTermination,omitempty"`
+	NoHeuristicOrder   bool `json:"noHeuristicOrder,omitempty"`
+	// TimeoutNS bounds each synthesis inside the engine (nanoseconds, a
+	// time.Duration verbatim); requests may tighten it further per call
+	// via their deadline.
+	TimeoutNS int64 `json:"timeoutNs,omitempty"`
+}
+
+// Build translates the spec into engine options.
+func (o OptionsSpec) Build() (core.Options, error) {
+	opts := core.Options{
+		RuleGranularity:    o.Rules,
+		TwoSimple:          o.TwoSimple,
+		NoWaitRemoval:      o.NoWaitRemoval,
+		NoDecomposition:    o.NoDecompose,
+		Parallelism:        o.Parallel,
+		FirstPlanWins:      o.FirstPlan,
+		NoCexLearning:      o.NoCexLearning,
+		NoEarlyTermination: o.NoEarlyTermination,
+		NoHeuristicOrder:   o.NoHeuristicOrder,
+		Timeout:            time.Duration(o.TimeoutNS),
+	}
+	switch o.Checker {
+	case "", "incremental":
+		opts.Checker = core.CheckerIncremental
+	case "batch":
+		opts.Checker = core.CheckerBatch
+	case "nusmv":
+		opts.Checker = core.CheckerNuSMV
+	case "netplumber":
+		opts.Checker = core.CheckerNetPlumber
+	default:
+		return core.Options{}, fmt.Errorf("server: unknown checker %q", o.Checker)
+	}
+	return opts, nil
+}
+
+// OptionsSpecOf is the exact inverse of Build; the stream CLI uses it to
+// register its flag set as a tenant spec.
+func OptionsSpecOf(opts core.Options) OptionsSpec {
+	o := OptionsSpec{
+		Rules:              opts.RuleGranularity,
+		TwoSimple:          opts.TwoSimple,
+		NoWaitRemoval:      opts.NoWaitRemoval,
+		NoDecompose:        opts.NoDecomposition,
+		Parallel:           opts.Parallelism,
+		FirstPlan:          opts.FirstPlanWins,
+		NoCexLearning:      opts.NoCexLearning,
+		NoEarlyTermination: opts.NoEarlyTermination,
+		NoHeuristicOrder:   opts.NoHeuristicOrder,
+		TimeoutNS:          int64(opts.Timeout),
+	}
+	switch opts.Checker {
+	case core.CheckerBatch:
+		o.Checker = "batch"
+	case core.CheckerNuSMV:
+		o.Checker = "nusmv"
+	case core.CheckerNetPlumber:
+		o.Checker = "netplumber"
+	default:
+		o.Checker = "incremental"
+	}
+	return o
+}
+
+// Fingerprint derives the tenant id from the canonical JSON encoding of
+// the spec: two registrations of the same topology, classes, and engine
+// options land on the same warm session, which is what makes the pool a
+// cache rather than a leak. Struct field order makes the encoding
+// canonical without explicit sorting.
+func (s *TenantSpec) Fingerprint() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("server: fingerprinting tenant spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return "t" + hex.EncodeToString(sum[:8]), nil
+}
+
+// TenantInfo is Register's answer.
+type TenantInfo struct {
+	ID string `json:"id"`
+	// Created is false when the spec fingerprint was already registered
+	// (the existing tenant — and its warm state — is shared).
+	Created  bool   `json:"created"`
+	Name     string `json:"name,omitempty"`
+	Classes  int    `json:"classes"`
+	Switches int    `json:"switches"`
+}
+
+// TenantStats is the per-tenant serving summary.
+type TenantStats struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Classes  int    `json:"classes"`
+	Switches int    `json:"switches"`
+	// Warm reports whether the tenant currently holds a built session
+	// (false after cold eviction; the next request rebuilds it).
+	Warm bool `json:"warm"`
+	// Pending is the number of admitted requests (queued + running).
+	Pending  int   `json:"pending"`
+	Runs     int64 `json:"runs"`
+	Plans    int64 `json:"plans"`
+	Failures int64 `json:"failures"`
+	// Rebuilds counts session constructions beyond the first (evict →
+	// rebuild round trips).
+	Rebuilds    int64   `json:"rebuilds"`
+	LastSynthMS float64 `json:"lastSynthMs"`
+	MeanSynthMS float64 `json:"meanSynthMs"`
+}

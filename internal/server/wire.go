@@ -1,0 +1,90 @@
+package server
+
+import (
+	"errors"
+
+	"netupdate/internal/core"
+)
+
+// The JSONL wire format shared by the daemon's synthesize endpoint and
+// the netupdate -stream CLI: one Result line per requested delta.
+
+// Result is one output line.
+type Result struct {
+	// Seq is the 1-based request ordinal within the stream or request
+	// body.
+	Seq    int    `json:"seq"`
+	Tenant string `json:"tenant,omitempty"`
+	// Result is "plan", "impossible" (no correct ordering exists at this
+	// granularity), or "error".
+	Result string       `json:"result"`
+	Steps  []ResultStep `json:"steps,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	// Retryable marks transient load-shedding errors (queue full,
+	// deadline expired): the identical request may be retried.
+	Retryable bool `json:"retryable,omitempty"`
+	// Line is the input line of a decode or validation failure (JSONL
+	// position in the stream or request body).
+	Line  int          `json:"line,omitempty"`
+	Stats *ResultStats `json:"stats,omitempty"`
+}
+
+// ResultStep is one plan element. Switch is a pointer so switch 0 is
+// emitted while wait barriers carry no switch at all.
+type ResultStep struct {
+	Op     string `json:"op"` // "update" | "wait" | "add" | "del"
+	Switch *int   `json:"switch,omitempty"`
+	Rule   string `json:"rule,omitempty"`
+}
+
+// ResultStats is the per-synthesis work summary.
+type ResultStats struct {
+	Units      int     `json:"units"`
+	Components int     `json:"components"`
+	Checks     int     `json:"checks"`
+	ClassSkips int     `json:"classSkips"`
+	Waits      int     `json:"waits"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+}
+
+// NewResult converts one Pool.Synthesize outcome into its wire line.
+func NewResult(seq int, tenantID string, plan *core.Plan, err error) Result {
+	res := Result{Seq: seq, Tenant: tenantID}
+	switch {
+	case err == nil:
+		res.Result = "plan"
+		for _, st := range plan.Steps {
+			res.Steps = append(res.Steps, stepOf(st))
+		}
+		res.Stats = &ResultStats{
+			Units:      plan.Stats.Units,
+			Components: plan.Stats.Components,
+			Checks:     plan.Stats.Checks,
+			ClassSkips: plan.Stats.ClassSkips,
+			Waits:      plan.Stats.WaitsAfter,
+			ElapsedMS:  float64(plan.Stats.Elapsed.Microseconds()) / 1000,
+		}
+	case errors.Is(err, core.ErrNoOrdering):
+		res.Result = "impossible"
+	default:
+		res.Result = "error"
+		res.Error = err.Error()
+		res.Retryable = Retryable(err)
+	}
+	return res
+}
+
+func stepOf(s core.Step) ResultStep {
+	if s.Wait {
+		return ResultStep{Op: "wait"}
+	}
+	sw := s.Switch
+	switch {
+	case s.IsRule && s.RuleAdd:
+		return ResultStep{Op: "add", Switch: &sw, Rule: s.Rule.String()}
+	case s.IsRule:
+		return ResultStep{Op: "del", Switch: &sw, Rule: s.Rule.String()}
+	default:
+		return ResultStep{Op: "update", Switch: &sw}
+	}
+}

@@ -27,7 +27,10 @@
 package netupdate
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"netupdate/internal/config"
 	"netupdate/internal/core"
@@ -115,6 +118,7 @@ const (
 var (
 	ErrNoOrdering       = core.ErrNoOrdering
 	ErrTimeout          = core.ErrTimeout
+	ErrCanceled         = core.ErrCanceled
 	ErrInitialViolation = core.ErrInitialViolation
 	ErrFinalViolation   = core.ErrFinalViolation
 )
@@ -139,13 +143,26 @@ func Synthesize(sc *Scenario, opts Options) (*Plan, error) {
 // see DESIGN.md "Session architecture". Synthesize is the one-shot
 // equivalent and is itself a thin wrapper over a single-use session.
 //
-// A Synthesizer must not be used from more than one goroutine at a time;
-// each Synthesize call still parallelizes internally per
-// Options.Parallelism. Configurations passed in are retained and must not
-// be mutated afterwards.
+// A Synthesizer is NOT goroutine-safe: it must not be used from more
+// than one goroutine at a time (each Synthesize call still parallelizes
+// internally per Options.Parallelism). The warm per-class structures are
+// mutated in place during a synthesis, so overlapping calls would corrupt
+// them; a cheap atomic guard detects overlapping calls and fails the
+// latecomer with ErrConcurrentUse instead. Callers that need concurrency
+// should serialize externally or hold one Synthesizer per goroutine —
+// the internal/server pool does exactly that for the daemon.
+// Configurations passed in are retained and must not be mutated
+// afterwards.
 type Synthesizer struct {
 	s *core.Session
+	// inFlight guards against concurrent misuse; see Synthesize.
+	inFlight atomic.Bool
 }
+
+// ErrConcurrentUse reports that two Synthesize calls overlapped on one
+// Synthesizer, which is not goroutine-safe. The offending call performed
+// no work; the in-flight call is unaffected.
+var ErrConcurrentUse = errors.New("netupdate: concurrent use of Synthesizer (not goroutine-safe)")
 
 // NewSynthesizer opens a session at the initial configuration, verifying
 // it against every class specification (ErrInitialViolation otherwise).
@@ -160,9 +177,22 @@ func NewSynthesizer(topo *Topology, init *Config, specs []ClassSpec, opts Option
 // Synthesize plans the update from the session's current configuration to
 // final and advances the session on success. A failed synthesis
 // (including ErrNoOrdering) leaves the session at its previous
-// configuration, ready for the next target.
+// configuration, ready for the next target. Overlapping calls from other
+// goroutines fail with ErrConcurrentUse.
 func (sy *Synthesizer) Synthesize(final *Config) (*Plan, error) {
-	return sy.s.Synthesize(final)
+	return sy.SynthesizeContext(context.Background(), final)
+}
+
+// SynthesizeContext is Synthesize bounded by a request context: the
+// search aborts with core.ErrTimeout when the context deadline expires
+// (the earlier of it and Options.Timeout applies) or ErrCanceled when the
+// context is canceled, leaving the session at its previous configuration.
+func (sy *Synthesizer) SynthesizeContext(ctx context.Context, final *Config) (*Plan, error) {
+	if !sy.inFlight.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentUse
+	}
+	defer sy.inFlight.Store(false)
+	return sy.s.SynthesizeContext(ctx, final)
 }
 
 // Current returns the configuration the session is at.
