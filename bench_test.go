@@ -475,6 +475,40 @@ func BenchmarkSATPigeonhole(b *testing.B) {
 	}
 }
 
+// BenchmarkDAGExecution measures the decentralized DAG executor: one op
+// simulates the full asynchronous execution of a synthesized multi-region
+// plan (every switch committing as soon as its predecessors ack) against
+// probe traffic. The plan is synthesized once outside the timer so the op
+// isolates executor work; CI pins its allocs/op (see
+// .github/workflows/ci.yml).
+func BenchmarkDAGExecution(b *testing.B) {
+	sc, err := bench.MultiRegionWorkload(160, 4, 2, 0, config.Reachability, 160*13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := core.Synthesize(sc, core.Options{Parallelism: 1, Timeout: benchTimeout})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if plan.DAG == nil || plan.Stats.DAGWidth < 2 {
+		b.Fatalf("plan DAG missing or too narrow: %+v", plan.DAG)
+	}
+	var classes []Class
+	for _, cs := range sc.Specs {
+		classes = append(classes, cs.Class)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := SimulateDAG(sc.Topo, sc.Init, plan, classes, SimParams{
+			Duration: time.Second, ProbeInterval: 2 * time.Millisecond,
+		})
+		if res.Lost != 0 || res.CompleteAt == 0 {
+			b.Fatalf("DAG execution lost %d probes, complete at %v", res.Lost, res.CompleteAt)
+		}
+	}
+}
+
 // BenchmarkSimulatorFig1 measures the discrete-event simulator on the
 // Figure 1 scenario.
 func BenchmarkSimulatorFig1(b *testing.B) {

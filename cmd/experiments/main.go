@@ -7,8 +7,10 @@
 //	experiments -fig stream -json   # warm-session vs cold synthesis
 //
 // Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation,
-// parallel, stream, decomp, server, all. "-fig server" compares warm
+// parallel, stream, decomp, server, dag, all. "-fig server" compares warm
 // multi-tenant pool serving against cold per-request synthesis.
+// "-fig dag" compares central wait-based execution of a synthesized plan
+// against decentralized execution of its dependency DAG, by update size.
 // The -scale flag selects problem sizes: "small" finishes
 // in seconds, "medium" in minutes, "full" approaches the paper's sizes
 // (up to 1500 switches for 8g) and can take much longer. -parallel sets
@@ -45,6 +47,8 @@ type scale struct {
 	serverTenants  []int
 	serverSwitches int
 	serverSteps    int
+	dagSWSizes     []int
+	dagFTSizes     []int
 	timeout        time.Duration
 }
 
@@ -64,6 +68,8 @@ var scales = map[string]scale{
 		serverTenants:  []int{4, 8},
 		serverSwitches: 40,
 		serverSteps:    8,
+		dagSWSizes:     []int{160, 240, 320},
+		dagFTSizes:     []int{45, 80, 125},
 		timeout:        time.Minute,
 	},
 	"medium": {
@@ -81,6 +87,8 @@ var scales = map[string]scale{
 		serverTenants:  []int{8, 16},
 		serverSwitches: 60,
 		serverSteps:    10,
+		dagSWSizes:     []int{160, 240, 320, 400},
+		dagFTSizes:     []int{45, 80, 125, 180},
 		timeout:        5 * time.Minute,
 	},
 	"full": {
@@ -98,13 +106,15 @@ var scales = map[string]scale{
 		serverTenants:  []int{16, 32},
 		serverSwitches: 80,
 		serverSteps:    12,
+		dagSWSizes:     []int{160, 240, 320, 400, 480},
+		dagFTSizes:     []int{80, 125, 180, 245},
 		timeout:        10 * time.Minute,
 	},
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|all")
 		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
 		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
 		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
@@ -224,6 +234,11 @@ func run(fig string, sc scale) ([]*bench.Table, error) {
 	}
 	if all || fig == "server" {
 		if err := add(bench.ServerCompare(sc.serverTenants, sc.serverSwitches, sc.serverSteps, 4)); err != nil {
+			return nil, err
+		}
+	}
+	if all || fig == "dag" {
+		if err := add(bench.DAGCompare(sc.dagSWSizes, sc.dagFTSizes, sc.timeout)); err != nil {
 			return nil, err
 		}
 	}

@@ -4,11 +4,16 @@
 //	netupdate -f scenario.json
 //	netupdate -f scenario.json -checker batch -rules -timeout 30s
 //	netupdate -f scenario.json -parallel 8 -first-plan
+//	netupdate -f scenario.json -dag -min-completion
 //	netupdate -f scenario.json -verify
 //
 // On success it prints the synthesized command sequence; with -verify it
 // only checks the initial and final configurations against the
-// specifications.
+// specifications. -dag additionally prints the plan's dependency DAG
+// (which updates must commit before which, waits as drain-marked edges)
+// for decentralized execution, and -min-completion makes estimated
+// completion time under the DAG latency model a tie-breaker among valid
+// plans.
 //
 // With -stream the command becomes a long-lived synthesis service: it
 // reads a JSONL scenario stream from stdin (a header describing the
@@ -54,18 +59,21 @@ func main() {
 		timeout   = flag.Duration("timeout", 10*time.Minute, "search timeout (per synthesis in -stream mode)")
 		parallel  = flag.Int("parallel", 0, "search workers: 0 = one per CPU, 1 = sequential")
 		firstPlan = flag.Bool("first-plan", false, "return the first plan any worker finds (faster, nondeterministic)")
+		minCompl  = flag.Bool("min-completion", false, "tie-break among valid plans by completion time under the dependency-DAG latency model (sequential enumeration)")
+		showDAG   = flag.Bool("dag", false, "print the plan's dependency DAG (per-step predecessors, drain edges)")
 		verify    = flag.Bool("verify", false, "only verify the endpoint configurations")
 		quiet     = flag.Bool("q", false, "suppress statistics")
 	)
 	flag.Parse()
 	opts := core.Options{
-		RuleGranularity: *rules,
-		TwoSimple:       *twoSimple,
-		NoWaitRemoval:   *noWaits,
-		NoDecomposition: *noDecomp,
-		Timeout:         *timeout,
-		Parallelism:     *parallel,
-		FirstPlanWins:   *firstPlan,
+		RuleGranularity:        *rules,
+		TwoSimple:              *twoSimple,
+		NoWaitRemoval:          *noWaits,
+		NoDecomposition:        *noDecomp,
+		Timeout:                *timeout,
+		Parallelism:            *parallel,
+		FirstPlanWins:          *firstPlan,
+		MinimizeCompletionTime: *minCompl,
 	}
 	switch *checker {
 	case "incremental":
@@ -96,13 +104,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, opts, *rules, *verify, *quiet); err != nil {
+	if err := run(*file, opts, *rules, *verify, *quiet, *showDAG); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, opts core.Options, rules, verifyOnly, quiet bool) error {
+func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool) error {
 	f, err := os.Open(file)
 	if err != nil {
 		return err
@@ -133,13 +141,44 @@ func run(file string, opts core.Options, rules, verifyOnly, quiet bool) error {
 	for i, s := range plan.Steps {
 		fmt.Printf("  %2d. %s\n", i+1, s)
 	}
+	if showDAG && plan.DAG != nil {
+		printDAG(plan)
+	}
 	if !quiet {
 		st := plan.Stats
-		fmt.Printf("stats: %d units in %d component(s), %d checks (%d skipped), %d cex learned, %d pruned, waits %d -> %d, %.3fs\n",
+		fmt.Printf("stats: %d units in %d component(s), %d checks (%d skipped), %d cex learned, %d pruned, waits %d -> %d, dag %dx%d, %.3fs\n",
 			st.Units, st.Components, st.Checks, st.ClassSkips, st.CexLearned, st.WrongPruned+st.VisitedPruned,
-			st.WaitsBefore, st.WaitsAfter, st.Elapsed.Seconds())
+			st.WaitsBefore, st.WaitsAfter, st.DAGDepth, st.DAGWidth, st.Elapsed.Seconds())
 	}
 	return nil
+}
+
+// printDAG renders the dependency-DAG form of the plan: one line per
+// update node with the predecessor nodes that must commit first; drain
+// predecessors (whose pre-commit traffic must also leave the network) are
+// marked with '!'. Any commit order respecting these edges is
+// trace-equivalent to the sequential plan above.
+func printDAG(plan *core.Plan) {
+	d := plan.DAG
+	fmt.Printf("dependency DAG: depth %d, width %d, %d drain edge(s)\n",
+		d.Depth, d.Width, d.DrainEdges())
+	ups := plan.Updates()
+	for j, st := range ups {
+		fmt.Printf("  n%-2d %-24s after:", j, st.String())
+		if len(d.Preds[j]) == 0 {
+			fmt.Print(" (none)")
+		}
+		for _, i := range d.Preds[j] {
+			mark := ""
+			for _, dr := range d.Drain[j] {
+				if dr == i {
+					mark = "!"
+				}
+			}
+			fmt.Printf(" n%d%s", i, mark)
+		}
+		fmt.Println()
+	}
 }
 
 // runStream serves the stdin JSONL stream as a client of a single-tenant

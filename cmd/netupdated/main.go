@@ -12,6 +12,13 @@
 //	GET  /metrics                      pool/queue/latency counters
 //	GET  /healthz                      liveness
 //
+// Every plan line carries a "dag" field — the plan's dependency DAG
+// (per-step predecessor indexes, drain-marked edges, depth/width) — so
+// clients can execute the update decentralized: any commit order that
+// respects the edges (waiting out drain edges) is trace-equivalent to the
+// sequential step list. Tenants registering with options.minCompletion
+// get plans tie-broken by estimated DAG completion time.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
 // in-flight syntheses finish (bounded by -drain), and exits.
 package main

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+)
+
+// depAnalysis is the reusable ordering-analysis core shared by the
+// wait-removal pass (waits.go) and the plan-DAG builder (dag.go). It
+// walks a plan's update steps in order, tracking the evolving
+// configuration and a window of "pending" updates whose pre-update rules
+// may still govern in-flight packets, and answers the two questions both
+// consumers need:
+//
+//   - which classes does this step affect (the per-class behavior-change
+//     test of Section 4.2.C)?
+//   - could a packet forwarded under some earlier step's old rules still
+//     reach this step's switch (the reachability hazard that forces a
+//     wait barrier — or, in DAG form, a drain edge)?
+//
+// waits.go previously interleaved this dependency discovery with the
+// wait-elision loop itself; hoisting it here lets the DAG builder reuse
+// the identical ordering facts instead of re-deriving weaker ones.
+//
+// oldEntry remembers a switch updated inside the current window, its
+// pre-update table, and which classes that update affected.
+type oldEntry struct {
+	sw       int
+	tbl      network.Table
+	affected []bool // indexed like sc.Specs
+}
+
+type depAnalysis struct {
+	e *engine
+	// cur is the configuration reached by the steps advanced so far.
+	cur *config.Config
+	// pending is the window of updates since the last barrier whose old
+	// rules may still govern in-flight packets.
+	pending []oldEntry
+}
+
+// newDepAnalysis starts an analysis at the scenario's initial
+// configuration. The engine supplies the scenario, the specs, and the
+// pooled BFS scratch; the analysis allocates only its configuration clone
+// and the pending window.
+func (e *engine) newDepAnalysis() *depAnalysis {
+	return &depAnalysis{e: e, cur: e.sc.Init.Clone()}
+}
+
+// affected reports, per spec class, whether installing tbl on sw changes
+// the class's forwarding behavior at the current configuration.
+func (d *depAnalysis) affected(sw int, tbl network.Table) []bool {
+	return d.e.affectedClasses(d.cur.Table(sw), tbl)
+}
+
+// barrierNeeded reports whether applying an update to sw (affecting the
+// given classes) without a barrier could let an in-flight packet —
+// forwarded under the old rules of some pending switch — observe both an
+// old and the new configuration at sw (the waitNeeded test of Section
+// 4.2.C over the whole pending window).
+func (d *depAnalysis) barrierNeeded(sw int, affected []bool) bool {
+	if len(d.pending) == 0 {
+		return false
+	}
+	return d.e.waitNeeded(d.cur, d.pending, sw, affected)
+}
+
+// drainNeeded is the single-predecessor refinement of barrierNeeded: it
+// reports whether in-flight packets forwarded under pending entry p's old
+// rules could reach sw, considering only classes both updates affect. The
+// DAG builder uses it to mark which dependency edges carry a drain
+// obligation rather than fencing the whole window.
+func (d *depAnalysis) drainNeeded(p *oldEntry, sw int, affected []bool) bool {
+	e := d.e
+	for ci, cs := range e.sc.Specs {
+		if !affected[ci] || !p.affected[ci] {
+			continue
+		}
+		pkt := cs.Class.Packet()
+		starts := e.appendClassSuccessors(e.startsBuf[:0], p.tbl, p.sw, pkt)
+		e.startsBuf = starts[:0]
+		if len(starts) == 0 {
+			continue
+		}
+		if e.reaches(d.cur, pkt, starts, sw) {
+			return true
+		}
+	}
+	return false
+}
+
+// barrier resets the pending window: a retained wait guarantees every
+// in-flight packet has drained, so earlier old rules need no further
+// fencing.
+func (d *depAnalysis) barrier() {
+	d.pending = d.pending[:0]
+}
+
+// advance records the step in the pending window — when it affects some
+// class and its switch was live (reachable for some class) inside the
+// window — and applies its table to the tracked configuration. It returns
+// the index of the recorded window entry, or -1 when the step needs no
+// fencing (indexes stay valid across later appends).
+func (d *depAnalysis) advance(sw int, tbl network.Table, affected []bool) int {
+	idx := -1
+	if anyTrue(affected) && d.e.liveSinceWait(d.cur, d.pending, sw) {
+		idx = len(d.pending)
+		d.pending = append(d.pending, oldEntry{
+			sw: sw, tbl: d.cur.Table(sw), affected: affected,
+		})
+	}
+	d.cur.SetTable(sw, tbl)
+	return idx
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"netupdate/internal/config"
+)
+
+// TestDepAnalysisReproducesWaitDecisions: the extracted ordering analysis
+// is the single source of dependency facts for both the wait-removal pass
+// and the DAG builder, so replaying any synthesized plan through a fresh
+// depAnalysis must reproduce exactly the wait barriers the plan kept: a
+// barrier is needed before an update iff the plan has a wait there.
+func TestDepAnalysisReproducesWaitDecisions(t *testing.T) {
+	for _, c := range conformanceCases(t) {
+		opts := c.opts
+		opts.Parallelism = 1
+		feasible, plan := synthesizeOutcome(t, c.name, c.sc, opts)
+		if !feasible {
+			continue
+		}
+		_, e := engineFor(t, c.sc, opts)
+		d := e.newDepAnalysis()
+		if diff := config.Diff(d.cur, c.sc.Init); len(diff) != 0 {
+			t.Fatalf("%s: analysis does not start at Init; differs on %v", c.name, diff)
+		}
+		wait := false
+		for _, st := range plan.Steps {
+			if st.Wait {
+				wait = true
+				continue
+			}
+			affected := d.affected(st.Switch, st.Table)
+			if len(affected) != len(c.sc.Specs) {
+				t.Fatalf("%s: affected has %d entries, want one per spec (%d)",
+					c.name, len(affected), len(c.sc.Specs))
+			}
+			if got := d.barrierNeeded(st.Switch, affected); got != wait {
+				t.Fatalf("%s: barrierNeeded = %v before update(sw%d), plan wait = %v",
+					c.name, got, st.Switch, wait)
+			}
+			if wait {
+				d.barrier()
+				if len(d.pending) != 0 {
+					t.Fatalf("%s: pending window not cleared by barrier()", c.name)
+				}
+			}
+			d.advance(st.Switch, st.Table, affected)
+			wait = false
+		}
+		if diff := config.Diff(d.cur, c.sc.Final); len(diff) != 0 {
+			t.Fatalf("%s: analysis does not end at Final; differs on %v", c.name, diff)
+		}
+	}
+}
+
+// TestDepAnalysisWindowBasics: white-box invariants of the pending
+// window — barrierNeeded is trivially false on an empty window, advance
+// records exactly the affecting live steps and returns stable indexes,
+// and drain marks imply their barrier-level counterpart.
+func TestDepAnalysisWindowBasics(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	plan, err := Synthesize(sc, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e := engineFor(t, sc, Options{})
+	d := e.newDepAnalysis()
+	ups := plan.Updates()
+	for i, st := range ups {
+		affected := d.affected(st.Switch, st.Table)
+		if len(d.pending) == 0 && d.barrierNeeded(st.Switch, affected) {
+			t.Fatalf("step %d: barrierNeeded on an empty window", i)
+		}
+		before := len(d.pending)
+		idx := d.advance(st.Switch, st.Table, affected)
+		switch {
+		case idx == -1:
+			if len(d.pending) != before {
+				t.Fatalf("step %d: advance returned -1 but grew the window", i)
+			}
+		case idx != before:
+			t.Fatalf("step %d: advance index = %d, want %d", i, idx, before)
+		default:
+			p := &d.pending[idx]
+			if p.sw != st.Switch {
+				t.Fatalf("step %d: window entry records sw%d, want sw%d", i, p.sw, st.Switch)
+			}
+			if !anyTrue(p.affected) {
+				t.Fatalf("step %d: window entry affects no class", i)
+			}
+		}
+	}
+	// At least one update of the Fig1 red-green plan affects a live class,
+	// so the window cannot end empty.
+	if len(d.pending) == 0 {
+		t.Fatal("window recorded no entries")
+	}
+}

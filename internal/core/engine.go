@@ -56,6 +56,9 @@ var (
 	// errCancelled signals cooperative cancellation (another worker won,
 	// or the coordinator is shutting the search down).
 	errCancelled = errors.New("core: search cancelled")
+	// errEnoughPlans aborts the collect-mode DFS (MinimizeCompletionTime)
+	// once the candidate cap is reached.
+	errEnoughPlans = errors.New("core: enough plan candidates")
 )
 
 type frame struct {
@@ -108,6 +111,13 @@ type engine struct {
 	emit         func(prefix []int) error
 	path         []int
 	deferredSeen *bitsetSet
+
+	// Collect mode (Options.MinimizeCompletionTime, see runCollect): the
+	// sequential DFS records every complete unit order it reaches — up to
+	// maxPlanCandidates — instead of returning the first, and the run
+	// picks the candidate whose DAG minimizes estimated completion time.
+	collecting bool
+	collected  [][]int
 
 	stop *abort
 
@@ -246,6 +256,12 @@ func (e *engine) workerCount() int {
 func (e *engine) run() ([]Step, error) {
 	empty := newBitset(len(e.units))
 	e.visited.add(empty)
+	if e.opts.MinimizeCompletionTime {
+		// Candidate enumeration must be deterministic, so collect mode
+		// always runs sequentially with a private (nil) dead set.
+		e.shared = newSharedState(false, false)
+		return e.runCollect(empty)
+	}
 	if workers := e.workerCount(); workers > 1 {
 		return e.runParallel(empty, workers)
 	}
@@ -259,12 +275,93 @@ func (e *engine) run() ([]Step, error) {
 	return steps, nil
 }
 
+// maxPlanCandidates caps the completion-time tie-breaker's enumeration:
+// the collect-mode DFS stops after this many complete orderings. Small on
+// purpose — the first candidates diverge earliest in the heuristic order
+// and so differ most, and each candidate costs a full search descent.
+const maxPlanCandidates = 4
+
+// runCollect is the MinimizeCompletionTime search: a sequential DFS that
+// records up to maxPlanCandidates complete unit orders (every one fully
+// verified by applyAndCheck on the way down), scores each candidate's
+// dependency DAG by estimated completion time, and returns the minimum.
+// Candidate 0 is the plan the default search would have returned, and
+// ties resolve to the earliest candidate, so an indifferent latency model
+// reproduces the default plan byte-for-byte. The DFS leaves the warm
+// structures back at the initial configuration (every candidate descent
+// is fully reverted); the session resync handles that like any failed
+// run's state.
+func (e *engine) runCollect(empty bitset) ([]Step, error) {
+	e.collecting = true
+	_, err := e.dfs(empty, 0)
+	e.collecting = false
+	switch {
+	case err == nil:
+		return nil, nil // zero units: the empty plan
+	case errors.Is(err, errNotFound), errors.Is(err, errEnoughPlans):
+		// Exhausted or capped; candidates (if any) are in e.collected.
+	case errors.Is(err, ErrNoOrdering) && len(e.collected) > 0:
+		// Early termination fired after candidates were found; the
+		// candidates are verified plans, so the "no ordering" proof is
+		// moot (and indicates only that the solver's constraint set
+		// over-tightened after the fact).
+	default:
+		return nil, err
+	}
+	if len(e.collected) == 0 {
+		return nil, ErrNoOrdering
+	}
+	best, bestScore := 0, int64(-1)
+	for i, path := range e.collected {
+		score := e.buildDAG(e.stepsForPath(path)).completionEstimate()
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return e.stepsForPath(e.collected[best]), nil
+}
+
+// stepsForPath materializes the careful step sequence for a recorded unit
+// order, mirroring the success unwind of the default DFS (cumulative
+// tables at rule granularity, a wait between every pair of updates). It
+// uses and then restores e.curTables, which collect-mode exhaustion left
+// at the initial tables.
+func (e *engine) stepsForPath(path []int) []Step {
+	steps := make([]Step, 0, 2*len(path))
+	for n, ui := range path {
+		u := e.units[ui]
+		tbl := e.unitTable(u)
+		e.curTables[u.sw] = tbl
+		if n > 0 {
+			steps = append(steps, Step{Wait: true})
+		}
+		steps = append(steps, Step{
+			Switch: u.sw, Table: tbl.Clone(),
+			IsRule: u.isRule, RuleAdd: u.add, Rule: u.rule,
+		})
+	}
+	for _, u := range e.units {
+		e.curTables[u.sw] = e.sc.Init.Table(u.sw)
+	}
+	return steps
+}
+
 // dfs explores update orders from the current configuration (encoded by
 // the applied bitmask). It returns the remaining steps on success,
 // errNotFound when the subtree is exhausted, errDeferred when parts of it
 // were emitted as worker tasks, or a terminal error.
 func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 	if depth == len(e.units) {
+		if e.collecting {
+			// Record the complete order and keep searching: the collect
+			// run behaves like a failure here so the DFS backtracks into
+			// the remaining candidates.
+			e.collected = append(e.collected, append([]int(nil), e.path...))
+			if len(e.collected) >= maxPlanCandidates {
+				return nil, errEnoughPlans
+			}
+			return nil, errNotFound
+		}
 		return nil, nil
 	}
 	if e.stop.isSet() {
@@ -297,7 +394,11 @@ func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 			continue // finalize steps wait for their merge step
 		}
 		next := applied.set(ui)
-		if !e.visited.add(next) {
+		if e.collecting && depth+1 == len(e.units) {
+			// Collect mode: the unique all-units configuration is reached
+			// once per distinct order; gating it through the visited set
+			// would cap the enumeration at one candidate.
+		} else if !e.visited.add(next) {
 			e.stats.VisitedPruned++
 			if e.deferredSeen != nil && e.deferredSeen.has(next) {
 				// The first visit handed (part of) this subtree to a
@@ -342,11 +443,11 @@ func (e *engine) dfs(applied bitset, depth int) ([]Step, error) {
 			continue
 		}
 		e.curTables[u.sw] = newTbl
-		if e.fanDepth > 0 {
-			e.path = append(e.path, ui) // only the generator's emit reads path
+		if e.fanDepth > 0 || e.collecting {
+			e.path = append(e.path, ui) // read by the generator's emit and collect leaves
 		}
 		rest, err := e.dfs(next, depth+1)
-		if e.fanDepth > 0 {
+		if e.fanDepth > 0 || e.collecting {
 			e.path = e.path[:len(e.path)-1]
 		}
 		if err == nil {

@@ -133,6 +133,20 @@ type Options struct {
 	// NoHeuristicOrder disables destination-first candidate ordering and
 	// explores units in index order; used by the ablation benchmarks.
 	NoHeuristicOrder bool
+	// MinimizeCompletionTime makes completion time under the dependency-
+	// DAG latency model (see dag.go) a tie-breaker among valid plans: the
+	// search collects up to a handful of candidate orderings instead of
+	// stopping at the first, scores each candidate's DAG by critical-path
+	// completion time (installs, acks, and drain edges), and returns the
+	// minimum — preferring shallower, wider DAGs with fewer drain edges.
+	// Ties resolve to the plan the default search would have found, so
+	// when every candidate scores equally the output is byte-identical to
+	// the default. The candidate searches run on the sequential engine
+	// (the enumeration must be deterministic), so Parallelism and
+	// FirstPlanWins are ignored; expect up to a few times the search cost.
+	// Decomposed runs optimize each component independently, which
+	// composes to the global optimum (component DAGs are disjoint).
+	MinimizeCompletionTime bool
 	// Timeout bounds the search; zero means no limit.
 	Timeout time.Duration
 }
@@ -176,6 +190,8 @@ type Stats struct {
 	EarlyTerminate  bool // search cut off by the SAT solver
 	WaitsBefore     int  // waits before removal (always units-1)
 	WaitsAfter      int  // waits remaining after removal
+	DAGDepth        int  // longest dependency chain of the plan DAG (nodes)
+	DAGWidth        int  // largest antichain level of the plan DAG
 	WaitRemovalTime time.Duration
 	Elapsed         time.Duration
 

@@ -41,6 +41,12 @@ func (s Step) String() string {
 type Plan struct {
 	Steps []Step
 	Stats Stats
+	// DAG is the dependency-DAG form of the plan (one node per update
+	// step of Updates(), see dag.go): any linearization — or any
+	// decentralized execution that commits each step once its
+	// predecessors have committed, waiting out drain edges — is
+	// trace-equivalent to the sequential Steps.
+	DAG *PlanDAG
 }
 
 // Commands lowers the plan to the operational model's command list

@@ -204,13 +204,20 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 			e.stats.WaitRemovalTime = time.Since(wrStart)
 		}
 		e.stats.WaitsAfter = countWaits(steps)
+		// Lift the ordering facts into the dependency DAG (dag.go). Built
+		// over the final — possibly composed — step sequence, which for
+		// decomposed runs yields the disjoint union of the component
+		// sub-DAGs (components share no class and no switch, so no chain
+		// crosses a component boundary).
+		dag := e.buildDAG(steps)
+		e.stats.DAGDepth, e.stats.DAGWidth = dag.Depth, dag.Width
 		if !decomposed {
 			// Decomposed runs already collected per-component checker
 			// deltas; collecting again here would double-count.
 			e.collectCheckerStats()
 		}
 		e.stats.Elapsed = time.Since(start)
-		plan = &Plan{Steps: steps, Stats: e.stats}
+		plan = &Plan{Steps: steps, Stats: e.stats, DAG: dag}
 	}
 	s.reclaimScratch(e)
 

@@ -20,33 +20,22 @@ import (
 //     window since the last retained wait forwarded none of its packets,
 //     so its old rules need no fence.
 //
-// oldEntry remembers a switch updated since the last retained wait, its
-// pre-update table, and which classes that update affected.
-type oldEntry struct {
-	sw       int
-	tbl      network.Table
-	affected []bool // indexed like sc.Specs
-}
-
+// The ordering analysis itself — affected classes, window tracking, and
+// the reachability hazard tests — lives in deps.go (depAnalysis), shared
+// with the plan-DAG builder; this pass is the wait-elision loop over it.
 func (e *engine) removeWaits(steps []Step) []Step {
-	cur := e.sc.Init.Clone()
-	var pending []oldEntry
+	d := e.newDepAnalysis()
 	out := make([]Step, 0, len(steps))
 	for _, st := range steps {
 		if st.Wait {
 			continue // re-derived below
 		}
-		affected := e.affectedClasses(cur.Table(st.Switch), st.Table)
-		if len(pending) > 0 && e.waitNeeded(cur, pending, st.Switch, affected) {
+		affected := d.affected(st.Switch, st.Table)
+		if d.barrierNeeded(st.Switch, affected) {
 			out = append(out, Step{Wait: true})
-			pending = pending[:0]
+			d.barrier()
 		}
-		if anyTrue(affected) && e.liveSinceWait(cur, pending, st.Switch) {
-			pending = append(pending, oldEntry{
-				sw: st.Switch, tbl: cur.Table(st.Switch), affected: affected,
-			})
-		}
-		cur.SetTable(st.Switch, st.Table)
+		d.advance(st.Switch, st.Table, affected)
 		out = append(out, st)
 	}
 	return out

@@ -145,17 +145,18 @@ func TestQueueWaitHonorsDeadline(t *testing.T) {
 // TestOptionsSpecRoundTrip: the CLI flag set survives the spec encoding.
 func TestOptionsSpecRoundTrip(t *testing.T) {
 	in := core.Options{
-		Checker:            core.CheckerNuSMV,
-		RuleGranularity:    true,
-		TwoSimple:          true,
-		NoWaitRemoval:      true,
-		NoDecomposition:    true,
-		Parallelism:        3,
-		FirstPlanWins:      true,
-		NoCexLearning:      true,
-		NoEarlyTermination: true,
-		NoHeuristicOrder:   true,
-		Timeout:            500 * time.Microsecond, // sub-ms must survive
+		Checker:                core.CheckerNuSMV,
+		RuleGranularity:        true,
+		TwoSimple:              true,
+		NoWaitRemoval:          true,
+		NoDecomposition:        true,
+		Parallelism:            3,
+		FirstPlanWins:          true,
+		NoCexLearning:          true,
+		NoEarlyTermination:     true,
+		NoHeuristicOrder:       true,
+		MinimizeCompletionTime: true,
+		Timeout:                500 * time.Microsecond, // sub-ms must survive
 	}
 	out, err := OptionsSpecOf(in).Build()
 	if err != nil {

@@ -58,6 +58,9 @@ type OptionsSpec struct {
 	NoCexLearning      bool `json:"noCexLearning,omitempty"`
 	NoEarlyTermination bool `json:"noEarlyTermination,omitempty"`
 	NoHeuristicOrder   bool `json:"noHeuristicOrder,omitempty"`
+	// MinCompletion makes completion time under the DAG latency model a
+	// tie-breaker among valid plans (core.Options.MinimizeCompletionTime).
+	MinCompletion bool `json:"minCompletion,omitempty"`
 	// TimeoutNS bounds each synthesis inside the engine (nanoseconds, a
 	// time.Duration verbatim); requests may tighten it further per call
 	// via their deadline.
@@ -67,16 +70,17 @@ type OptionsSpec struct {
 // Build translates the spec into engine options.
 func (o OptionsSpec) Build() (core.Options, error) {
 	opts := core.Options{
-		RuleGranularity:    o.Rules,
-		TwoSimple:          o.TwoSimple,
-		NoWaitRemoval:      o.NoWaitRemoval,
-		NoDecomposition:    o.NoDecompose,
-		Parallelism:        o.Parallel,
-		FirstPlanWins:      o.FirstPlan,
-		NoCexLearning:      o.NoCexLearning,
-		NoEarlyTermination: o.NoEarlyTermination,
-		NoHeuristicOrder:   o.NoHeuristicOrder,
-		Timeout:            time.Duration(o.TimeoutNS),
+		RuleGranularity:        o.Rules,
+		TwoSimple:              o.TwoSimple,
+		NoWaitRemoval:          o.NoWaitRemoval,
+		NoDecomposition:        o.NoDecompose,
+		Parallelism:            o.Parallel,
+		FirstPlanWins:          o.FirstPlan,
+		NoCexLearning:          o.NoCexLearning,
+		NoEarlyTermination:     o.NoEarlyTermination,
+		NoHeuristicOrder:       o.NoHeuristicOrder,
+		MinimizeCompletionTime: o.MinCompletion,
+		Timeout:                time.Duration(o.TimeoutNS),
 	}
 	switch o.Checker {
 	case "", "incremental":
@@ -106,6 +110,7 @@ func OptionsSpecOf(opts core.Options) OptionsSpec {
 		NoCexLearning:      opts.NoCexLearning,
 		NoEarlyTermination: opts.NoEarlyTermination,
 		NoHeuristicOrder:   opts.NoHeuristicOrder,
+		MinCompletion:      opts.MinimizeCompletionTime,
 		TimeoutNS:          int64(opts.Timeout),
 	}
 	switch opts.Checker {

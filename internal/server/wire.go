@@ -27,6 +27,20 @@ type Result struct {
 	// position in the stream or request body).
 	Line  int          `json:"line,omitempty"`
 	Stats *ResultStats `json:"stats,omitempty"`
+	// DAG is the dependency-DAG form of the plan: one node per non-wait
+	// step of Steps, predecessor edges by node index, drain-marked edges
+	// listed separately. Clients may execute the plan decentralized from
+	// it — any commit order respecting the edges (plus drain quiescence)
+	// is trace-equivalent to the sequential Steps.
+	DAG *ResultDAG `json:"dag,omitempty"`
+}
+
+// ResultDAG mirrors core.PlanDAG on the wire.
+type ResultDAG struct {
+	Preds [][]int `json:"preds"`
+	Drain [][]int `json:"drain,omitempty"`
+	Depth int     `json:"depth"`
+	Width int     `json:"width"`
 }
 
 // ResultStep is one plan element. Switch is a pointer so switch 0 is
@@ -44,6 +58,8 @@ type ResultStats struct {
 	Checks     int     `json:"checks"`
 	ClassSkips int     `json:"classSkips"`
 	Waits      int     `json:"waits"`
+	DAGDepth   int     `json:"dagDepth,omitempty"`
+	DAGWidth   int     `json:"dagWidth,omitempty"`
 	ElapsedMS  float64 `json:"elapsedMs"`
 }
 
@@ -62,7 +78,15 @@ func NewResult(seq int, tenantID string, plan *core.Plan, err error) Result {
 			Checks:     plan.Stats.Checks,
 			ClassSkips: plan.Stats.ClassSkips,
 			Waits:      plan.Stats.WaitsAfter,
+			DAGDepth:   plan.Stats.DAGDepth,
+			DAGWidth:   plan.Stats.DAGWidth,
 			ElapsedMS:  float64(plan.Stats.Elapsed.Microseconds()) / 1000,
+		}
+		if d := plan.DAG; d != nil {
+			res.DAG = &ResultDAG{
+				Preds: edgeLists(d.Preds), Drain: edgeLists(d.Drain),
+				Depth: d.Depth, Width: d.Width,
+			}
 		}
 	case errors.Is(err, core.ErrNoOrdering):
 		res.Result = "impossible"
@@ -72,6 +96,19 @@ func NewResult(seq int, tenantID string, plan *core.Plan, err error) Result {
 		res.Retryable = Retryable(err)
 	}
 	return res
+}
+
+// edgeLists copies per-node edge lists, replacing nil entries with empty
+// slices so roots encode as [] rather than null on the wire.
+func edgeLists(in [][]int) [][]int {
+	out := make([][]int, len(in))
+	for i, es := range in {
+		if es == nil {
+			es = []int{}
+		}
+		out[i] = es
+	}
+	return out
 }
 
 func stepOf(s core.Step) ResultStep {

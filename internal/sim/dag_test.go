@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+	"netupdate/internal/topology"
+)
+
+// TestDAGExecutionKeepsDelivery: decentralized execution of a synthesized
+// plan's dependency DAG must lose no probes (the trace-equivalence
+// guarantee surfacing in the testbed), and must commit every node.
+func TestDAGExecutionKeepsDelivery(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastParams()
+	p.UpdateLatency = 60 * time.Millisecond
+	res := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), p)
+	if res.Lost != 0 {
+		t.Fatalf("DAG execution lost %d probes", res.Lost)
+	}
+	if res.MinFraction() != 1 {
+		t.Fatalf("DAG min fraction = %v, want 1", res.MinFraction())
+	}
+	if res.CompleteAt == 0 {
+		t.Fatal("DAG execution reported no completion time")
+	}
+}
+
+// TestDAGCompletesFasterThanCentral: on a workload whose DAG has real
+// width (two independent regions) the decentralized executor overlaps
+// independent installs and beats the central controller's sequential
+// schedule on completion time.
+func TestDAGCompletesFasterThanCentral(t *testing.T) {
+	topo := topology.SmallWorld(160, 6, 0.3, 7)
+	sc, err := config.MultiRegion(topo, config.MultiRegionOptions{
+		Regions: 2, PairsPerRegion: 1, Property: config.Reachability, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.DAGWidth < 2 {
+		t.Fatalf("want a DAG with width >= 2, got %dx%d", plan.Stats.DAGDepth, plan.Stats.DAGWidth)
+	}
+	p := fastParams()
+	central := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), p)
+	if central.CompleteAt == 0 {
+		t.Fatal("central run reported no completion time")
+	}
+	dag := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), p)
+	if dag.Lost != 0 {
+		t.Fatalf("DAG execution lost %d probes", dag.Lost)
+	}
+	if dag.CompleteAt >= central.CompleteAt {
+		t.Fatalf("decentralized CompleteAt %v >= central %v (DAG %dx%d)",
+			dag.CompleteAt, central.CompleteAt, plan.Stats.DAGDepth, plan.Stats.DAGWidth)
+	}
+}
+
+// TestDAGDrainEdgesBlockUntilQuiesced: a plan whose DAG retains drain
+// edges must still deliver every probe — the executor may not commit a
+// drain successor while pre-commit traffic is in flight.
+func TestDAGDrainEdgesBlockUntilQuiesced(t *testing.T) {
+	topo := topology.SmallWorld(40, 4, 0.3, 21)
+	sc, err := config.Infeasible(topo, config.InfeasibleOptions{Gadgets: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Synthesize(sc, core.Options{RuleGranularity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DAG == nil || plan.DAG.DrainEdges() == 0 {
+		t.Skipf("plan retained no drain edges (waits=%d); nothing to exercise", plan.Waits())
+	}
+	res := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), fastParams())
+	if res.Lost != 0 {
+		t.Fatalf("DAG execution with drain edges lost %d probes", res.Lost)
+	}
+}
+
+// TestSeededRunsReproducible: equal Params (including Seed and a nonzero
+// InstallJitter) must give identical Results; a different seed must move
+// the jittered completion time.
+func TestSeededRunsReproducible(t *testing.T) {
+	sc := config.Fig1RedBlue()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastParams()
+	p.InstallJitter = 0.5
+	p.Seed = 42
+	a := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), p)
+	b := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n a=%+v\n b=%+v", a, b)
+	}
+	da := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), p)
+	db := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), p)
+	if !reflect.DeepEqual(da, db) {
+		t.Fatalf("same seed, different DAG results:\n a=%+v\n b=%+v", da, db)
+	}
+	p2 := p
+	p2.Seed = 43
+	c := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), p2)
+	if c.CompleteAt == a.CompleteAt {
+		t.Fatalf("different seeds, identical jittered completion time %v", a.CompleteAt)
+	}
+}
+
+// TestJitterFreeDefaultsUnchanged: with the zero Seed and no jitter the
+// central run is byte-identical to a run that never consults the RNG —
+// the seedable RNG must not perturb deterministic schedules.
+func TestJitterFreeDefaultsUnchanged(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), fastParams())
+	p := fastParams()
+	p.Seed = 99 // unused without jitter
+	b := Run(sc.Topo, sc.Init, plan.Commands(), classes(sc), p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seed changed a jitter-free run:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+// TestPlanDAGNodesFallback: a plan without an attached DAG degrades to
+// the sequential chain.
+func TestPlanDAGNodesFallback(t *testing.T) {
+	sc := config.Fig1RedBlue()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := &core.Plan{Steps: plan.Steps, Stats: plan.Stats}
+	nodes := PlanDAGNodes(stripped)
+	for j, nd := range nodes {
+		if j == 0 {
+			if len(nd.Preds) != 0 {
+				t.Fatalf("node 0 has preds %v", nd.Preds)
+			}
+			continue
+		}
+		if len(nd.Preds) != 1 || nd.Preds[0] != j-1 {
+			t.Fatalf("node %d preds = %v, want [%d]", j, nd.Preds, j-1)
+		}
+	}
+	res := RunDAG(sc.Topo, sc.Init, nodes, classes(sc), fastParams())
+	if res.Lost != 0 {
+		t.Fatalf("sequential-chain DAG lost %d probes", res.Lost)
+	}
+}

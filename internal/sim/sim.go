@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"math/rand"
 	"time"
 
 	"netupdate/internal/config"
@@ -16,38 +17,69 @@ import (
 	"netupdate/internal/topology"
 )
 
-// Params configures a simulation run. Zero fields take defaults.
+// Default parameter values. Params documents each field against these
+// named constants and fill() applies exactly them, so the field
+// documentation cannot drift from the implementation.
+const (
+	DefaultLinkLatency   = 50 * time.Microsecond
+	DefaultUpdateLatency = 10 * time.Millisecond
+	DefaultProbeInterval = time.Millisecond
+	DefaultDuration      = 6 * time.Second
+	DefaultBucketWidth   = 250 * time.Millisecond
+	DefaultCommandStart  = time.Second
+	DefaultAckLatency    = 200 * time.Microsecond
+	DefaultMaxHops       = 64
+)
+
+// Params configures a simulation run. Zero fields take the Default*
+// constants above.
 type Params struct {
-	LinkLatency   time.Duration // per-hop latency (default 50us)
-	UpdateLatency time.Duration // per switch-update command (default 10ms)
-	ProbeInterval time.Duration // probe period per class (default 1ms)
-	Duration      time.Duration // injection window (default 6s)
-	BucketWidth   time.Duration // reporting bucket (default 250ms)
-	CommandStart  time.Duration // controller start time (default 1s)
-	MaxHops       int           // loop guard (default 64)
+	LinkLatency   time.Duration // per-hop latency (DefaultLinkLatency)
+	UpdateLatency time.Duration // per switch-update command (DefaultUpdateLatency)
+	ProbeInterval time.Duration // probe period per class (DefaultProbeInterval)
+	Duration      time.Duration // injection window (DefaultDuration)
+	BucketWidth   time.Duration // reporting bucket (DefaultBucketWidth)
+	CommandStart  time.Duration // controller start time (DefaultCommandStart)
+	// AckLatency is the control-plane delay between a switch committing
+	// an update and its ack becoming visible to dependents; used by the
+	// decentralized DAG executor (DefaultAckLatency).
+	AckLatency time.Duration
+	MaxHops    int // loop guard (DefaultMaxHops)
+	// InstallJitter widens rule-install latency into a distribution: each
+	// install takes UpdateLatency scaled by a uniform draw from
+	// [1-InstallJitter, 1+InstallJitter]. Zero (the default) keeps every
+	// install exactly UpdateLatency, which preserves the deterministic
+	// schedules of jitter-free runs.
+	InstallJitter float64
+	// Seed seeds the run's private RNG (latency jitter draws), making
+	// every simulation reproducible: equal Params give equal Results.
+	Seed int64
 }
 
 func (p *Params) fill() {
 	if p.LinkLatency == 0 {
-		p.LinkLatency = 50 * time.Microsecond
+		p.LinkLatency = DefaultLinkLatency
 	}
 	if p.UpdateLatency == 0 {
-		p.UpdateLatency = 10 * time.Millisecond
+		p.UpdateLatency = DefaultUpdateLatency
 	}
 	if p.ProbeInterval == 0 {
-		p.ProbeInterval = time.Millisecond
+		p.ProbeInterval = DefaultProbeInterval
 	}
 	if p.Duration == 0 {
-		p.Duration = 6 * time.Second
+		p.Duration = DefaultDuration
 	}
 	if p.BucketWidth == 0 {
-		p.BucketWidth = 250 * time.Millisecond
+		p.BucketWidth = DefaultBucketWidth
 	}
 	if p.CommandStart == 0 {
-		p.CommandStart = time.Second
+		p.CommandStart = DefaultCommandStart
+	}
+	if p.AckLatency == 0 {
+		p.AckLatency = DefaultAckLatency
 	}
 	if p.MaxHops == 0 {
-		p.MaxHops = 64
+		p.MaxHops = DefaultMaxHops
 	}
 }
 
@@ -74,6 +106,11 @@ type Result struct {
 	Lost      int
 	// End is the simulated time when the last event fired.
 	End time.Duration
+	// CompleteAt is the simulated time when the update finished: for the
+	// central controller schedule, when the last command's install latency
+	// elapsed; for the decentralized DAG executor (RunDAG), when the last
+	// node committed. Zero when there was nothing to execute.
+	CompleteAt time.Duration
 }
 
 // MinFraction returns the worst per-bucket delivery fraction.
@@ -93,6 +130,9 @@ const (
 	evProbe evKind = iota
 	evArrive
 	evCommand
+	evInstall  // DAG executor: a node's rule install completes (dag.go)
+	evAck      // DAG executor: a committed node's ack reaches dependents
+	evDAGStart // DAG executor: kick off the root nodes at CommandStart
 )
 
 type event struct {
@@ -107,6 +147,8 @@ type event struct {
 	hops   int
 	epoch  int
 	class  int
+	// evInstall/evAck:
+	node int
 }
 
 type evHeap []*event
@@ -138,10 +180,22 @@ type sim struct {
 	inflight map[int]int
 	classes  []config.Class
 	p        Params
+	rng      *rand.Rand
 
 	events evHeap
 	seq    int
 	now    time.Duration
+
+	// Decentralized DAG-execution mode (RunDAG, dag.go). inflightBySent
+	// counts in-flight packets keyed by send time; non-nil only in DAG
+	// mode, where drain edges wait for packets older than a commit.
+	dag            []DAGNode
+	dagSuccs       [][]int
+	ackLeft        []int
+	commitAt       []time.Duration
+	started        []bool
+	drainPend      []int
+	inflightBySent map[time.Duration]int
 
 	res Result
 }
@@ -157,18 +211,28 @@ func Run(topo *topology.Topology, init *config.Config, cmds []network.Command, c
 		inflight: map[int]int{},
 		classes:  classes,
 		p:        p,
+		rng:      rand.New(rand.NewSource(p.Seed)),
 	}
 	for _, sw := range init.Switches() {
 		s.tables[sw] = init.Table(sw).Clone()
 	}
-	nBuckets := int(p.Duration/p.BucketWidth) + 1
-	s.res.Buckets = make([]Bucket, nBuckets)
-	for i := range s.res.Buckets {
-		s.res.Buckets[i].Start = time.Duration(i) * p.BucketWidth
-	}
 	s.push(&event{at: 0, kind: evProbe})
 	if len(cmds) > 0 {
 		s.push(&event{at: p.CommandStart, kind: evCommand})
+	}
+	s.loop()
+	return &s.res
+}
+
+// loop drains the event heap; shared by the central-controller Run and
+// the decentralized RunDAG.
+func (s *sim) loop() {
+	nBuckets := int(s.p.Duration/s.p.BucketWidth) + 1
+	if s.res.Buckets == nil {
+		s.res.Buckets = make([]Bucket, nBuckets)
+		for i := range s.res.Buckets {
+			s.res.Buckets[i].Start = time.Duration(i) * s.p.BucketWidth
+		}
 	}
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(*event)
@@ -180,10 +244,15 @@ func Run(topo *topology.Topology, init *config.Config, cmds []network.Command, c
 			s.arrive(ev)
 		case evCommand:
 			s.command()
+		case evInstall:
+			s.dagInstall(ev.node)
+		case evAck:
+			s.dagAck(ev.node)
+		case evDAGStart:
+			s.dagStart()
 		}
 	}
 	s.res.End = s.now
-	return &s.res
 }
 
 func (s *sim) push(ev *event) {
@@ -211,6 +280,9 @@ func (s *sim) probe() {
 		s.res.Sent++
 		s.bucket(s.now).Sent++
 		s.inflight[s.epoch]++
+		if s.inflightBySent != nil {
+			s.inflightBySent[s.now]++
+		}
 		s.push(&event{
 			at: s.now + s.p.LinkLatency, kind: evArrive,
 			sw: h.Switch, pt: h.Port, pkt: cl.Packet(),
@@ -238,6 +310,13 @@ func (s *sim) exit(ev *event, delivered bool) {
 	if s.blocked && s.flushed() {
 		s.blocked = false
 		s.push(&event{at: s.now, kind: evCommand})
+	}
+	if s.inflightBySent != nil {
+		s.inflightBySent[ev.sentAt]--
+		if s.inflightBySent[ev.sentAt] == 0 {
+			delete(s.inflightBySent, ev.sentAt)
+		}
+		s.dagRecheckDrain()
 	}
 }
 
@@ -286,10 +365,13 @@ func (s *sim) command() {
 	c := s.cmds[s.cmdIdx]
 	switch c.Kind {
 	case network.CmdUpdate:
+		lat := s.installLat()
 		s.tables[c.Switch] = c.Table.Clone()
 		s.cmdIdx++
 		if s.cmdIdx < len(s.cmds) {
-			s.push(&event{at: s.now + s.p.UpdateLatency, kind: evCommand})
+			s.push(&event{at: s.now + lat, kind: evCommand})
+		} else {
+			s.res.CompleteAt = s.now + lat
 		}
 	case network.CmdIncr:
 		s.epoch++
@@ -301,6 +383,19 @@ func (s *sim) command() {
 			return // re-armed by exit()
 		}
 		s.cmdIdx++
+		if s.cmdIdx == len(s.cmds) {
+			s.res.CompleteAt = s.now
+		}
 		s.push(&event{at: s.now, kind: evCommand})
 	}
+}
+
+// installLat draws one rule-install latency: UpdateLatency scaled by a
+// uniform factor in [1-InstallJitter, 1+InstallJitter].
+func (s *sim) installLat() time.Duration {
+	if s.p.InstallJitter == 0 {
+		return s.p.UpdateLatency
+	}
+	f := 1 + s.p.InstallJitter*(2*s.rng.Float64()-1)
+	return time.Duration(float64(s.p.UpdateLatency) * f)
 }

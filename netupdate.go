@@ -61,6 +61,10 @@ type (
 	Options = core.Options
 	// Plan is a synthesized update sequence.
 	Plan = core.Plan
+	// PlanDAG is the dependency-DAG form of a plan: per-step predecessor
+	// edges (waits become edges, drain-marked where in-flight traffic must
+	// quiesce) that any decentralized executor can commit against.
+	PlanDAG = core.PlanDAG
 	// Step is one plan element (update or wait).
 	Step = core.Step
 	// Stats reports synthesis work counters.
@@ -77,6 +81,8 @@ type (
 	SimParams = sim.Params
 	// SimResult is a probe-delivery time series.
 	SimResult = sim.Result
+	// SimDAGNode is one node of the simulator's decentralized executor.
+	SimDAGNode = sim.DAGNode
 	// DiamondOptions parameterizes the diamond workload generator.
 	DiamondOptions = config.DiamondOptions
 	// InfeasibleOptions parameterizes the double-diamond generator.
@@ -337,4 +343,14 @@ func NaivePlan(sc *Scenario) []Command { return twophase.Naive(sc) }
 // every class while the command schedule executes.
 func Simulate(topo *Topology, init *Config, cmds []Command, classes []Class, p SimParams) *SimResult {
 	return sim.Run(topo, init, cmds, classes, p)
+}
+
+// SimulateDAG runs the plan decentralized: each switch commits its update
+// as soon as its dependency-DAG predecessors' acks are visible (drain
+// edges additionally wait for the predecessor's pre-commit traffic to
+// leave the network), with no central controller schedule. Compare
+// SimResult.CompleteAt against Simulate over plan.Commands() for the
+// completion-time gap.
+func SimulateDAG(topo *Topology, init *Config, plan *Plan, classes []Class, p SimParams) *SimResult {
+	return sim.RunPlanDAG(topo, init, plan, classes, p)
 }
