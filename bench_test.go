@@ -509,6 +509,45 @@ func BenchmarkDAGExecution(b *testing.B) {
 	}
 }
 
+// BenchmarkRepair measures warm-session repair after a mid-execution
+// crash: each iteration rebuilds a session and plan (untimed), commits
+// the first half of the plan's DAG nodes, and times Session.Repair from
+// that crash state back to the stranded target. Allocations stay
+// diff-proportional (the rebind touches only crashed-vs-current diffs,
+// and the search reuses pooled engine scratch); CI gates allocs/op.
+func BenchmarkRepair(b *testing.B) {
+	sc, err := bench.MultiRegionWorkload(160, 4, 2, 0, config.Reachability, 160*13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Parallelism: 1, Timeout: benchTimeout}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sess, err := core.NewSession(sc.Topo, sc.Init, sc.Specs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := sess.Synthesize(sc.Final)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prefix := make([]int, len(plan.Updates())/2)
+		for j := range prefix {
+			prefix[j] = j
+		}
+		b.StartTimer()
+		rep, err := sess.Repair(prefix, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.RepairCommitted != len(prefix) {
+			b.Fatalf("repair stats = %+v", rep.Stats)
+		}
+	}
+}
+
 // BenchmarkSimulatorFig1 measures the discrete-event simulator on the
 // Figure 1 scenario.
 func BenchmarkSimulatorFig1(b *testing.B) {

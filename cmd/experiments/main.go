@@ -7,10 +7,13 @@
 //	experiments -fig stream -json   # warm-session vs cold synthesis
 //
 // Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation,
-// parallel, stream, decomp, server, dag, all. "-fig server" compares warm
-// multi-tenant pool serving against cold per-request synthesis.
+// parallel, stream, decomp, server, dag, repair, all. "-fig server"
+// compares warm multi-tenant pool serving against cold per-request
+// synthesis.
 // "-fig dag" compares central wait-based execution of a synthesized plan
 // against decentralized execution of its dependency DAG, by update size.
+// "-fig repair" compares warm-session repair after a mid-execution crash
+// against cold resynthesis from the same partially-committed state.
 // The -scale flag selects problem sizes: "small" finishes
 // in seconds, "medium" in minutes, "full" approaches the paper's sizes
 // (up to 1500 switches for 8g) and can take much longer. -parallel sets
@@ -49,6 +52,7 @@ type scale struct {
 	serverSteps    int
 	dagSWSizes     []int
 	dagFTSizes     []int
+	repairSizes    []int
 	timeout        time.Duration
 }
 
@@ -70,6 +74,7 @@ var scales = map[string]scale{
 		serverSteps:    8,
 		dagSWSizes:     []int{160, 240, 320},
 		dagFTSizes:     []int{45, 80, 125},
+		repairSizes:    []int{160, 240, 320},
 		timeout:        time.Minute,
 	},
 	"medium": {
@@ -89,6 +94,7 @@ var scales = map[string]scale{
 		serverSteps:    10,
 		dagSWSizes:     []int{160, 240, 320, 400},
 		dagFTSizes:     []int{45, 80, 125, 180},
+		repairSizes:    []int{240, 320, 400},
 		timeout:        5 * time.Minute,
 	},
 	"full": {
@@ -108,13 +114,14 @@ var scales = map[string]scale{
 		serverSteps:    12,
 		dagSWSizes:     []int{160, 240, 320, 400, 480},
 		dagFTSizes:     []int{80, 125, 180, 245},
+		repairSizes:    []int{320, 400, 480, 560},
 		timeout:        10 * time.Minute,
 	},
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|repair|all")
 		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
 		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
 		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
@@ -239,6 +246,11 @@ func run(fig string, sc scale) ([]*bench.Table, error) {
 	}
 	if all || fig == "dag" {
 		if err := add(bench.DAGCompare(sc.dagSWSizes, sc.dagFTSizes, sc.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if all || fig == "repair" {
+		if err := add(bench.RepairCompare(sc.repairSizes, sc.timeout)); err != nil {
 			return nil, err
 		}
 	}

@@ -6,6 +6,8 @@
 //	netupdate -f scenario.json -parallel 8 -first-plan
 //	netupdate -f scenario.json -dag -min-completion
 //	netupdate -f scenario.json -verify
+//	netupdate -f scenario.json -faults crash=3@1
+//	netupdate -f scenario.json -faults crash=3@1 -repair
 //
 // On success it prints the synthesized command sequence; with -verify it
 // only checks the initial and final configurations against the
@@ -14,6 +16,16 @@
 // for decentralized execution, and -min-completion makes estimated
 // completion time under the DAG latency model a tie-breaker among valid
 // plans.
+//
+// -faults executes the synthesized plan on the decentralized simulator
+// under seeded fault injection (see internal/sim.ParseFaults:
+// crash=SW@N, ackloss=P, ackdup=P, installloss=P, seed=N) and reports
+// the outcome — a crashed switch or exhausted install retries stall the
+// execution with a partial-commit report naming exactly which plan
+// nodes took effect. Adding -repair then resynthesizes from that
+// partially-committed state (core.Session.Repair, with its 2-simple and
+// scoped-two-phase fallback ladder) and executes the repair plan to
+// completion.
 //
 // With -stream the command becomes a long-lived synthesis service: it
 // reads a JSONL scenario stream from stdin (a header describing the
@@ -45,6 +57,7 @@ import (
 	"netupdate/internal/config"
 	"netupdate/internal/core"
 	"netupdate/internal/server"
+	"netupdate/internal/sim"
 )
 
 func main() {
@@ -62,6 +75,8 @@ func main() {
 		minCompl  = flag.Bool("min-completion", false, "tie-break among valid plans by completion time under the dependency-DAG latency model (sequential enumeration)")
 		showDAG   = flag.Bool("dag", false, "print the plan's dependency DAG (per-step predecessors, drain edges)")
 		verify    = flag.Bool("verify", false, "only verify the endpoint configurations")
+		faults    = flag.String("faults", "", "execute the plan under injected faults, e.g. crash=3@1,ackloss=0.2,seed=42")
+		doRepair  = flag.Bool("repair", false, "after a stalled -faults execution, resynthesize from the partially-committed state and finish the update")
 		quiet     = flag.Bool("q", false, "suppress statistics")
 	)
 	flag.Parse()
@@ -88,9 +103,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "netupdate: unknown checker %q\n", *checker)
 		os.Exit(2)
 	}
+	if *doRepair && *faults == "" {
+		fmt.Fprintln(os.Stderr, "netupdate: -repair recovers a stalled -faults execution; it requires -faults")
+		os.Exit(2)
+	}
+	if *faults != "" && *verify {
+		fmt.Fprintln(os.Stderr, "netupdate: -faults executes the synthesized plan; it cannot be combined with -verify")
+		os.Exit(2)
+	}
 	if *stream {
-		if *file != "" || *verify {
-			fmt.Fprintln(os.Stderr, "netupdate: -stream reads from stdin and synthesizes every delta; it cannot be combined with -f or -verify")
+		if *file != "" || *verify || *faults != "" {
+			fmt.Fprintln(os.Stderr, "netupdate: -stream reads from stdin and synthesizes every delta; it cannot be combined with -f, -verify, or -faults")
 			os.Exit(2)
 		}
 		if err := runStream(opts, *quiet); err != nil {
@@ -104,13 +127,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, opts, *rules, *verify, *quiet, *showDAG); err != nil {
+	if err := run(*file, opts, *rules, *verify, *quiet, *showDAG, *faults, *doRepair); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool) error {
+func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool, faultSpec string, doRepair bool) error {
 	f, err := os.Open(file)
 	if err != nil {
 		return err
@@ -126,7 +149,18 @@ func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool)
 		fmt.Println("endpoint configurations verified (paths are loop-free and delivered)")
 		return nil
 	}
-	plan, err := core.Synthesize(sc, opts)
+	// -repair replans from mid-execution state, which needs the session
+	// form of the engine; a plain synthesis produces the identical plan.
+	var sess *core.Session
+	var plan *core.Plan
+	if doRepair {
+		sess, err = core.NewSession(sc.Topo, sc.Init, sc.Specs, opts)
+		if err == nil {
+			plan, err = sess.Synthesize(sc.Final)
+		}
+	} else {
+		plan, err = core.Synthesize(sc, opts)
+	}
 	if errors.Is(err, core.ErrNoOrdering) {
 		fmt.Println("result: IMPOSSIBLE — no correct update ordering exists at this granularity")
 		if !rules {
@@ -150,6 +184,58 @@ func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool)
 			st.Units, st.Components, st.Checks, st.ClassSkips, st.CexLearned, st.WrongPruned+st.VisitedPruned,
 			st.WaitsBefore, st.WaitsAfter, st.DAGDepth, st.DAGWidth, st.Elapsed.Seconds())
 	}
+	if faultSpec != "" {
+		return executeFaults(sc, plan, sess, faultSpec, quiet)
+	}
+	return nil
+}
+
+// executeFaults runs the synthesized plan on the decentralized DAG
+// executor under the parsed fault injection and reports the outcome.
+// When the execution stalls and a session was opened (-repair), it
+// resynthesizes from the partially-committed state via the repair
+// ladder and executes the repair plan from there — fault-free, the
+// transient-failure recovery story (a permanently dead switch would
+// instead get a superseding target via Repair's newTarget).
+func executeFaults(sc *config.Scenario, plan *core.Plan, sess *core.Session, faultSpec string, quiet bool) error {
+	f, err := sim.ParseFaults(faultSpec)
+	if err != nil {
+		return err
+	}
+	classes := make([]config.Class, len(sc.Specs))
+	for i, cs := range sc.Specs {
+		classes[i] = cs.Class
+	}
+	res := sim.RunPlanDAG(sc.Topo, sc.Init, plan, classes, sim.Params{Faults: f})
+	n := len(plan.Updates())
+	fmt.Printf("execution: %d/%d nodes committed, %d/%d probes delivered (%d lost), %d install retries, %d acks lost\n",
+		len(res.Committed), n, res.Delivered, res.Sent, res.Lost, res.InstallRetries, res.AcksLost)
+	if !res.Stalled {
+		fmt.Printf("execution complete at %v\n", res.CompleteAt)
+		return nil
+	}
+	fmt.Printf("execution STALLED: committed nodes %v\n", res.Committed)
+	if sess == nil {
+		fmt.Println("hint: rerun with -repair to resynthesize from the partially-committed state")
+		return nil
+	}
+
+	rep, err := sess.Repair(res.Committed, nil)
+	if err != nil {
+		return fmt.Errorf("repair: %w", err)
+	}
+	fmt.Println("repair: update sequence found from the partially-committed state")
+	for i, s := range rep.Steps {
+		fmt.Printf("  %2d. %s\n", i+1, s)
+	}
+	if st := rep.Stats; !quiet && (st.EscalatedComponents > 0 || st.TwoPhaseComponents > 0) {
+		fmt.Printf("repair: fallback ladder engaged (%d component(s) escalated to 2-simple, %d scoped two-phase)\n",
+			st.EscalatedComponents, st.TwoPhaseComponents)
+	}
+	crash := plan.ConfigAfter(sc.Init, res.Committed)
+	res2 := sim.RunPlanDAG(sc.Topo, crash, rep, classes, sim.Params{})
+	fmt.Printf("repair executed: %d/%d probes delivered (%d lost), update complete at %v\n",
+		res2.Delivered, res2.Sent, res2.Lost, res2.CompleteAt)
 	return nil
 }
 

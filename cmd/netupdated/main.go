@@ -19,6 +19,16 @@
 // sequential step list. Tenants registering with options.minCompletion
 // get plans tie-broken by estimated DAG completion time.
 //
+// Executing clients can post plan-step acknowledgements into the same
+// synthesize stream: {"ack":{"step":N}} records that DAG node N
+// committed (answered with an "acked" line), and {"ack":{"failed":true,
+// "committed":[...]}} reports a stalled execution — a dead switch or
+// exhausted install retries — with exactly the dependency-closed set of
+// nodes that did commit. The pool then repairs the tenant's warm session
+// from that partially-committed configuration (core.Session.Repair, with
+// its 2-simple and scoped-two-phase fallback ladder) and answers with a
+// "repair" plan line from the crash state to the stranded target.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
 // in-flight syntheses finish (bounded by -drain), and exits.
 package main

@@ -57,6 +57,7 @@ package core
 // session falls back to the joint engine, byte-identical plans included.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -266,6 +267,11 @@ type compResult struct {
 // exactly what the metamorphic tests assert. Test-only.
 var testSolveOrder func(n int) []int
 
+// testAfterComponent, when non-nil, runs after each component sub-search
+// returns (serial scheduling only) — the seam the CommittedComponents
+// test uses to cancel a run between components. Test-only.
+var testAfterComponent func(i int)
+
 // runDecomposed schedules the component sub-searches concurrently over
 // the session's worker budget and composes the careful sub-plans in
 // component order. With C components and P workers, min(C, P) components
@@ -300,6 +306,9 @@ func (s *Session) runDecomposed(e *engine, comps []component, final *config.Conf
 	if slots == 1 {
 		for _, i := range order {
 			results[i] = s.solveComponent(e, &comps[i], i, final, inner)
+			if testAfterComponent != nil {
+				testAfterComponent(i)
+			}
 		}
 	} else {
 		idx := make(chan int, len(comps))
@@ -327,6 +336,29 @@ func (s *Session) runDecomposed(e *engine, comps []component, final *config.Conf
 		r := &results[i]
 		e.stats.addSearch(r.stats)
 		e.stats.ComponentElapsed = append(e.stats.ComponentElapsed, r.elapsed)
+		if r.err == nil {
+			// The sub-search finished: its classes' warm structures sit at
+			// the target tables whatever the other components did.
+			e.stats.CommittedComponents = append(e.stats.CommittedComponents, i)
+		} else if s.repairing && errors.Is(r.err, ErrNoOrdering) {
+			// Repair mode: a stuck component runs the fallback ladder
+			// (repair.go) instead of failing the whole run.
+			c := &comps[i]
+			specs := make([]config.ClassSpec, 0, len(c.classes))
+			for _, ci := range c.classes {
+				specs = append(specs, s.specs[ci])
+			}
+			var twoPhase bool
+			r.steps, twoPhase, r.err = s.repairFallback(
+				e.ctx, fmt.Sprintf("%s#c%d-fallback", e.sc.Name, i), specs, c.switches, final)
+			if r.err == nil {
+				if twoPhase {
+					e.stats.TwoPhaseComponents++
+				} else {
+					e.stats.EscalatedComponents++
+				}
+			}
+		}
 		if r.err != nil {
 			if runErr == nil {
 				runErr = r.err

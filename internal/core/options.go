@@ -170,6 +170,13 @@ var (
 	// ErrFinalViolation reports that the final configuration violates the
 	// specification, so no update sequence can be correct.
 	ErrFinalViolation = errors.New("core: final configuration violates the specification")
+	// ErrNoPlan reports that Session.Repair was called with no synthesized
+	// plan to repair (no prior successful Synthesize on this session).
+	ErrNoPlan = errors.New("core: no synthesized plan to repair")
+	// ErrBadCommit reports that the committed-step set handed to
+	// Session.Repair is not a dependency-closed subset of the last plan's
+	// update steps (out of range, duplicated, or missing a predecessor).
+	ErrBadCommit = errors.New("core: committed set is not a dependency-closed subset of the last plan")
 )
 
 // Stats reports the work performed by one synthesis run.
@@ -205,6 +212,23 @@ type Stats struct {
 	Components       int
 	FootprintProbes  int
 	ComponentElapsed []time.Duration
+
+	// CommittedComponents lists, for decomposed runs, the components
+	// (composition-order indexes) whose sub-searches completed and left
+	// their classes' warm structures at the target tables. On a failed or
+	// context-canceled run — readable via Session.LastStats — it tells
+	// callers exactly which parts of the diff were already solved when
+	// the run aborted. Nil for joint runs.
+	CommittedComponents []int
+
+	// Repair counters (repair.go). RepairCommitted is the number of
+	// already-committed plan steps a Repair call resumed from.
+	// EscalatedComponents counts stuck components the fallback ladder
+	// solved by escalating to 2-simple granularity; TwoPhaseComponents
+	// counts those that fell back to scoped version-tagging.
+	RepairCommitted     int
+	EscalatedComponents int
+	TwoPhaseComponents  int
 }
 
 // addSearch folds the counters of one component sub-search into st. The

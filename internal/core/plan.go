@@ -101,6 +101,26 @@ func (p *Plan) Configs(init *config.Config) []*config.Config {
 	return out
 }
 
+// ConfigAfter reconstructs the configuration reached from init once
+// exactly the update steps named by committed (indices into Updates())
+// have taken effect, regardless of order — the crash state a stalled
+// decentralized execution leaves the network in (sim.Result.Committed
+// feeds in directly). Indices must be valid; same-switch steps apply in
+// plan order, matching any dependency-closed execution.
+func (p *Plan) ConfigAfter(init *config.Config, committed []int) *config.Config {
+	want := make(map[int]bool, len(committed))
+	for _, i := range committed {
+		want[i] = true
+	}
+	cur := init.Clone()
+	for i, st := range p.Updates() {
+		if want[i] {
+			cur.SetTable(st.Switch, st.Table.Clone())
+		}
+	}
+	return cur
+}
+
 func (p *Plan) String() string {
 	parts := make([]string, len(p.Steps))
 	for i, s := range p.Steps {

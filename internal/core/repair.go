@@ -1,0 +1,223 @@
+package core
+
+// Failure-during-update repair (ROADMAP item 5a). A plan executing in
+// the network can stop halfway — a switch dies, installs time out, or a
+// superseding target arrives — leaving the network at an intermediate
+// configuration the session can reconstruct exactly: the pre-plan
+// configuration advanced by the committed steps. Repair resynthesizes
+// from that configuration instead of aborting the session. Because every
+// dependency-closed committed set is trace-equivalent to a prefix of the
+// sequential plan (the plan-DAG guarantee, dag.go), the crash-state
+// configuration is loop-free and spec-satisfying for every class, so it
+// is a valid synthesis start point; the warm per-class structures are
+// rebound to it diff-proportionally and the ordinary (decomposed,
+// interference-partitioned) search runs from there.
+//
+// Graceful degradation. A crash state can be genuinely harder than the
+// original endpoints — e.g. a superseding target may strand a component
+// with no careful ordering. In repair mode a component that reports
+// ErrNoOrdering walks a fallback ladder instead of failing the run:
+//
+//	rung 1 — escalate granularity: re-solve just that component as a
+//	         2-simple search (each switch may pass through the merged
+//	         union of both rule generations), which is careful and
+//	         composes with the other components' plans as usual;
+//	rung 2 — scoped two-phase: version-tag only the stuck component
+//	         (twophase.BuildScoped) — consistent by construction, ends at
+//	         exactly the target tables, and confined to the component's
+//	         switches plus its classes' ingress switches.
+//
+// Plans containing a two-phase segment are not careful sequences, so
+// they skip wait removal and carry a sequential chain DAG (chainDAG)
+// rather than the dependency DAG — correctness over completion time for
+// the rare hard case. The ladder means a feasible repair never surfaces
+// a bare ErrNoOrdering: only timeouts, cancellation, and genuine
+// endpoint violations remain terminal.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+	"netupdate/internal/twophase"
+)
+
+// Repair resynthesizes from a partially-committed plan execution: the
+// network is at the last successful plan's initial configuration advanced
+// by exactly the steps in committed (indexes into Plan.Updates(), which
+// must form a dependency-closed set — every committed step's DAG
+// predecessors committed too). The session's warm structures are rebound
+// to that crash-state configuration and a fresh synthesis runs from it to
+// newTarget (nil means the stranded original target), with the fallback
+// ladder armed so a stuck component degrades to 2-simple granularity and
+// then to scoped two-phase version-tagging instead of failing.
+//
+// On success the session's current configuration advances to the target,
+// exactly as for Synthesize; on failure it stays at the crash state —
+// which is where the network actually is.
+func (s *Session) Repair(committed []int, newTarget *config.Config) (*Plan, error) {
+	return s.RepairContext(context.Background(), committed, newTarget)
+}
+
+// RepairContext is Repair with a request context bounding the search.
+func (s *Session) RepairContext(ctx context.Context, committed []int, newTarget *config.Config) (*Plan, error) {
+	if s.lastPlan == nil {
+		return nil, ErrNoPlan
+	}
+	ups := s.lastPlan.Updates()
+	seen := make([]bool, len(ups))
+	for _, j := range committed {
+		if j < 0 || j >= len(ups) || seen[j] {
+			return nil, fmt.Errorf("%w: step %d", ErrBadCommit, j)
+		}
+		seen[j] = true
+	}
+	if d := s.lastPlan.DAG; d != nil {
+		for _, j := range committed {
+			for _, p := range d.Preds[j] {
+				if !seen[p] {
+					return nil, fmt.Errorf("%w: step %d committed before its predecessor %d", ErrBadCommit, j, p)
+				}
+			}
+		}
+	}
+	crash := s.lastPlan.ConfigAfter(s.lastInit, committed)
+	target := s.lastFinal
+	if newTarget != nil {
+		target = newTarget
+	}
+	// Move the session to the crash state: rebind every warm structure
+	// (diff-proportionally — only switches that differ between the current
+	// binding and the crash state are examined). The crash state is
+	// trace-equivalent to a verified plan prefix, so it is loop-free and
+	// spec-satisfying for every class and the rebind cannot fail on a
+	// healthy session.
+	if err := s.rebindTo(crash); err != nil {
+		return nil, err
+	}
+	s.cur = crash
+	s.repairing = true
+	plan, err := s.synthesize(ctx, "repair", target)
+	s.repairing = false
+	if plan != nil {
+		plan.Stats.RepairCommitted = len(committed)
+		s.lastStats.RepairCommitted = len(committed)
+	}
+	return plan, err
+}
+
+// rebindTo rebinds every warm per-class structure (and checker) from the
+// session's current configuration to cfg and leaves the session there.
+func (s *Session) rebindTo(cfg *config.Config) error {
+	cands := config.Diff(s.cur, cfg)
+	s.diffBuf = ruleDiffs(s.diffBuf, s.cur, cfg, cands)
+	for i := range s.ks {
+		var err error
+		s.swBuf, err = s.rebindClass(i, s.ks[i], s.checkers[i], cfg, cands, s.diffBuf, s.swBuf)
+		if err != nil {
+			return fmt.Errorf("core: repair rebind: %v", err)
+		}
+	}
+	s.cur = cfg
+	return nil
+}
+
+// repairFallback runs the graceful-degradation ladder for one stuck
+// component: the session's current configuration moved to the target
+// tables on the component's switches, checked against the component's
+// classes. It returns the replacement steps and whether they are a
+// two-phase (version-tagged, non-careful) segment.
+func (s *Session) repairFallback(ctx context.Context, name string, specs []config.ClassSpec, switches []int, final *config.Config) ([]Step, bool, error) {
+	overlay := s.cur.Clone()
+	for _, sw := range switches {
+		overlay.SetTable(sw, final.Table(sw).Clone())
+	}
+	// Rung 1: escalate to 2-simple granularity (skipped when the session
+	// already searches an escalated granularity). The sub-search gets its
+	// own ephemeral structures; the session's warm state is untouched.
+	if !s.opts.TwoSimple && !s.opts.RuleGranularity {
+		opts := s.opts
+		opts.TwoSimple = true
+		opts.NoDecomposition = true
+		opts.MinimizeCompletionTime = false
+		sc := &config.Scenario{Name: name, Topo: s.topo, Init: s.cur, Final: overlay, Specs: specs}
+		plan, err := synthesizeScoped(ctx, sc, opts)
+		if err == nil {
+			return plan.Steps, false, nil
+		}
+		if !errors.Is(err, ErrNoOrdering) {
+			return nil, false, err
+		}
+	}
+	// Rung 2: scoped two-phase version-tagging — consistent by
+	// construction and always constructible.
+	tp := twophase.BuildScoped(s.topo, s.cur, overlay, specs)
+	return commandSteps(tp.Commands), true, nil
+}
+
+// synthesizeScoped is the context-aware one-shot synthesis the fallback
+// ladder uses for an escalated component sub-search.
+func synthesizeScoped(ctx context.Context, sc *config.Scenario, opts Options) (*Plan, error) {
+	start := time.Now()
+	es, err := NewSession(sc.Topo, sc.Init, sc.Specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	es.ephemeral = true
+	plan, err := es.synthesize(ctx, sc.Name, sc.Final)
+	if plan != nil {
+		plan.Stats.Elapsed = time.Since(start)
+	}
+	return plan, err
+}
+
+// commandSteps lowers a command schedule (two-phase output) to plan
+// steps: table installs become update steps and each incr/flush pair
+// becomes a wait barrier. Plan.Commands() round-trips it.
+func commandSteps(cmds []network.Command) []Step {
+	var out []Step
+	for _, c := range cmds {
+		switch c.Kind {
+		case network.CmdUpdate:
+			out = append(out, Step{Switch: c.Switch, Table: c.Table})
+		case network.CmdFlush:
+			out = append(out, Step{Wait: true})
+		}
+	}
+	return out
+}
+
+// chainDAG is the degenerate dependency DAG of a plan that must execute
+// sequentially (a plan containing two-phase segments): each update
+// depends on the previous one, with the edge drain-marked when a wait
+// barrier separates them.
+func chainDAG(steps []Step) *PlanDAG {
+	dag := &PlanDAG{}
+	j := 0
+	waitSince := false
+	for _, st := range steps {
+		if st.Wait {
+			waitSince = true
+			continue
+		}
+		var preds, drain []int
+		if j > 0 {
+			preds = []int{j - 1}
+			if waitSince {
+				drain = []int{j - 1}
+			}
+		}
+		dag.Preds = append(dag.Preds, preds)
+		dag.Drain = append(dag.Drain, drain)
+		waitSince = false
+		j++
+	}
+	dag.Depth = j
+	if j > 0 {
+		dag.Width = 1
+	}
+	return dag
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -68,6 +69,21 @@ type Session struct {
 	// wrapper): the post-run resync that keeps warm structures consistent
 	// is pure waste on structures about to be discarded, so it is skipped.
 	ephemeral bool
+
+	// Repair bookkeeping (repair.go). The last successful plan and its
+	// endpoints let Repair reconstruct the exact mid-plan configuration
+	// from a committed-step report; lastStats additionally survives failed
+	// runs so callers can see which components committed their class
+	// structures before an abort.
+	lastPlan  *Plan
+	lastInit  *config.Config
+	lastFinal *config.Config
+	lastStats Stats
+	// repairing arms the graceful-degradation ladder: a component (or the
+	// joint search) that reports ErrNoOrdering is retried at 2-simple
+	// granularity and then falls back to scoped two-phase instead of
+	// failing the run.
+	repairing bool
 }
 
 // engineScratch is the pooled per-run state handed to each engine: reset
@@ -127,6 +143,12 @@ func (s *Session) Current() *config.Config { return s.cur }
 
 // Runs returns the number of Synthesize calls served so far.
 func (s *Session) Runs() int { return s.runs }
+
+// LastStats returns the statistics of the most recent synthesis attempt,
+// successful or not. After a failed or aborted decomposed run,
+// Stats.CommittedComponents names the components whose sub-searches
+// finished and left their classes' structures at the target tables.
+func (s *Session) LastStats() Stats { return s.lastStats }
 
 // Synthesize runs ORDERUPDATE from the session's current configuration
 // to final, reusing the warm per-class structures, and advances the
@@ -194,11 +216,31 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		e.stats.Components = 1
 		e.snapshotCheckerStats()
 		steps, runErr = e.run()
+		if s.repairing && runErr != nil && errors.Is(runErr, ErrNoOrdering) {
+			// The whole diff is one stuck component: run the repair
+			// fallback ladder over it (repair.go).
+			var twoPhase bool
+			var fsteps []Step
+			fsteps, twoPhase, runErr = s.repairFallback(e.ctx, sc.Name+"#fallback", s.specs, e.unitSwitches(), final)
+			if runErr == nil {
+				steps = fsteps
+				if twoPhase {
+					e.stats.TwoPhaseComponents++
+				} else {
+					e.stats.EscalatedComponents++
+				}
+			}
+		}
 	}
 	var plan *Plan
 	if runErr == nil {
 		e.stats.WaitsBefore = countWaits(steps)
-		if !s.opts.NoWaitRemoval {
+		// Two-phase fallback segments (repair ladder) are version-tagged,
+		// not careful: the class-trace argument behind wait removal and
+		// the dependency analysis does not cover them, so such plans keep
+		// every wait and carry a sequential chain DAG instead.
+		tagged := e.stats.TwoPhaseComponents > 0
+		if !s.opts.NoWaitRemoval && !tagged {
 			wrStart := time.Now()
 			steps = e.removeWaits(steps)
 			e.stats.WaitRemovalTime = time.Since(wrStart)
@@ -209,7 +251,12 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		// decomposed runs yields the disjoint union of the component
 		// sub-DAGs (components share no class and no switch, so no chain
 		// crosses a component boundary).
-		dag := e.buildDAG(steps)
+		var dag *PlanDAG
+		if tagged {
+			dag = chainDAG(steps)
+		} else {
+			dag = e.buildDAG(steps)
+		}
 		e.stats.DAGDepth, e.stats.DAGWidth = dag.Depth, dag.Width
 		if !decomposed {
 			// Decomposed runs already collected per-component checker
@@ -219,6 +266,7 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		e.stats.Elapsed = time.Since(start)
 		plan = &Plan{Steps: steps, Stats: e.stats, DAG: dag}
 	}
+	s.lastStats = e.stats
 	s.reclaimScratch(e)
 
 	// Resync the warm structures to a known configuration: the new
@@ -265,6 +313,7 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 	if runErr != nil {
 		return nil, runErr
 	}
+	s.lastPlan, s.lastInit, s.lastFinal = plan, s.cur, final
 	s.cur = final
 	return plan, nil
 }

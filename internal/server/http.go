@@ -135,7 +135,7 @@ func handleSynthesize(p *Pool, w http.ResponseWriter, r *http.Request) {
 
 	seq := 0
 	for {
-		var d config.StreamDelta
+		var d streamRequest
 		if err := dec.Decode(&d); err != nil {
 			if err == io.EOF {
 				return
@@ -159,12 +159,18 @@ func handleSynthesize(p *Pool, w http.ResponseWriter, r *http.Request) {
 		if perDelta > 0 {
 			ctx, cancel = context.WithTimeout(ctx, perDelta)
 		}
-		plan, err := p.Synthesize(ctx, id, &d)
-		cancel()
-		res := NewResult(seq, id, plan, err)
-		if err != nil && errors.Is(err, config.ErrBadDelta) {
-			res.Line = line
+		var res Result
+		if d.Ack != nil {
+			plan, err := p.Ack(ctx, id, d.Ack)
+			res = NewAckResult(seq, id, plan, err)
+		} else {
+			plan, err := p.Synthesize(ctx, id, &d.StreamDelta)
+			res = NewResult(seq, id, plan, err)
+			if err != nil && errors.Is(err, config.ErrBadDelta) {
+				res.Line = line
+			}
 		}
+		cancel()
 		if encErr := enc.Encode(res); encErr != nil {
 			return // client went away
 		}
@@ -203,6 +209,9 @@ func handleMetrics(p *Pool, w http.ResponseWriter) {
 	put("netupdate_rejected_queue_full_total", "Requests shed by per-tenant queue bounds.", "counter", float64(st.RejectedQueueFull))
 	put("netupdate_deadline_expired_total", "Requests whose deadline fired.", "counter", float64(st.DeadlineExpired))
 	put("netupdate_canceled_total", "Requests canceled by the client.", "counter", float64(st.Canceled))
+	put("netupdate_step_acks_total", "Plan-step commit acks recorded.", "counter", float64(st.StepAcks))
+	put("netupdate_repairs_total", "Failure acks answered with a repair plan.", "counter", float64(st.Repairs))
+	put("netupdate_repair_failures_total", "Failure acks that could not be repaired.", "counter", float64(st.RepairFailures))
 	put("netupdate_evictions_total", "Warm sessions evicted under the LRU budget.", "counter", float64(st.Evictions))
 	put("netupdate_session_rebuilds_total", "Sessions rebuilt after eviction.", "counter", float64(st.SessionRebuilds))
 	put("netupdate_queue_wait_seconds_total", "Total time requests spent queued.", "counter", st.QueueWaitMSTotal/1e3)

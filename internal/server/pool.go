@@ -92,6 +92,7 @@ type tenant struct {
 	elem *list.Element  // position in the pool LRU; nil when cold
 
 	runs, plans, failures atomic.Int64
+	acks, repairs         atomic.Int64
 	// builds counts session constructions; every one past the first is a
 	// rebuild after eviction.
 	builds  atomic.Int64
@@ -127,6 +128,7 @@ type poolMetrics struct {
 	badRequests                           atomic.Int64
 	rejectedQueue, expired, canceled      atomic.Int64
 	evictions, rebuilds                   atomic.Int64
+	acks, repairs, repairFailures         atomic.Int64
 	queueWaitNS, synthNS                  atomic.Int64
 	maxSynthNS                            atomic.Int64
 }
@@ -319,6 +321,84 @@ func (p *Pool) Synthesize(ctx context.Context, id string, delta *config.StreamDe
 	return nil, fmt.Errorf("server: tenant %s: %w", t.id, serr)
 }
 
+// Ack records one plan-step acknowledgement for a tenant. Commit acks
+// (Failed false) are bookkeeping only and return (nil, nil) without
+// queuing. Failure reports trigger repair: under the tenant's gate and a
+// global worker slot — repair is a synthesis — the warm session
+// resynthesizes from the reported committed state (core.Session.Repair,
+// with its 2-simple and scoped-two-phase fallback ladder armed) back to
+// the stranded target, and the repair plan is returned. On success the
+// tenant's current configuration is realigned with the session. A tenant
+// whose session was evicted since the plan was issued cannot repair (the
+// partially-committed state died with the session) and reports
+// core.ErrNoPlan; clients fall back to requesting a fresh delta from the
+// crash state they know.
+func (p *Pool) Ack(ctx context.Context, id string, ack *StepAck) (*core.Plan, error) {
+	t, err := p.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	defer p.inflight.Done()
+	defer t.pending.Add(-1)
+
+	if !ack.Failed {
+		t.acks.Add(1)
+		p.m.acks.Add(1)
+		return nil, nil
+	}
+
+	if p.opts.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.opts.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	select {
+	case t.gate <- struct{}{}:
+	case <-ctx.Done():
+		return nil, p.expireErr(ctx, t)
+	}
+	defer func() { <-t.gate }()
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, p.expireErr(ctx, t)
+	}
+	defer func() { <-p.slots }()
+
+	p.mu.Lock()
+	sess := t.sess
+	if sess != nil {
+		p.lru.MoveToFront(t.elem)
+	}
+	p.mu.Unlock()
+	if sess == nil {
+		p.m.repairFailures.Add(1)
+		t.failures.Add(1)
+		return nil, fmt.Errorf("server: tenant %s: session evicted, cannot repair: %w", t.id, core.ErrNoPlan)
+	}
+
+	start := time.Now()
+	plan, rerr := sess.RepairContext(ctx, ack.Committed, nil)
+	elapsed := time.Since(start).Nanoseconds()
+	t.runs.Add(1)
+	t.lastNS.Store(elapsed)
+	t.totalNS.Add(elapsed)
+	p.m.synthNS.Add(elapsed)
+	if rerr != nil {
+		p.m.repairFailures.Add(1)
+		t.failures.Add(1)
+		return nil, fmt.Errorf("server: tenant %s: repair: %w", t.id, rerr)
+	}
+	// The session rebound itself to the crash state and advanced to the
+	// plan's target; realign the tenant's view.
+	t.cur = sess.Current()
+	t.repairs.Add(1)
+	p.m.repairs.Add(1)
+	return plan, nil
+}
+
 // admit performs queue admission: tenant lookup, closed check, the
 // bounded pending counter, and in-flight accounting for drain. On
 // success the caller owns one pending slot and one inflight token.
@@ -453,6 +533,8 @@ func (p *Pool) TenantStats(id string) (*TenantStats, error) {
 		Runs:     t.runs.Load(),
 		Plans:    t.plans.Load(),
 		Failures: t.failures.Load(),
+		Acks:     t.acks.Load(),
+		Repairs:  t.repairs.Load(),
 	}
 	if b := t.builds.Load(); b > 1 {
 		st.Rebuilds = b - 1
@@ -482,6 +564,13 @@ type PoolStats struct {
 	Canceled        int64 `json:"canceled"`
 	Evictions       int64 `json:"evictions"`
 	SessionRebuilds int64 `json:"sessionRebuilds"`
+	// StepAcks counts recorded plan-step commit acks; Repairs counts
+	// failure reports answered with a repair plan, RepairFailures those
+	// that could not be repaired (evicted session, invalid committed set,
+	// infeasible even through the fallback ladder).
+	StepAcks       int64 `json:"stepAcks"`
+	Repairs        int64 `json:"repairs"`
+	RepairFailures int64 `json:"repairFailures"`
 	// Latency totals for deriving rates and means externally.
 	QueueWaitMSTotal float64 `json:"queueWaitMsTotal"`
 	SynthMSTotal     float64 `json:"synthMsTotal"`
@@ -508,6 +597,9 @@ func (p *Pool) Stats() PoolStats {
 		Canceled:          p.m.canceled.Load(),
 		Evictions:         p.m.evictions.Load(),
 		SessionRebuilds:   p.m.rebuilds.Load(),
+		StepAcks:          p.m.acks.Load(),
+		Repairs:           p.m.repairs.Load(),
+		RepairFailures:    p.m.repairFailures.Load(),
 		QueueWaitMSTotal:  float64(p.m.queueWaitNS.Load()) / 1e6,
 		SynthMSTotal:      float64(p.m.synthNS.Load()) / 1e6,
 		SynthMSMax:        float64(p.m.maxSynthNS.Load()) / 1e6,

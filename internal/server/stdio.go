@@ -49,7 +49,7 @@ func ServeStdio(ctx context.Context, in io.Reader, out io.Writer, errw io.Writer
 	// the goroutine exits on the next read (or stays blocked on a silent
 	// stdin until the process exits, holding nothing).
 	type item struct {
-		delta config.StreamDelta
+		req   streamRequest
 		line  int
 		err   error
 		errLn int
@@ -59,7 +59,7 @@ func ServeStdio(ctx context.Context, in io.Reader, out io.Writer, errw io.Writer
 		defer close(items)
 		for {
 			var it item
-			if err := dec.Decode(&it.delta); err != nil {
+			if err := dec.Decode(&it.req); err != nil {
 				if err != io.EOF {
 					it.err = err
 					it.errLn = lines.DecodeErrorLine(err, dec)
@@ -117,10 +117,16 @@ func ServeStdio(ctx context.Context, in io.Reader, out io.Writer, errw io.Writer
 		// The in-flight synthesis deliberately ignores ctx: a signal
 		// stops intake, the current request finishes and its plan line is
 		// flushed (the engine's own Options.Timeout still bounds it).
-		plan, serr := p.Synthesize(context.Background(), info.ID, &it.delta)
-		res := NewResult(seq, info.ID, plan, serr)
-		if serr != nil && errors.Is(serr, config.ErrBadDelta) {
-			res.Line = it.line
+		var res Result
+		if it.req.Ack != nil {
+			plan, aerr := p.Ack(context.Background(), info.ID, it.req.Ack)
+			res = NewAckResult(seq, info.ID, plan, aerr)
+		} else {
+			plan, serr := p.Synthesize(context.Background(), info.ID, &it.req.StreamDelta)
+			res = NewResult(seq, info.ID, plan, serr)
+			if serr != nil && errors.Is(serr, config.ErrBadDelta) {
+				res.Line = it.line
+			}
 		}
 		if err := enc.Encode(res); err != nil {
 			return err

@@ -165,6 +165,10 @@ type TenantStats struct {
 	Runs     int64 `json:"runs"`
 	Plans    int64 `json:"plans"`
 	Failures int64 `json:"failures"`
+	// Acks counts recorded plan-step commit acks; Repairs counts failure
+	// reports answered with a repair plan.
+	Acks    int64 `json:"acks"`
+	Repairs int64 `json:"repairs"`
 	// Rebuilds counts session constructions beyond the first (evict →
 	// rebuild round trips).
 	Rebuilds    int64   `json:"rebuilds"`

@@ -3,11 +3,36 @@ package server
 import (
 	"errors"
 
+	"netupdate/internal/config"
 	"netupdate/internal/core"
 )
 
 // The JSONL wire format shared by the daemon's synthesize endpoint and
-// the netupdate -stream CLI: one Result line per requested delta.
+// the netupdate -stream CLI: one Result line per requested delta or
+// plan-step acknowledgement.
+
+// StepAck is a plan-execution acknowledgement posted into the synthesize
+// stream. A commit ack (Failed false) reports that the plan update at
+// index Step (a Result.DAG node) committed in the network; it is
+// bookkeeping only and is answered with an "acked" line. A failure
+// report (Failed true) says the plan stalled — a switch died or installs
+// timed out — with exactly the updates in Committed applied; the pool
+// repairs the tenant's session from that state (core.Session.Repair) and
+// answers with a "repair" plan line from it to the stranded target.
+type StepAck struct {
+	Step   int  `json:"step,omitempty"`
+	Failed bool `json:"failed,omitempty"`
+	// Committed lists every plan update index that committed before the
+	// stall (must be dependency-closed under the plan DAG).
+	Committed []int `json:"committed,omitempty"`
+}
+
+// streamRequest is one synthesize-stream input line: either a reroute
+// delta (the common case) or a plan-step ack.
+type streamRequest struct {
+	config.StreamDelta
+	Ack *StepAck `json:"ack,omitempty"`
+}
 
 // Result is one output line.
 type Result struct {
@@ -16,7 +41,8 @@ type Result struct {
 	Seq    int    `json:"seq"`
 	Tenant string `json:"tenant,omitempty"`
 	// Result is "plan", "impossible" (no correct ordering exists at this
-	// granularity), or "error".
+	// granularity), "acked" (a commit ack was recorded), "repair" (a
+	// failure ack was answered with a resynthesized plan), or "error".
 	Result string       `json:"result"`
 	Steps  []ResultStep `json:"steps,omitempty"`
 	Error  string       `json:"error,omitempty"`
@@ -94,6 +120,19 @@ func NewResult(seq int, tenantID string, plan *core.Plan, err error) Result {
 		res.Result = "error"
 		res.Error = err.Error()
 		res.Retryable = Retryable(err)
+	}
+	return res
+}
+
+// NewAckResult converts one Pool.Ack outcome into its wire line: commit
+// acks answer "acked", failure reports answer with the repair plan.
+func NewAckResult(seq int, tenantID string, plan *core.Plan, err error) Result {
+	if err == nil && plan == nil {
+		return Result{Seq: seq, Tenant: tenantID, Result: "acked"}
+	}
+	res := NewResult(seq, tenantID, plan, err)
+	if err == nil {
+		res.Result = "repair"
 	}
 	return res
 }

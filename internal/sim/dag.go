@@ -72,6 +72,7 @@ func RunDAG(topo *topology.Topology, init *config.Config, nodes []DAGNode, class
 		classes:        classes,
 		p:              p,
 		rng:            rand.New(rand.NewSource(p.Seed)),
+		crashSw:        -1,
 		dag:            nodes,
 	}
 	for _, sw := range init.Switches() {
@@ -89,11 +90,29 @@ func RunDAG(topo *topology.Topology, init *config.Config, nodes []DAGNode, class
 			s.dagSuccs[i] = append(s.dagSuccs[i], j)
 		}
 	}
+	if f := p.Faults; f != nil {
+		s.frng = rand.New(rand.NewSource(f.Seed))
+		s.attempts = make([]int, n)
+		s.ackDelivered = make([][]bool, n)
+		for j := range nodes {
+			s.ackDelivered[j] = make([]bool, len(s.dagSuccs[j]))
+		}
+		if f.Crash != nil && f.Crash.AtCommit <= 0 {
+			s.crashSw = f.Crash.Switch
+		}
+	}
 	s.push(&event{at: 0, kind: evProbe})
 	if n > 0 {
 		s.push(&event{at: p.CommandStart, kind: evDAGStart})
 	}
 	s.loop()
+	s.res.Committed = make([]int, 0, n)
+	for j := range nodes {
+		if s.commitAt[j] >= 0 {
+			s.res.Committed = append(s.res.Committed, j)
+		}
+	}
+	s.res.Stalled = len(s.res.Committed) < n
 	return &s.res
 }
 
@@ -124,18 +143,24 @@ func (s *sim) dagTryStart(j int) {
 	}
 	s.started[j] = true
 	s.push(&event{at: s.now + s.installLat(), kind: evInstall, node: j})
+	if s.p.Faults != nil {
+		s.push(&event{at: s.now + s.p.InstallTimeout, kind: evInstallTimeout, node: j})
+	}
 }
 
 // dagDrainOK reports whether every drain predecessor of j has quiesced:
 // no packet sent before the predecessor's commit time is still in
-// flight.
+// flight. Because the minimum in-flight send time is tracked
+// incrementally, this is O(|DrainPreds|) with no scan of the
+// inflight-by-send-time index.
 func (s *sim) dagDrainOK(j int) bool {
+	min, ok := s.minInflightSent()
+	if !ok {
+		return true
+	}
 	for _, i := range s.dag[j].DrainPreds {
-		c := s.commitAt[i]
-		for sent, n := range s.inflightBySent {
-			if n > 0 && sent < c {
-				return false
-			}
+		if min < s.commitAt[i] {
+			return false
 		}
 	}
 	return true
@@ -153,16 +178,42 @@ func (s *sim) dagRecheckDrain() {
 	}
 }
 
-// dagInstall commits node j's table and broadcasts its ack.
+// dagInstall commits node j's table and broadcasts its ack. In fault
+// mode the install may fail silently (crashed switch or an InstallLoss
+// draw); the watchdog armed by dagTryStart recovers by re-issuing it.
 func (s *sim) dagInstall(j int) {
 	nd := &s.dag[j]
+	if s.commitAt[j] >= 0 {
+		return // a retried install raced an earlier success
+	}
+	if f := s.p.Faults; f != nil {
+		if nd.Switch == s.crashSw {
+			return
+		}
+		if f.InstallLoss > 0 && s.frng.Float64() < f.InstallLoss {
+			return
+		}
+	}
 	s.tables[nd.Switch] = nd.Table.Clone()
 	s.commitAt[j] = s.now
 	if s.now > s.res.CompleteAt {
 		s.res.CompleteAt = s.now
 	}
-	if len(s.dagSuccs[j]) > 0 {
+	s.commits++
+	if f := s.p.Faults; f != nil && f.Crash != nil && s.crashSw < 0 && s.commits >= f.Crash.AtCommit {
+		s.crashSw = f.Crash.Switch
+	}
+	if len(s.dagSuccs[j]) == 0 {
+		return
+	}
+	if s.p.Faults == nil {
 		s.push(&event{at: s.now + s.p.AckLatency, kind: evAck, node: j})
+		return
+	}
+	// Fault mode: deliver the ack per edge so loss, duplication, and
+	// retransmission are independent per dependent.
+	for e := range s.dagSuccs[j] {
+		s.push(&event{at: s.now + s.p.AckLatency, kind: evAckEdge, node: j, edge: e})
 	}
 }
 
@@ -173,5 +224,49 @@ func (s *sim) dagAck(j int) {
 		if s.ackLeft[k] == 0 {
 			s.dagTryStart(k)
 		}
+	}
+}
+
+// dagInstallTimeout is the fault-mode watchdog: if node j is still
+// uncommitted, re-issue its install with exponential backoff until the
+// retry budget runs out (the node then stays uncommitted and the run
+// reports Stalled).
+func (s *sim) dagInstallTimeout(j int) {
+	if s.commitAt[j] >= 0 || s.attempts[j] >= s.p.MaxInstallRetries {
+		return
+	}
+	s.attempts[j]++
+	s.res.InstallRetries++
+	s.push(&event{at: s.now + s.installLat(), kind: evInstall, node: j})
+	s.push(&event{at: s.now + s.p.InstallTimeout<<uint(s.attempts[j]), kind: evInstallTimeout, node: j})
+}
+
+// dagAckEdge is one fault-mode ack delivery attempt from committed node
+// ev.node along its ev.edge-th outgoing edge. Lost deliveries are
+// retransmitted after AckRetry (unless the committer has since crashed);
+// duplicate deliveries are absorbed idempotently by the per-edge
+// delivered flag; a delivered ack may spawn one injected duplicate.
+func (s *sim) dagAckEdge(ev *event) {
+	j, e := ev.node, ev.edge
+	f := s.p.Faults
+	if f.AckLoss > 0 && s.frng.Float64() < f.AckLoss {
+		s.res.AcksLost++
+		if ev.hops < maxAckRetransmits && s.dag[j].Switch != s.crashSw {
+			s.push(&event{at: s.now + s.p.AckRetry, kind: evAckEdge, node: j, edge: e, hops: ev.hops + 1})
+		}
+		return
+	}
+	if s.ackDelivered[j][e] {
+		s.res.AcksDup++
+		return
+	}
+	s.ackDelivered[j][e] = true
+	k := s.dagSuccs[j][e]
+	s.ackLeft[k]--
+	if s.ackLeft[k] == 0 {
+		s.dagTryStart(k)
+	}
+	if f.AckDup > 0 && s.frng.Float64() < f.AckDup {
+		s.push(&event{at: s.now + s.p.AckRetry, kind: evAckEdge, node: j, edge: e})
 	}
 }

@@ -29,7 +29,16 @@ const (
 	DefaultCommandStart  = time.Second
 	DefaultAckLatency    = 200 * time.Microsecond
 	DefaultMaxHops       = 64
+	// Fault-mode knobs (only consulted when Params.Faults is non-nil).
+	DefaultInstallTimeout    = 30 * time.Millisecond
+	DefaultMaxInstallRetries = 4
+	DefaultAckRetry          = 500 * time.Microsecond
 )
+
+// maxAckRetransmits bounds per-edge ack retransmission so a run with an
+// adversarial loss rate still terminates; at the <=20% loss rates the
+// executor is specified for, exhausting it is vanishingly unlikely.
+const maxAckRetransmits = 100
 
 // Params configures a simulation run. Zero fields take the Default*
 // constants above.
@@ -54,6 +63,49 @@ type Params struct {
 	// Seed seeds the run's private RNG (latency jitter draws), making
 	// every simulation reproducible: equal Params give equal Results.
 	Seed int64
+	// Faults enables fault injection in the DAG executor (RunDAG). Nil
+	// (the default) keeps every run fault-free and byte-identical to
+	// pre-fault-layer behavior.
+	Faults *Faults
+	// InstallTimeout is the DAG executor's per-node watchdog: if a node's
+	// install has not committed this long after it was issued, the install
+	// is re-issued, with the watchdog backing off exponentially
+	// (InstallTimeout << attempt). Only armed in fault mode
+	// (DefaultInstallTimeout).
+	InstallTimeout time.Duration
+	// MaxInstallRetries bounds re-issues per node; once exhausted the node
+	// is abandoned and the run reports Stalled (DefaultMaxInstallRetries).
+	MaxInstallRetries int
+	// AckRetry is the retransmission delay after a lost ack delivery
+	// (DefaultAckRetry).
+	AckRetry time.Duration
+}
+
+// Faults configures seeded fault injection for the decentralized DAG
+// executor. Probabilities are per-event draws from a dedicated RNG
+// (seeded by Seed) so enabling a fault never perturbs latency jitter.
+type Faults struct {
+	// Crash kills one switch mid-update; nil injects no crash.
+	Crash *Crash
+	// AckLoss is the probability an ack delivery along a DAG edge is
+	// lost (the committer retransmits after AckRetry).
+	AckLoss float64
+	// AckDup is the probability a delivered ack is followed by a
+	// duplicate delivery (which dependents must tolerate idempotently).
+	AckDup float64
+	// InstallLoss is the probability an issued install is silently
+	// dropped by the switch (recovered by the watchdog retry).
+	InstallLoss float64
+	// Seed seeds the fault RNG.
+	Seed int64
+}
+
+// Crash schedules a switch failure: Switch stops forwarding packets,
+// committing installs, and retransmitting acks the moment the AtCommit-th
+// node commit lands (AtCommit == 0 means dead from the start).
+type Crash struct {
+	Switch   int
+	AtCommit int
 }
 
 func (p *Params) fill() {
@@ -80,6 +132,15 @@ func (p *Params) fill() {
 	}
 	if p.MaxHops == 0 {
 		p.MaxHops = DefaultMaxHops
+	}
+	if p.InstallTimeout == 0 {
+		p.InstallTimeout = DefaultInstallTimeout
+	}
+	if p.MaxInstallRetries == 0 {
+		p.MaxInstallRetries = DefaultMaxInstallRetries
+	}
+	if p.AckRetry == 0 {
+		p.AckRetry = DefaultAckRetry
 	}
 }
 
@@ -111,6 +172,16 @@ type Result struct {
 	// elapsed; for the decentralized DAG executor (RunDAG), when the last
 	// node committed. Zero when there was nothing to execute.
 	CompleteAt time.Duration
+	// Stalled reports that the DAG execution terminated with at least one
+	// node uncommitted (crashed switch or exhausted install retries);
+	// Committed then names exactly which node indices did commit.
+	Stalled   bool
+	Committed []int
+	// Fault-mode counters: install re-issues by the watchdog, ack
+	// deliveries lost, and duplicate ack deliveries observed.
+	InstallRetries int
+	AcksLost       int
+	AcksDup        int
 }
 
 // MinFraction returns the worst per-bucket delivery fraction.
@@ -133,6 +204,9 @@ const (
 	evInstall  // DAG executor: a node's rule install completes (dag.go)
 	evAck      // DAG executor: a committed node's ack reaches dependents
 	evDAGStart // DAG executor: kick off the root nodes at CommandStart
+	// Fault mode only:
+	evInstallTimeout // watchdog: re-issue a node's install if uncommitted
+	evAckEdge        // per-edge ack delivery attempt (loss/dup/retransmit)
 )
 
 type event struct {
@@ -147,8 +221,11 @@ type event struct {
 	hops   int
 	epoch  int
 	class  int
-	// evInstall/evAck:
+	// evInstall/evAck/evInstallTimeout:
 	node int
+	// evAckEdge: index into dagSuccs[node]; hops doubles as the
+	// retransmission count.
+	edge int
 }
 
 type evHeap []*event
@@ -196,6 +273,22 @@ type sim struct {
 	started        []bool
 	drainPend      []int
 	inflightBySent map[time.Duration]int
+	// sentQ/sentHead track the minimum in-flight send time without
+	// scanning inflightBySent: probe send times are strictly increasing,
+	// so appending on a 0->1 transition keeps sentQ sorted and the head
+	// advances monotonically past fully-drained entries.
+	sentQ    []time.Duration
+	sentHead int
+
+	// Fault-injection state (Params.Faults != nil): a dedicated RNG for
+	// fault draws, the crashed switch (-1 while all alive), the running
+	// commit count driving Crash.AtCommit, per-node install attempts, and
+	// per-edge ack-delivered flags for idempotent duplicate handling.
+	frng         *rand.Rand
+	crashSw      int
+	commits      int
+	attempts     []int
+	ackDelivered [][]bool
 
 	res Result
 }
@@ -212,6 +305,7 @@ func Run(topo *topology.Topology, init *config.Config, cmds []network.Command, c
 		classes:  classes,
 		p:        p,
 		rng:      rand.New(rand.NewSource(p.Seed)),
+		crashSw:  -1,
 	}
 	for _, sw := range init.Switches() {
 		s.tables[sw] = init.Table(sw).Clone()
@@ -250,6 +344,10 @@ func (s *sim) loop() {
 			s.dagAck(ev.node)
 		case evDAGStart:
 			s.dagStart()
+		case evInstallTimeout:
+			s.dagInstallTimeout(ev.node)
+		case evAckEdge:
+			s.dagAckEdge(ev)
 		}
 	}
 	s.res.End = s.now
@@ -281,7 +379,7 @@ func (s *sim) probe() {
 		s.bucket(s.now).Sent++
 		s.inflight[s.epoch]++
 		if s.inflightBySent != nil {
-			s.inflightBySent[s.now]++
+			s.trackSent(s.now)
 		}
 		s.push(&event{
 			at: s.now + s.p.LinkLatency, kind: evArrive,
@@ -312,12 +410,48 @@ func (s *sim) exit(ev *event, delivered bool) {
 		s.push(&event{at: s.now, kind: evCommand})
 	}
 	if s.inflightBySent != nil {
-		s.inflightBySent[ev.sentAt]--
-		if s.inflightBySent[ev.sentAt] == 0 {
-			delete(s.inflightBySent, ev.sentAt)
-		}
+		s.untrackSent(ev.sentAt)
 		s.dagRecheckDrain()
 	}
+}
+
+// trackSent registers one in-flight packet sent at t; on the 0->1
+// transition t joins sentQ (probe times strictly increase, so sentQ
+// stays sorted).
+func (s *sim) trackSent(t time.Duration) {
+	if s.inflightBySent[t] == 0 {
+		s.sentQ = append(s.sentQ, t)
+	}
+	s.inflightBySent[t]++
+}
+
+// untrackSent retires one in-flight packet sent at t; fully-drained send
+// times are skipped lazily by minInflightSent.
+func (s *sim) untrackSent(t time.Duration) {
+	s.inflightBySent[t]--
+	if s.inflightBySent[t] == 0 {
+		delete(s.inflightBySent, t)
+	}
+}
+
+// minInflightSent returns the earliest send time with packets still in
+// flight, advancing (and occasionally compacting) the queue head past
+// drained entries; ok is false when nothing is in flight.
+func (s *sim) minInflightSent() (min time.Duration, ok bool) {
+	for s.sentHead < len(s.sentQ) && s.inflightBySent[s.sentQ[s.sentHead]] == 0 {
+		s.sentHead++
+	}
+	if s.sentHead >= len(s.sentQ) {
+		s.sentQ = s.sentQ[:0]
+		s.sentHead = 0
+		return 0, false
+	}
+	if s.sentHead > 64 && s.sentHead > len(s.sentQ)/2 {
+		n := copy(s.sentQ, s.sentQ[s.sentHead:])
+		s.sentQ = s.sentQ[:n]
+		s.sentHead = 0
+	}
+	return s.sentQ[s.sentHead], true
 }
 
 // flushed reports whether all packets from epochs before the current one
@@ -332,6 +466,10 @@ func (s *sim) flushed() bool {
 }
 
 func (s *sim) arrive(ev *event) {
+	if ev.sw == s.crashSw {
+		s.exit(ev, false) // dead switch: packet blackholed
+		return
+	}
 	outs := s.tables[ev.sw].Apply(ev.pkt, ev.pt)
 	if len(outs) == 0 || ev.hops >= s.p.MaxHops {
 		s.exit(ev, false)

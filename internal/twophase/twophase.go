@@ -12,6 +12,7 @@ import (
 
 	"netupdate/internal/config"
 	"netupdate/internal/network"
+	"netupdate/internal/topology"
 )
 
 // Version tags carried in the packet Typ field. The initial configuration
@@ -116,6 +117,120 @@ func Build(sc *config.Scenario) *Plan {
 	for _, sw := range switches {
 		p.PeakRules[sw] = max(len(phase1[sw]), max(len(sc.Init.Table(sw)), len(finalTables[sw])))
 		p.FinalRules[sw] = len(finalTables[sw])
+	}
+	return p
+}
+
+// BuildScoped constructs a two-phase schedule confined to the switches
+// where base and target differ plus the ingress switches of the given
+// classes (the "stuck component" of a repair). Unlike Build, whose final
+// phase keeps only the tagged generation, BuildScoped ends with exactly
+// the target tables — tags are garbage-collected — so the schedule can
+// be spliced into a larger careful plan:
+//
+//	phase 1: on every touched switch, install the target rules tagged
+//	         VersionNew alongside the base rules;
+//	phase 2: flip each class's ingress switch to tag packets into the
+//	         new configuration;
+//	wait:    flush in-flight untagged packets;
+//	phase 3: swap the untagged generation to the target rules (inert:
+//	         component traffic is tagged, other classes' rules are
+//	         identical in base and target);
+//	phase 4: un-tag ingress — new packets travel the target rules
+//	         untagged;
+//	wait:    flush in-flight tagged packets;
+//	phase 5: drop the tagged generation, leaving exactly target.
+//
+// Classes outside the component are untouched throughout: their rules on
+// scoped switches are identical in base and target, and tagged rules
+// never match untagged traffic. Tagged component packets crossing
+// unscoped switches forward correctly because class patterns leave the
+// version field wildcarded.
+func BuildScoped(topo *topology.Topology, base, target *config.Config, specs []config.ClassSpec) *Plan {
+	diff := config.Diff(base, target)
+	p := &Plan{PeakRules: map[int]int{}, FinalRules: map[int]int{}}
+	if len(diff) == 0 {
+		return p
+	}
+	ingress := map[int][]config.ClassSpec{}
+	for _, cs := range specs {
+		h, ok := topo.HostByID(cs.Class.SrcHost)
+		if !ok {
+			continue
+		}
+		ingress[h.Switch] = append(ingress[h.Switch], cs)
+	}
+	swSet := map[int]bool{}
+	for _, sw := range diff {
+		swSet[sw] = true
+	}
+	for sw := range ingress {
+		swSet[sw] = true
+	}
+	var switches []int
+	for sw := range swSet {
+		switches = append(switches, sw)
+	}
+	sort.Ints(switches)
+	var ingressSw []int
+	for sw := range ingress {
+		ingressSw = append(ingressSw, sw)
+	}
+	sort.Ints(ingressSw)
+
+	tagged := map[int]network.Table{}
+	for _, sw := range switches {
+		tagged[sw] = tagTable(target.Table(sw))
+	}
+	peak := func(sw int, tbl network.Table) {
+		if len(tbl) > p.PeakRules[sw] {
+			p.PeakRules[sw] = len(tbl)
+		}
+	}
+	for _, sw := range switches {
+		peak(sw, base.Table(sw))
+	}
+	// Phase 1: base + tagged target, everywhere touched.
+	for _, sw := range switches {
+		tbl := append(base.Table(sw).Clone(), tagged[sw]...)
+		peak(sw, tbl)
+		p.Commands = append(p.Commands, network.Update(sw, tbl))
+	}
+	// Phase 2: flip ingress to tag.
+	for _, sw := range ingressSw {
+		tbl := append(base.Table(sw).Clone(), tagged[sw]...)
+		for _, cs := range ingress[sw] {
+			tbl = retagIngress(tbl, cs.Class, target, sw)
+		}
+		peak(sw, tbl)
+		p.Commands = append(p.Commands, network.Update(sw, tbl))
+	}
+	p.Commands = append(p.Commands, network.Wait()...)
+	// Phase 3: swap the untagged generation to target (retag preserved at
+	// ingress so component traffic stays on the tagged path meanwhile).
+	for _, sw := range switches {
+		tbl := append(target.Table(sw).Clone(), tagged[sw]...)
+		if specsAt, ok := ingress[sw]; ok {
+			for _, cs := range specsAt {
+				tbl = retagIngress(tbl, cs.Class, target, sw)
+			}
+		}
+		peak(sw, tbl)
+		p.Commands = append(p.Commands, network.Update(sw, tbl))
+	}
+	// Phase 4: un-tag ingress; new packets take the target rules directly.
+	for _, sw := range ingressSw {
+		tbl := append(target.Table(sw).Clone(), tagged[sw]...)
+		peak(sw, tbl)
+		p.Commands = append(p.Commands, network.Update(sw, tbl))
+	}
+	p.Commands = append(p.Commands, network.Wait()...)
+	// Phase 5: garbage-collect the tagged generation.
+	for _, sw := range switches {
+		tbl := target.Table(sw).Clone()
+		peak(sw, tbl)
+		p.Commands = append(p.Commands, network.Update(sw, tbl))
+		p.FinalRules[sw] = len(tbl)
 	}
 	return p
 }

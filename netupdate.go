@@ -83,6 +83,11 @@ type (
 	SimResult = sim.Result
 	// SimDAGNode is one node of the simulator's decentralized executor.
 	SimDAGNode = sim.DAGNode
+	// SimFaults configures seeded fault injection for the decentralized
+	// executor (switch crash, ack loss/duplication, install loss).
+	SimFaults = sim.Faults
+	// SimCrash schedules a switch failure inside SimFaults.
+	SimCrash = sim.Crash
 	// DiamondOptions parameterizes the diamond workload generator.
 	DiamondOptions = config.DiamondOptions
 	// InfeasibleOptions parameterizes the double-diamond generator.
@@ -127,7 +132,16 @@ var (
 	ErrCanceled         = core.ErrCanceled
 	ErrInitialViolation = core.ErrInitialViolation
 	ErrFinalViolation   = core.ErrFinalViolation
+	// ErrNoPlan: Repair was called before any successful synthesis.
+	ErrNoPlan = core.ErrNoPlan
+	// ErrBadCommit: the committed set passed to Repair is not a
+	// dependency-closed subset of the last plan's DAG.
+	ErrBadCommit = core.ErrBadCommit
 )
+
+// ParseFaults parses the -faults CLI specification (see
+// internal/sim.ParseFaults), e.g. "crash=3@1,ackloss=0.2,seed=42".
+var ParseFaults = sim.ParseFaults
 
 // Synthesize runs the ORDERUPDATE algorithm on a scenario, returning an
 // executable update plan or an error (ErrNoOrdering when no correct
@@ -199,6 +213,30 @@ func (sy *Synthesizer) SynthesizeContext(ctx context.Context, final *Config) (*P
 	}
 	defer sy.inFlight.Store(false)
 	return sy.s.SynthesizeContext(ctx, final)
+}
+
+// Repair resynthesizes after a stalled plan execution: committed lists
+// the plan-DAG node indices that took effect before the stall (it must
+// be dependency-closed — the decentralized executor's Committed report
+// always is), and the session replans from exactly that
+// partially-updated configuration back to the stranded target, or to
+// newTarget when the update was superseded mid-flight (nil keeps the
+// original target). Infeasible components escalate through the repair
+// ladder (2-simple, then scoped two-phase) before any error is
+// returned; see DESIGN.md "Failure model and repair". On success the
+// session advances to the target, ready for the next delta.
+func (sy *Synthesizer) Repair(committed []int, newTarget *Config) (*Plan, error) {
+	return sy.RepairContext(context.Background(), committed, newTarget)
+}
+
+// RepairContext is Repair bounded by a request context, with the same
+// expiry semantics as SynthesizeContext.
+func (sy *Synthesizer) RepairContext(ctx context.Context, committed []int, newTarget *Config) (*Plan, error) {
+	if !sy.inFlight.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentUse
+	}
+	defer sy.inFlight.Store(false)
+	return sy.s.RepairContext(ctx, committed, newTarget)
 }
 
 // Current returns the configuration the session is at.
