@@ -267,6 +267,64 @@ func BenchmarkRollingStream(b *testing.B) {
 	})
 }
 
+// BenchmarkFlappingStream measures the verification-first plan cache on
+// flapping traffic: one warm session alternates between two
+// configurations (a link flap, the canonical repetitive controller
+// stream). One benchmark op is a full flap round trip (2 syntheses). The
+// cached variant primes one round trip outside the timer, so every
+// measured synthesis is a cache hit — replay-verification through the
+// warm checkers instead of a search — and must show strictly lower ns/op
+// and allocs/op than the nocache variant, which pays the full DFS on the
+// identical instances. CI gates the cached allocs/op (see
+// .github/workflows/ci.yml); BENCH_8.json archives the end-to-end
+// comparison.
+func BenchmarkFlappingStream(b *testing.B) {
+	w, err := bench.BuildStreamWorkload(bench.FamilySmallWorld, 60, 2, config.Reachability, 60*11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name   string
+		cached bool
+	}{
+		{"cached", true},
+		{"nocache", false},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			opts := core.Options{Parallelism: 1, Timeout: benchTimeout, NoPlanCache: !v.cached}
+			sess, err := core.NewSession(w.Topo, w.Init, w.Specs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v.cached && sess.EnableCache() == nil {
+				b.Fatal("cache not enabled")
+			}
+			// Prime one flap round trip so the cached variant measures
+			// pure hits and both variants measure settled sessions.
+			if _, err := sess.Synthesize(w.Targets[0]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Synthesize(w.Init); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Synthesize(w.Targets[0]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Synthesize(w.Init); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if got := sess.LastStats().CacheHit; got != v.cached {
+				b.Fatalf("CacheHit = %v, want %v", got, v.cached)
+			}
+		})
+	}
+}
+
 // BenchmarkDecomposedStream measures interference-partitioned synthesis
 // against the joint search on the multi-region workload (6 independent
 // regions of 2 chained diamonds each), served from a warm session that

@@ -7,9 +7,11 @@
 //	experiments -fig stream -json   # warm-session vs cold synthesis
 //
 // Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation,
-// parallel, stream, decomp, server, dag, repair, all. "-fig server"
-// compares warm multi-tenant pool serving against cold per-request
-// synthesis.
+// parallel, stream, decomp, server, dag, repair, cache, all. "-fig
+// server" compares warm multi-tenant pool serving against cold
+// per-request synthesis. "-fig cache" serves identical flapping traffic
+// with and without the verification-first plan cache, reporting the
+// fast-path speedup and hit rate.
 // "-fig dag" compares central wait-based execution of a synthesized plan
 // against decentralized execution of its dependency DAG, by update size.
 // "-fig repair" compares warm-session repair after a mid-execution crash
@@ -53,6 +55,9 @@ type scale struct {
 	dagSWSizes     []int
 	dagFTSizes     []int
 	repairSizes    []int
+	cacheTenants   []int
+	cacheSwitches  int
+	cacheCycles    int
 	timeout        time.Duration
 }
 
@@ -75,6 +80,9 @@ var scales = map[string]scale{
 		dagSWSizes:     []int{160, 240, 320},
 		dagFTSizes:     []int{45, 80, 125},
 		repairSizes:    []int{160, 240, 320},
+		cacheTenants:   []int{2, 4},
+		cacheSwitches:  40,
+		cacheCycles:    8,
 		timeout:        time.Minute,
 	},
 	"medium": {
@@ -95,6 +103,9 @@ var scales = map[string]scale{
 		dagSWSizes:     []int{160, 240, 320, 400},
 		dagFTSizes:     []int{45, 80, 125, 180},
 		repairSizes:    []int{240, 320, 400},
+		cacheTenants:   []int{4, 8},
+		cacheSwitches:  60,
+		cacheCycles:    10,
 		timeout:        5 * time.Minute,
 	},
 	"full": {
@@ -115,13 +126,16 @@ var scales = map[string]scale{
 		dagSWSizes:     []int{160, 240, 320, 400, 480},
 		dagFTSizes:     []int{80, 125, 180, 245},
 		repairSizes:    []int{320, 400, 480, 560},
+		cacheTenants:   []int{8, 16},
+		cacheSwitches:  80,
+		cacheCycles:    16,
 		timeout:        10 * time.Minute,
 	},
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|repair|all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|repair|cache|all")
 		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
 		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
 		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
@@ -251,6 +265,11 @@ func run(fig string, sc scale) ([]*bench.Table, error) {
 	}
 	if all || fig == "repair" {
 		if err := add(bench.RepairCompare(sc.repairSizes, sc.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if all || fig == "cache" {
+		if err := add(bench.CacheCompare(sc.cacheTenants, sc.cacheSwitches, sc.cacheCycles, 4)); err != nil {
 			return nil, err
 		}
 	}

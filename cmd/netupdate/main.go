@@ -35,6 +35,13 @@
 //
 //	netupdate -stream < stream.jsonl
 //	netupdate -stream -checker incremental -parallel 4 < stream.jsonl
+//	netupdate -stream -learn-file learned.json < stream.jsonl
+//
+// -learn-file persists the stream session's plan cache and learned
+// search state (see internal/core.PlanCache) as a JSON snapshot: loaded
+// before serving, saved atomically on exit, so repeat instances across
+// restarts are served by replay-verification instead of a fresh search.
+// -no-plan-cache disables the cache entirely.
 //
 // Stream mode is a thin stdin/stdout client of the internal/server pool
 // — the same serving layer, wire format, and admission control as the
@@ -77,6 +84,8 @@ func main() {
 		verify    = flag.Bool("verify", false, "only verify the endpoint configurations")
 		faults    = flag.String("faults", "", "execute the plan under injected faults, e.g. crash=3@1,ackloss=0.2,seed=42")
 		doRepair  = flag.Bool("repair", false, "after a stalled -faults execution, resynthesize from the partially-committed state and finish the update")
+		noCache   = flag.Bool("no-plan-cache", false, "disable the verification-first plan cache (every request pays the full search)")
+		learnFile = flag.String("learn-file", "", "with -stream: load the plan cache and learned state from this JSON file at startup and save it back on exit")
 		quiet     = flag.Bool("q", false, "suppress statistics")
 	)
 	flag.Parse()
@@ -89,6 +98,7 @@ func main() {
 		Parallelism:            *parallel,
 		FirstPlanWins:          *firstPlan,
 		MinimizeCompletionTime: *minCompl,
+		NoPlanCache:            *noCache,
 	}
 	switch *checker {
 	case "incremental":
@@ -116,11 +126,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "netupdate: -stream reads from stdin and synthesizes every delta; it cannot be combined with -f, -verify, or -faults")
 			os.Exit(2)
 		}
-		if err := runStream(opts, *quiet); err != nil {
+		if err := runStream(opts, *quiet, *learnFile); err != nil {
 			fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *learnFile != "" {
+		fmt.Fprintln(os.Stderr, "netupdate: -learn-file persists the stream session's plan cache; it requires -stream")
+		os.Exit(2)
 	}
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "netupdate: -f scenario.json is required")
@@ -277,12 +291,17 @@ func printDAG(plan *core.Plan) {
 // errors, after which the stream position is unreliable, are terminal.
 // SIGINT/SIGTERM stop input, finish the in-flight synthesis, and flush
 // its result line before exiting.
-func runStream(opts core.Options, quiet bool) error {
+func runStream(opts core.Options, quiet bool, learnFile string) error {
 	pool := server.NewPool(server.PoolOptions{
 		Workers:     1, // one tenant, single-flight: more would idle
 		MaxSessions: 1,
 		QueueDepth:  1,
 	})
+	if learnFile != "" {
+		if err := loadLearnFile(pool, learnFile); err != nil {
+			return err
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	out := bufio.NewWriter(os.Stdout)
@@ -295,5 +314,44 @@ func runStream(opts core.Options, quiet bool) error {
 	if cerr := pool.Close(closeCtx); err == nil {
 		err = cerr
 	}
+	if learnFile != "" {
+		if serr := saveLearnFile(pool, learnFile); err == nil {
+			err = serr
+		}
+	}
 	return err
+}
+
+// loadLearnFile restores the pool's plan cache and learned state from a
+// previous run's snapshot; a missing file is a cold start, not an error.
+func loadLearnFile(pool *server.Pool, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pool.LoadLearning(f)
+}
+
+// saveLearnFile writes the pool's learning snapshot atomically (temp file
+// + rename), so an interrupted save never truncates the previous state.
+func saveLearnFile(pool *server.Pool, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pool.SaveLearning(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

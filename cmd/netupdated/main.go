@@ -3,6 +3,7 @@
 //
 //	netupdated -addr :8080
 //	netupdated -addr :8080 -workers 8 -max-sessions 128 -queue 16 -timeout 30s
+//	netupdated -addr :8080 -learn-file /var/lib/netupdate/learned.json
 //
 // Endpoints (see internal/server for the wire format):
 //
@@ -55,21 +56,27 @@ func main() {
 		queue       = flag.Int("queue", server.DefaultQueueDepth, "per-tenant outstanding-request bound (queue-full load shedding beyond)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline when the client sets none (0 = none)")
 		drain       = flag.Duration("drain", time.Minute, "shutdown grace for in-flight syntheses")
+		learnFile   = flag.String("learn-file", "", "load the shared plan caches and learned state from this JSON snapshot at startup and save them back after draining")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *maxSessions, *queue, *timeout, *drain); err != nil {
+	if err := run(*addr, *workers, *maxSessions, *queue, *timeout, *drain, *learnFile); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdated: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxSessions, queue int, timeout, drain time.Duration) error {
+func run(addr string, workers, maxSessions, queue int, timeout, drain time.Duration, learnFile string) error {
 	pool := server.NewPool(server.PoolOptions{
 		Workers:        workers,
 		MaxSessions:    maxSessions,
 		QueueDepth:     queue,
 		DefaultTimeout: timeout,
 	})
+	if learnFile != "" {
+		if err := loadLearnFile(pool, learnFile); err != nil {
+			return err
+		}
+	}
 	srv := &http.Server{Addr: addr, Handler: server.NewHandler(pool)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -98,6 +105,45 @@ func run(addr string, workers, maxSessions, queue int, timeout, drain time.Durat
 	if err := pool.Close(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdated: %v\n", err)
 	}
+	if learnFile != "" {
+		if err := saveLearnFile(pool, learnFile); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintln(os.Stderr, "netupdated: drained, bye")
 	return nil
+}
+
+// loadLearnFile restores the pool's plan caches from a previous run's
+// snapshot; a missing file is a cold start, not an error.
+func loadLearnFile(pool *server.Pool, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pool.LoadLearning(f)
+}
+
+// saveLearnFile writes the learning snapshot atomically (temp file +
+// rename), so an interrupted save never truncates the previous state.
+func saveLearnFile(pool *server.Pool, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pool.SaveLearning(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"netupdate/internal/config"
+	"netupdate/internal/server"
+	"netupdate/internal/topology"
+)
+
+// The flapping workload: the repetitive traffic shape the plan cache is
+// built for. Real controller streams revisit the same instances — links
+// flap A→B→A, rolling updates cycle the same canary diff across regions,
+// and rejected intents are resubmitted on every reconciliation pass — so
+// the fleet mixes two tenant kinds. Flap tenants bounce a fixed group of
+// diamond pairs between their two branches, round-robin over the pairs:
+// after the first lap every (base, target) instance is a byte-identical
+// repeat, served by plan replay. Retry tenants resubmit the same
+// provably-unorderable intent (a double-diamond gadget, Figure 8(h))
+// every cycle: the first attempt pays the full infeasibility proof, every
+// repeat is answered by the infeasible memo.
+
+// MakeFlappingLoads builds `tenants` tenants, alternating flap (even
+// index) and retry (odd index) kinds so a fleet of one is pure flapping.
+// Flap tenants get the same diamond carving as MakeTenantLoads with a
+// deterministic flap walk — each cycle picks the next round-robin group
+// of min(8, pairs) pairs, reroutes them all to their alternate branch,
+// then back. Retry tenants get a gadget scenario and resubmit its
+// rejected target every delta. Every tenant emits 2*cycles deltas.
+func MakeFlappingLoads(tenants, switches, cycles int, opts server.OptionsSpec, seed int64) ([]*TenantLoad, error) {
+	loads := make([]*TenantLoad, 0, tenants)
+	for i := 0; i < tenants; i++ {
+		var tl *TenantLoad
+		var err error
+		if i%2 == 1 {
+			tl, err = makeRetryLoad(fmt.Sprintf("retry-%d", i), switches, 2*cycles, opts, seed+int64(i)*919)
+			if err != nil {
+				return nil, fmt.Errorf("bench: retry tenant %d: %w", i, err)
+			}
+		} else {
+			tl, err = makeTenantLoad(fmt.Sprintf("flap-%d", i), switches, 0, opts, seed+int64(i)*919)
+			if err != nil {
+				return nil, fmt.Errorf("bench: flap tenant %d: %w", i, err)
+			}
+			if err := appendFlapDeltas(tl, cycles); err != nil {
+				return nil, fmt.Errorf("bench: flap tenant %d: %w", i, err)
+			}
+		}
+		loads = append(loads, tl)
+	}
+	return loads, nil
+}
+
+// makeRetryLoad builds a retry tenant: a double-diamond gadget scenario
+// (no switch-granularity ordering exists, config.Infeasible) registered
+// at its initial routes, with `deltas` copies of the delta rerouting
+// every gadget class to its final branch. The session never advances —
+// each attempt is the identical infeasible instance, the shape the plan
+// cache's infeasible memo answers without a proof.
+func makeRetryLoad(name string, n, deltas int, opts server.OptionsSpec, seed int64) (*TenantLoad, error) {
+	topo := topology.SmallWorld(n, 4, 0.3, seed)
+	var sc *config.Scenario
+	var err error
+	for gadgets := 2; gadgets >= 1; gadgets-- {
+		sc, err = config.Infeasible(topo, config.InfeasibleOptions{
+			Gadgets: gadgets, Property: config.Reachability, Seed: seed,
+			BackgroundFlows: n / 2,
+		})
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	header := config.StreamHeader{Name: name, Topology: topologyFileOf(topo)}
+	var rr []config.Reroute
+	for _, cs := range sc.Specs {
+		init, err := config.PathOf(sc.Init, topo, cs.Class)
+		if err != nil {
+			return nil, err
+		}
+		header.Classes = append(header.Classes, config.StreamClass{
+			Name: cs.Class.Name, Src: cs.Class.SrcHost, Dst: cs.Class.DstHost,
+			Path: init, Spec: cs.Formula.String(),
+		})
+		final, err := config.PathOf(sc.Final, topo, cs.Class)
+		if err != nil {
+			return nil, err
+		}
+		if len(final) != len(init) || !samePath(final, init) {
+			rr = append(rr, config.Reroute{Class: cs.Class.Name, Path: final})
+		}
+	}
+	tl := &TenantLoad{Spec: &server.TenantSpec{StreamHeader: header, Options: opts}}
+	for d := 0; d < deltas; d++ {
+		tl.Deltas = append(tl.Deltas, config.StreamDelta{Reroute: rr})
+	}
+	return tl, nil
+}
+
+func samePath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendFlapDeltas derives the flap walk from the generator's recorded
+// pair branches: each cycle reroutes one round-robin group to its
+// alternate branch, then back, so the configuration always returns to
+// base and every instance repeats once the round-robin laps.
+func appendFlapDeltas(tl *TenantLoad, cycles int) error {
+	pairs := tl.Pairs
+	if len(pairs) == 0 {
+		return fmt.Errorf("no flappable pairs")
+	}
+	group := len(pairs)
+	if group > 8 {
+		group = 8
+	}
+	for c := 0; c < cycles; c++ {
+		start := (c * group) % len(pairs)
+		var out, back []config.Reroute
+		for g := 0; g < group; g++ {
+			p := &pairs[(start+g)%len(pairs)]
+			out = append(out, config.Reroute{Class: p.Class, Path: p.B})
+			back = append(back, config.Reroute{Class: p.Class, Path: p.A})
+		}
+		tl.Deltas = append(tl.Deltas,
+			config.StreamDelta{Reroute: out},
+			config.StreamDelta{Reroute: back})
+	}
+	return nil
+}
+
+// CacheCompare is the experiments table behind -fig cache: identical
+// flapping traffic served by a pool with the shared plan cache (default)
+// and by one with every tenant registered noPlanCache. The cached pool
+// replay-verifies repeats through the warm checkers instead of searching,
+// so the speedup column is the fast path's end-to-end win and the hit
+// rate shows how much of the traffic it absorbed.
+func CacheCompare(tenantCounts []int, switches, cycles, workers int) (*Table, error) {
+	t := &Table{
+		Title: "Flapping traffic: verification-first plan cache vs full search",
+		Note: fmt.Sprintf("alternating flap (diamond groups of <=8 pairs) and retry (resubmitted infeasible intent) tenants, %d cycles/tenant (%d deltas), %d pool workers",
+			cycles, 2*cycles, workers),
+		Header: []string{"tenants", "switches", "syntheses",
+			"cached(syn/s)", "nocache(syn/s)", "speedup", "hit rate",
+			"cached(alloc/syn)", "nocache(alloc/syn)"},
+	}
+	for _, n := range tenantCounts {
+		seed := int64(n) * 131
+		cachedLoads, err := MakeFlappingLoads(n, switches, cycles, server.OptionsSpec{}, seed)
+		if err != nil {
+			return nil, err
+		}
+		plainLoads, err := MakeFlappingLoads(n, switches, cycles, server.OptionsSpec{NoPlanCache: true}, seed)
+		if err != nil {
+			return nil, err
+		}
+		cached, err := RunServerLoad(cachedLoads, true, workers)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := RunServerLoad(plainLoads, true, workers)
+		if err != nil {
+			return nil, err
+		}
+		hitRate := 0.0
+		if lookups := cached.CacheHits + cached.CacheMisses; lookups > 0 {
+			hitRate = float64(cached.CacheHits) / float64(lookups)
+		}
+		t.Add(n, switches, cached.Served,
+			cached.SynPerSec, plain.SynPerSec,
+			fmt.Sprintf("%.2fx", cached.SynPerSec/plain.SynPerSec),
+			fmt.Sprintf("%.0f%%", 100*hitRate),
+			cached.AllocsPerSyn, plain.AllocsPerSyn)
+	}
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"netupdate/internal/server"
+)
+
+// TestFlappingCacheHitRate is the serving-path guarantee behind the CI
+// gate: on flapping traffic — the repetitive shape the plan cache is for
+// — at least half of all syntheses must be served from the
+// verification-first fast path, with zero verify failures (nothing
+// poisoned the cache).
+func TestFlappingCacheHitRate(t *testing.T) {
+	loads, err := MakeFlappingLoads(2, 40, 6, server.OptionsSpec{}, 909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunServerLoad(loads, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tl := range loads {
+		want += len(tl.Deltas)
+	}
+	if run.Served != want {
+		t.Fatalf("served %d of %d", run.Served, want)
+	}
+	lookups := run.CacheHits + run.CacheMisses
+	if lookups != int64(want) {
+		t.Fatalf("cache lookups = %d, want %d (every request should consult the cache)", lookups, want)
+	}
+	if rate := float64(run.CacheHits) / float64(lookups); rate < 0.5 {
+		t.Fatalf("cache hit rate = %.2f, want >= 0.5 (hits %d / %d)", rate, run.CacheHits, lookups)
+	}
+	if run.CacheVerifyFailures != 0 {
+		t.Fatalf("verify failures = %d on clean traffic", run.CacheVerifyFailures)
+	}
+}
+
+// TestCacheCompareSmoke keeps the -fig cache table wired.
+func TestCacheCompareSmoke(t *testing.T) {
+	tb, err := CacheCompare([]int{2}, 40, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -25,6 +26,15 @@ import (
 type TenantLoad struct {
 	Spec   *server.TenantSpec
 	Deltas []config.StreamDelta
+	// Pairs records each reroutable diamond class's two branch paths (A
+	// is the registered initial route); the flapping generator walks them.
+	Pairs []PairBranches
+}
+
+// PairBranches is one diamond pair's routing choice.
+type PairBranches struct {
+	Class string
+	A, B  []int
 }
 
 // MakeTenantLoads builds `tenants` distinct rolling-update tenants: each
@@ -88,6 +98,9 @@ func makeTenantLoad(name string, n, steps int, opts server.OptionsSpec, seed int
 	}
 
 	tl := &TenantLoad{Spec: &server.TenantSpec{StreamHeader: header, Options: opts}}
+	for _, p := range pairs {
+		tl.Pairs = append(tl.Pairs, PairBranches{Class: p.name, A: p.branches[0], B: p.branches[1]})
+	}
 	r := rand.New(rand.NewSource(seed ^ 0x10AD))
 	for s := 0; s < steps; s++ {
 		p := &pairs[r.Intn(len(pairs))]
@@ -126,7 +139,9 @@ func topologyFileOf(t *topology.Topology) config.TopologyFile {
 // sequences concurrently, one goroutine per tenant issuing its deltas in
 // order (the per-tenant sequence must stay ordered; cross-tenant traffic
 // interleaves freely). It returns the number of syntheses served and the
-// first error.
+// first error. A core.ErrNoOrdering answer is a served request, not a
+// failure — retry tenants (MakeFlappingLoads) resubmit rejected intents
+// by design, and the definitive infeasibility verdict is the response.
 func RunLoad(ctx context.Context, p *server.Pool, loads []*TenantLoad) (int, error) {
 	ids := make([]string, len(loads))
 	for i, tl := range loads {
@@ -147,7 +162,7 @@ func RunLoad(ctx context.Context, p *server.Pool, loads []*TenantLoad) (int, err
 		go func(id string, deltas []config.StreamDelta) {
 			defer wg.Done()
 			for di := range deltas {
-				if _, err := p.Synthesize(ctx, id, &deltas[di]); err != nil {
+				if _, err := p.Synthesize(ctx, id, &deltas[di]); err != nil && !errors.Is(err, core.ErrNoOrdering) {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -170,6 +185,11 @@ type ServerRun struct {
 	Served       int
 	SynPerSec    float64
 	AllocsPerSyn int64
+	// Plan-cache totals of the pool that served the run (warm runs only;
+	// zero when every tenant opted out or the run was cold).
+	CacheHits           int64
+	CacheMisses         int64
+	CacheVerifyFailures int64
 }
 
 // RunServerLoad replays the mixed-tenant load and measures serving
@@ -187,9 +207,11 @@ func RunServerLoad(loads []*TenantLoad, warm bool, workers int) (*ServerRun, err
 	start := time.Now()
 	var served int
 	var err error
+	var cache server.PoolStats
 	if warm {
 		p := server.NewPool(server.PoolOptions{Workers: workers, MaxSessions: len(loads) + 1})
 		served, err = RunLoad(context.Background(), p, loads)
+		cache = p.Stats()
 		if cerr := p.Close(context.Background()); err == nil {
 			err = cerr
 		}
@@ -205,9 +227,12 @@ func RunServerLoad(loads []*TenantLoad, warm bool, workers int) (*ServerRun, err
 		return nil, fmt.Errorf("bench: server load served nothing")
 	}
 	return &ServerRun{
-		Served:       served,
-		SynPerSec:    float64(served) / elapsed.Seconds(),
-		AllocsPerSyn: int64(m1.Mallocs-m0.Mallocs) / int64(served),
+		Served:              served,
+		SynPerSec:           float64(served) / elapsed.Seconds(),
+		AllocsPerSyn:        int64(m1.Mallocs-m0.Mallocs) / int64(served),
+		CacheHits:           cache.PlanCacheHits,
+		CacheMisses:         cache.PlanCacheMisses,
+		CacheVerifyFailures: cache.PlanCacheVerifyFailures,
 	}, nil
 }
 
@@ -244,6 +269,10 @@ func runColdLoad(loads []*TenantLoad, workers int) (int, error) {
 						Specs: base.Specs,
 					}, opts)
 					<-sem
+					if errors.Is(err, core.ErrNoOrdering) {
+						// Definitive verdict: served, config unchanged.
+						err, tgt = nil, cur
+					}
 				}
 				if err != nil {
 					mu.Lock()

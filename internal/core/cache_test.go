@@ -1,0 +1,438 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/topology"
+)
+
+// flapWalk materializes the flapping stream the cache is built for: the
+// session bounces between the initial configuration and a handful of
+// targets, so every instance after the first cycle is a byte-identical
+// repeat.
+func flapWalk(t *testing.T, seed int64, cycles int) (*config.RollingStream, []*config.Config) {
+	t.Helper()
+	stream, targets := rollingTargets(t, seed, 2, 2, 1)
+	walk := []*config.Config{}
+	for c := 0; c < cycles; c++ {
+		walk = append(walk, targets[0], stream.Init())
+	}
+	return stream, walk
+}
+
+// TestCacheHitByteIdentical: across all four checker backends, a session
+// with the plan cache attached must return plans byte-identical to an
+// uncached session on every step of a flapping walk, serve every repeat
+// instance from the fast path (CacheHit), and keep honest counters.
+func TestCacheHitByteIdentical(t *testing.T) {
+	for _, kind := range []CheckerKind{CheckerIncremental, CheckerBatch, CheckerNuSMV, CheckerNetPlumber} {
+		t.Run(kind.String(), func(t *testing.T) {
+			stream, walk := flapWalk(t, 23, 3)
+			opts := Options{Checker: kind, Parallelism: 1}
+			cached, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := cached.EnableCache()
+			if cache == nil {
+				t.Fatal("EnableCache returned nil without NoPlanCache")
+			}
+			plain, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits := 0
+			for n, tgt := range walk {
+				got, err := cached.Synthesize(tgt)
+				if err != nil {
+					t.Fatalf("step %d: cached: %v", n, err)
+				}
+				want, err := plain.Synthesize(tgt)
+				if err != nil {
+					t.Fatalf("step %d: plain: %v", n, err)
+				}
+				if got.String() != want.String() {
+					t.Fatalf("step %d: cached plan diverged:\ncached %s\nfresh  %s",
+						n, got.String(), want.String())
+				}
+				if n >= 2 && !got.Stats.CacheHit {
+					t.Fatalf("step %d: repeat instance missed the cache", n)
+				}
+				if got.Stats.CacheHit {
+					hits++
+					if got.Stats.CacheVerifyFailed {
+						t.Fatalf("step %d: clean hit marked verify-failed", n)
+					}
+				}
+			}
+			st := cache.Stats()
+			if int(st.Hits) != hits {
+				t.Fatalf("cache hits = %d, session saw %d", st.Hits, hits)
+			}
+			if st.Hits < int64(len(walk)-2) {
+				t.Fatalf("hits = %d on a %d-step flap; fast path dead", st.Hits, len(walk))
+			}
+			if st.Misses != int64(len(walk))-st.Hits {
+				t.Fatalf("misses = %d, want %d", st.Misses, int64(len(walk))-st.Hits)
+			}
+			if st.VerifyFailures != 0 || st.Evictions != 0 {
+				t.Fatalf("unexpected failures/evictions: %+v", st)
+			}
+			if st.Entries != 2 {
+				t.Fatalf("entries = %d, want 2 (one per flap direction)", st.Entries)
+			}
+		})
+	}
+}
+
+// corruptEntries mutates every cached plan entry through fn. Test-only:
+// entries are immutable by contract, which is exactly what a poisoning
+// test has to violate.
+func corruptEntries(c *PlanCache, fn func(*cacheEntry)) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		if ent.hasPlan() {
+			fn(ent)
+			n++
+		}
+	}
+	return n
+}
+
+// TestCachePoisonedReplayFallsBack: Fig. 1 red→green has exactly one
+// valid update order (C2 before A1, TestFig1RedGreenOrder), so reversing
+// the cached steps yields an entry that still reaches the final
+// configuration but violates the spec mid-replay. The replay must catch
+// it, evict the entry, fall back to the full DFS, and return the correct
+// plan.
+func TestCachePoisonedReplayFallsBack(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	cache := NewPlanCache(0)
+	synth := func() *Plan {
+		t.Helper()
+		sess, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.SetCache(cache)
+		plan, err := sess.Synthesize(sc.Final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	want := synth() // miss: stored
+	if want.Stats.CacheHit {
+		t.Fatal("first synthesis cannot be a hit")
+	}
+	// Reverse the update steps in place: same switches, same final
+	// tables, wrong order.
+	n := corruptEntries(cache, func(ent *cacheEntry) {
+		var ups []int
+		for i := range ent.steps {
+			if !ent.steps[i].Wait {
+				ups = append(ups, i)
+			}
+		}
+		for i, j := 0, len(ups)-1; i < j; i, j = i+1, j-1 {
+			ent.steps[ups[i]], ent.steps[ups[j]] = ent.steps[ups[j]], ent.steps[ups[i]]
+		}
+	})
+	if n != 1 {
+		t.Fatalf("corrupted %d entries, want 1", n)
+	}
+	got := synth() // poisoned: replay fails, DFS fallback, re-stored
+	if !got.Stats.CacheVerifyFailed {
+		t.Fatal("poisoned replay not flagged")
+	}
+	if got.Stats.CacheHit {
+		t.Fatal("poisoned replay counted as a hit")
+	}
+	if got.String() != want.String() {
+		t.Fatalf("fallback plan diverged:\ngot  %s\nwant %s", got.String(), want.String())
+	}
+	st := cache.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("verify failures = %d, want 1", st.VerifyFailures)
+	}
+	// The fallback re-stored a clean entry: the next run is a clean hit.
+	clean := synth()
+	if !clean.Stats.CacheHit || clean.Stats.CacheVerifyFailed {
+		t.Fatalf("post-fallback run not a clean hit: %+v", clean.Stats)
+	}
+	if clean.String() != want.String() {
+		t.Fatalf("post-fallback hit diverged:\ngot  %s\nwant %s", clean.String(), want.String())
+	}
+}
+
+// TestCacheTruncatedEntryFallsBack: an entry whose steps no longer cover
+// the diff (truncated snapshot, wrong plan for the key) must fail the
+// structural pre-pass — before any checker work — and fall back.
+func TestCacheTruncatedEntryFallsBack(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	cache := NewPlanCache(0)
+	sess, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetCache(cache)
+	want, err := sess.Synthesize(sc.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptEntries(cache, func(ent *cacheEntry) { ent.steps = ent.steps[:1] })
+	sess2, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2.SetCache(cache)
+	got, err := sess2.Synthesize(sc.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stats.CacheVerifyFailed || got.Stats.CacheHit {
+		t.Fatalf("truncated entry not rejected: %+v", got.Stats)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("fallback plan diverged:\ngot  %s\nwant %s", got.String(), want.String())
+	}
+	if cache.Stats().VerifyFailures != 1 {
+		t.Fatalf("verify failures = %d, want 1", cache.Stats().VerifyFailures)
+	}
+}
+
+// TestCacheInfeasibleMemo: an instance proven ErrNoOrdering is memoized —
+// the repeat fails fast, reports CacheHit, and runs no search.
+func TestCacheInfeasibleMemo(t *testing.T) {
+	topo := topology.SmallWorld(30, 4, 0.3, 7)
+	sc, err := config.Infeasible(topo, config.InfeasibleOptions{Gadgets: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(sc.Topo, sc.Init, sc.Specs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := sess.EnableCache()
+	if _, err := sess.Synthesize(sc.Final); !errors.Is(err, ErrNoOrdering) {
+		t.Fatalf("err = %v, want ErrNoOrdering", err)
+	}
+	first := sess.LastStats()
+	if first.CacheHit {
+		t.Fatal("first failure cannot be a hit")
+	}
+	if _, err := sess.Synthesize(sc.Final); !errors.Is(err, ErrNoOrdering) {
+		t.Fatalf("repeat err = %v, want ErrNoOrdering", err)
+	}
+	repeat := sess.LastStats()
+	if !repeat.CacheHit {
+		t.Fatal("repeat infeasibility missed the memo")
+	}
+	// Target verification always runs (verifyFinal); the search must not.
+	if repeat.Backtracks != 0 || repeat.CexLearned != 0 || repeat.SATCalls != 0 {
+		t.Fatalf("memoized failure still searched: %+v", repeat)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 entry", st)
+	}
+}
+
+// TestCacheSnapshotRoundTrip: Snapshot → JSON → Restore must hand a cold
+// process the warm process's fast path — the very first request against
+// the restored cache is a verified hit with a byte-identical plan, and a
+// persisted infeasibility memo still fails fast.
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	stream, walk := flapWalk(t, 29, 1)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := sess.EnableCache()
+	var plans []*Plan
+	for _, tgt := range walk {
+		p, err := sess.Synthesize(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	// Add an infeasibility memo to the mix.
+	itopo := topology.SmallWorld(30, 4, 0.3, 7)
+	isc, err := config.Infeasible(itopo, config.InfeasibleOptions{Gadgets: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isess, err := NewSession(isc.Topo, isc.Init, isc.Specs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isess.SetCache(cache)
+	if _, err := isess.Synthesize(isc.Final); !errors.Is(err, ErrNoOrdering) {
+		t.Fatalf("err = %v, want ErrNoOrdering", err)
+	}
+
+	raw, err := json.Marshal(cache.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap PlanCacheSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPlanCache(0)
+	if err := restored.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != cache.Len() {
+		t.Fatalf("restored %d entries, want %d", restored.Len(), cache.Len())
+	}
+
+	cold, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.SetCache(restored)
+	for n, tgt := range walk {
+		p, err := cold.Synthesize(tgt)
+		if err != nil {
+			t.Fatalf("step %d: %v", n, err)
+		}
+		if !p.Stats.CacheHit {
+			t.Fatalf("step %d: restored cache missed", n)
+		}
+		if p.String() != plans[n].String() {
+			t.Fatalf("step %d: restored plan diverged:\ngot  %s\nwant %s",
+				n, p.String(), plans[n].String())
+		}
+	}
+	icold, err := NewSession(isc.Topo, isc.Init, isc.Specs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	icold.SetCache(restored)
+	if _, err := icold.Synthesize(isc.Final); !errors.Is(err, ErrNoOrdering) {
+		t.Fatalf("restored memo: err = %v, want ErrNoOrdering", err)
+	}
+	if !icold.LastStats().CacheHit {
+		t.Fatal("restored infeasibility memo missed")
+	}
+
+	// Corrupted snapshots are rejected, not half-loaded.
+	bad := PlanCacheSnapshot{Entries: []PlanCacheEntrySnapshot{{Key: "zz"}}}
+	if err := NewPlanCache(0).Restore(&bad); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	short := PlanCacheSnapshot{Entries: []PlanCacheEntrySnapshot{{Key: "abcd", Infeasible: true}}}
+	if err := NewPlanCache(0).Restore(&short); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+// TestCacheEvictionBound: the cache never exceeds its capacity and counts
+// capacity evictions apart from poisonings.
+func TestCacheEvictionBound(t *testing.T) {
+	c := NewPlanCache(2)
+	key := func(b byte) string {
+		k := make([]byte, 32)
+		k[0] = b
+		return string(k)
+	}
+	for b := byte(0); b < 5; b++ {
+		c.storeInfeasible(key(b), learnedState{})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 3 {
+		t.Fatalf("evictions = %d, want 3", ev)
+	}
+	// LRU: the two newest keys survive.
+	if c.lookup(key(4)) == nil || c.lookup(key(3)) == nil {
+		t.Fatal("newest entries evicted")
+	}
+	if c.lookup(key(0)) != nil {
+		t.Fatal("oldest entry survived")
+	}
+}
+
+// TestPreloadLearningValidation: preloading learned state from an
+// identical instance primes the fresh engine's pruning structures, while
+// state whose shape does not match the unit list (a corrupted snapshot)
+// is skipped — pruning from mismatched state would be unsound.
+func TestPreloadLearningValidation(t *testing.T) {
+	stream, targets := rollingTargets(t, 23, 2, 2, 1)
+	sc := &config.Scenario{
+		Name: "preload", Topo: stream.Topo(), Init: stream.Init(),
+		Final: targets[0], Specs: stream.Specs(),
+	}
+	e, err := newEngineShell(sc, Options{Parallelism: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu := len(e.units)
+	if nu == 0 {
+		t.Fatal("no units")
+	}
+	words := len(newBitset(nu))
+	good := newBitset(nu)
+	good.set(0)
+	ls := learnedState{
+		patterns: []pattern{
+			{relevant: good, value: good},
+			{relevant: make(bitset, words+1), value: make(bitset, words+1)}, // wrong width
+		},
+		cons: []cexCons{
+			{applied: []int{0}, unapplied: []int{nu - 1}},
+			{applied: []int{nu + 7}, unapplied: nil}, // out of range
+		},
+		dead: []bitset{good, make(bitset, words+2)},
+	}
+	if unsat := e.preloadLearning(&ls); unsat {
+		t.Fatal("single constraint cannot be unsat")
+	}
+	if got := len(e.shared.patterns()); got != 1 {
+		t.Fatalf("patterns loaded = %d, want 1 (corrupt one skipped)", got)
+	}
+	if got := len(e.shared.cons); got != 1 {
+		t.Fatalf("cons recorded = %d, want 1 (out-of-range one skipped)", got)
+	}
+	if !e.visited.has(good) {
+		t.Fatal("valid dead configuration not seeded")
+	}
+	if e.visited.has(make(bitset, words+2)) {
+		t.Fatal("mis-sized dead configuration seeded")
+	}
+}
+
+// TestNoPlanCacheOption: Options.NoPlanCache makes cache attachment a
+// no-op, so every request pays the full search.
+func TestNoPlanCacheOption(t *testing.T) {
+	stream, walk := flapWalk(t, 23, 2)
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(),
+		Options{Parallelism: 1, NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sess.EnableCache(); c != nil {
+		t.Fatal("EnableCache must refuse under NoPlanCache")
+	}
+	sess.SetCache(NewPlanCache(0))
+	if sess.Cache() != nil {
+		t.Fatal("SetCache must refuse under NoPlanCache")
+	}
+	for n, tgt := range walk {
+		p, err := sess.Synthesize(tgt)
+		if err != nil {
+			t.Fatalf("step %d: %v", n, err)
+		}
+		if p.Stats.CacheHit {
+			t.Fatalf("step %d: hit with the cache disabled", n)
+		}
+	}
+}

@@ -148,6 +148,14 @@ type engine struct {
 	actsA     []network.Action
 	actsB     []network.Action
 
+	// Plan-cache dead-configuration sink (cache.go): a sequential search
+	// with a cache attached records what markDead proves here, up to
+	// recordDeadCap, so the learned dead set can persist per instance.
+	// Zero cap disables recording (the default, and always for parallel
+	// runs — their proofs land in shared.dead instead).
+	recordDead    []bitset
+	recordDeadCap int
+
 	stats Stats
 }
 
@@ -486,6 +494,10 @@ func (e *engine) markDead(b bitset) {
 	if sh := e.shared; sh.dead != nil && !sh.claimOnEntry {
 		sh.dead.add(b)
 	}
+	if e.recordDeadCap > 0 && len(e.recordDead) < e.recordDeadCap {
+		// Bitsets are copy-on-set, so retaining b is safe.
+		e.recordDead = append(e.recordDead, b)
+	}
 }
 
 // applyAndCheck installs the new table for sw in every class structure
@@ -597,6 +609,7 @@ func (e *engine) learn(cexSwitches []int, cfg bitset) bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.addPattern(pattern{relevant: relevant, value: value})
+	sh.cons = append(sh.cons, cexCons{applied: appliedUnits, unapplied: unappliedUnits})
 	if e.opts.NoEarlyTermination {
 		return false
 	}

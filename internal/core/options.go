@@ -147,6 +147,12 @@ type Options struct {
 	// Decomposed runs optimize each component independently, which
 	// composes to the global optimum (component DAGs are disjoint).
 	MinimizeCompletionTime bool
+	// NoPlanCache disables the verification-first plan cache (cache.go):
+	// the session never attaches a cache, so every synthesis pays the full
+	// search even on a byte-identical repeat instance. Used as the
+	// ablation baseline of the cache comparison and exposed as
+	// -no-plan-cache on the CLIs.
+	NoPlanCache bool
 	// Timeout bounds the search; zero means no limit.
 	Timeout time.Duration
 }
@@ -229,6 +235,15 @@ type Stats struct {
 	RepairCommitted     int
 	EscalatedComponents int
 	TwoPhaseComponents  int
+
+	// Plan-cache counters (cache.go). CacheHit marks a run served from the
+	// verification-first fast path: either a cached plan that replayed
+	// cleanly through the warm checkers (Checks then counts the replay's
+	// model-checker calls, and no search ran) or a memoized infeasibility
+	// that failed fast. A run that found a stale or corrupted entry sets
+	// CacheVerifyFailed, evicts it, and falls back to the full search.
+	CacheHit          bool
+	CacheVerifyFailed bool
 }
 
 // addSearch folds the counters of one component sub-search into st. The

@@ -84,6 +84,20 @@ type Session struct {
 	// granularity and then falls back to scoped two-phase instead of
 	// failing the run.
 	repairing bool
+
+	// Verification-first plan cache (cache.go), attached via EnableCache
+	// or SetCache (the pool shares one cache across tenants with the same
+	// learning fingerprint). Nil means every synthesis runs the full
+	// search. ctxFP memoizes the session's context fingerprint; the
+	// hashedCur/pending pairs memoize configuration hashes by pointer
+	// identity so a steady-state stream hashes one configuration per
+	// request.
+	cache       *PlanCache
+	ctxFP       []byte
+	hashedCur   *config.Config
+	curHash     cfgHash
+	pendingCfg  *config.Config
+	pendingHash cfgHash
 }
 
 // engineScratch is the pooled per-run state handed to each engine: reset
@@ -136,6 +150,31 @@ func NewSession(topo *topology.Topology, init *config.Config, specs []config.Cla
 	}
 	return s, nil
 }
+
+// EnableCache attaches a private verification-first plan cache (cache.go)
+// with the default capacity and returns it, creating one if the session
+// has none. It is a no-op returning nil when Options.NoPlanCache is set.
+func (s *Session) EnableCache() *PlanCache {
+	if s.opts.NoPlanCache {
+		return nil
+	}
+	if s.cache == nil {
+		s.cache = NewPlanCache(0)
+	}
+	return s.cache
+}
+
+// SetCache attaches an existing (possibly shared) plan cache; nil
+// detaches. Ignored when Options.NoPlanCache is set.
+func (s *Session) SetCache(c *PlanCache) {
+	if s.opts.NoPlanCache {
+		return
+	}
+	s.cache = c
+}
+
+// Cache returns the attached plan cache, or nil.
+func (s *Session) Cache() *PlanCache { return s.cache }
 
 // Current returns the configuration the session is at: the initial one,
 // or the target of the last successful Synthesize.
@@ -199,72 +238,155 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 	}
 	e.ks, e.checkers, e.canSkip = s.ks, s.checkers, s.canSkip
 
-	// Partition the diff into independent subproblems where possible (see
-	// decompose.go); a connected (or forced-joint) diff runs the ordinary
-	// joint search, which keeps single-component plans byte-identical to
-	// the undecomposed engine.
+	// Verification-first fast path (cache.go): with a cache attached,
+	// fingerprint the instance and try a lookup. A cached plan is replayed
+	// step by step through the warm checkers — every intermediate
+	// configuration is model-checked again — so a hit is exactly as sound
+	// as a fresh search, while a stale or corrupted entry fails replay, is
+	// evicted, and the run falls through to the ordinary search. A
+	// memoized infeasibility fails fast, except in repair mode, which must
+	// run the fallback ladder and instead preloads the entry's persisted
+	// learned state (wrong patterns, SAT constraints, dead set) into the
+	// fresh search.
+	var cacheKey string
+	var ent *cacheEntry
+	if s.cache != nil {
+		cacheKey = s.instanceKey(final)
+		ent = s.cache.lookup(cacheKey)
+		e.armLearnRecording()
+	}
 	var steps []Step
 	var runErr error
-	comps, derr := s.decompose(e)
-	decomposed := derr == nil && comps != nil
-	switch {
-	case derr != nil:
-		runErr = derr
-	case decomposed:
-		steps, runErr = s.runDecomposed(e, comps, final)
-	default:
-		e.stats.Components = 1
+	var dag *PlanDAG
+	fromCache, decomposed, searched := false, false, false
+	if ent != nil && ent.hasPlan() {
 		e.snapshotCheckerStats()
-		steps, runErr = e.run()
-		if s.repairing && runErr != nil && errors.Is(runErr, ErrNoOrdering) {
-			// The whole diff is one stuck component: run the repair
-			// fallback ladder over it (repair.go).
-			var twoPhase bool
-			var fsteps []Step
-			fsteps, twoPhase, runErr = s.repairFallback(e.ctx, sc.Name+"#fallback", s.specs, e.unitSwitches(), final)
-			if runErr == nil {
-				steps = fsteps
-				if twoPhase {
-					e.stats.TwoPhaseComponents++
-				} else {
-					e.stats.EscalatedComponents++
+		if replayed, ok := s.replayCached(e, ent, final); ok {
+			steps = replayed
+			dag = ent.dag.clone()
+			fromCache = true
+			e.stats.CacheHit = true
+			e.stats.Components = ent.components
+			s.cache.noteHit()
+		} else {
+			e.stats.CacheVerifyFailed = true
+			s.cache.evictPoisoned(cacheKey)
+			ent = nil
+		}
+	}
+	switch {
+	case fromCache:
+	case ent != nil && ent.infeasible && !s.repairing:
+		e.stats.CacheHit = true
+		s.cache.noteHit()
+		runErr = ErrNoOrdering
+	default:
+		if s.cache != nil {
+			s.cache.noteMiss()
+		}
+		preUnsat := false
+		if ent != nil && !ent.learn.empty() && !s.opts.MinimizeCompletionTime {
+			preUnsat = e.preloadLearning(&ent.learn)
+		}
+		if preUnsat && !s.repairing {
+			// The replayed constraints already prove no ordering exists.
+			runErr = ErrNoOrdering
+			break
+		}
+		searched = true
+		// Partition the diff into independent subproblems where possible
+		// (see decompose.go); a connected (or forced-joint) diff runs the
+		// ordinary joint search, which keeps single-component plans
+		// byte-identical to the undecomposed engine.
+		comps, derr := s.decompose(e)
+		decomposed = derr == nil && comps != nil
+		switch {
+		case derr != nil:
+			runErr = derr
+		case decomposed:
+			steps, runErr = s.runDecomposed(e, comps, final)
+		default:
+			e.stats.Components = 1
+			e.snapshotCheckerStats()
+			steps, runErr = e.run()
+			if s.repairing && runErr != nil && errors.Is(runErr, ErrNoOrdering) {
+				// The whole diff is one stuck component: run the repair
+				// fallback ladder over it (repair.go).
+				var twoPhase bool
+				var fsteps []Step
+				fsteps, twoPhase, runErr = s.repairFallback(e.ctx, sc.Name+"#fallback", s.specs, e.unitSwitches(), final)
+				if runErr == nil {
+					steps = fsteps
+					if twoPhase {
+						e.stats.TwoPhaseComponents++
+					} else {
+						e.stats.EscalatedComponents++
+					}
 				}
 			}
 		}
 	}
 	var plan *Plan
 	if runErr == nil {
-		e.stats.WaitsBefore = countWaits(steps)
-		// Two-phase fallback segments (repair ladder) are version-tagged,
-		// not careful: the class-trace argument behind wait removal and
-		// the dependency analysis does not cover them, so such plans keep
-		// every wait and carry a sequential chain DAG instead.
-		tagged := e.stats.TwoPhaseComponents > 0
-		if !s.opts.NoWaitRemoval && !tagged {
-			wrStart := time.Now()
-			steps = e.removeWaits(steps)
-			e.stats.WaitRemovalTime = time.Since(wrStart)
-		}
-		e.stats.WaitsAfter = countWaits(steps)
-		// Lift the ordering facts into the dependency DAG (dag.go). Built
-		// over the final — possibly composed — step sequence, which for
-		// decomposed runs yields the disjoint union of the component
-		// sub-DAGs (components share no class and no switch, so no chain
-		// crosses a component boundary).
-		var dag *PlanDAG
-		if tagged {
-			dag = chainDAG(steps)
+		if fromCache {
+			// Cached plans were wait-removed when first synthesized and
+			// carry their DAG; only the counters need refreshing.
+			e.stats.WaitsBefore = countWaits(steps)
+			e.stats.WaitsAfter = e.stats.WaitsBefore
 		} else {
-			dag = e.buildDAG(steps)
+			e.stats.WaitsBefore = countWaits(steps)
+			// Two-phase fallback segments (repair ladder) are version-tagged,
+			// not careful: the class-trace argument behind wait removal and
+			// the dependency analysis does not cover them, so such plans keep
+			// every wait and carry a sequential chain DAG instead.
+			tagged := e.stats.TwoPhaseComponents > 0
+			if !s.opts.NoWaitRemoval && !tagged {
+				wrStart := time.Now()
+				steps = e.removeWaits(steps)
+				e.stats.WaitRemovalTime = time.Since(wrStart)
+			}
+			e.stats.WaitsAfter = countWaits(steps)
+			// Lift the ordering facts into the dependency DAG (dag.go). Built
+			// over the final — possibly composed — step sequence, which for
+			// decomposed runs yields the disjoint union of the component
+			// sub-DAGs (components share no class and no switch, so no chain
+			// crosses a component boundary).
+			if tagged {
+				dag = chainDAG(steps)
+			} else {
+				dag = e.buildDAG(steps)
+			}
 		}
 		e.stats.DAGDepth, e.stats.DAGWidth = dag.Depth, dag.Width
 		if !decomposed {
 			// Decomposed runs already collected per-component checker
-			// deltas; collecting again here would double-count.
+			// deltas; collecting again here would double-count. (A replay
+			// hit snapshots before applying, so the deltas here are the
+			// replay's own checker work.)
 			e.collectCheckerStats()
 		}
 		e.stats.Elapsed = time.Since(start)
 		plan = &Plan{Steps: steps, Stats: e.stats, DAG: dag}
+	}
+	// Memoize the outcome (cache.go): a fresh successful search stores its
+	// plan and DAG together with the learned state harvested from the
+	// shared search structures (joint runs only — component sub-searches
+	// renumber units locally, so their learned state does not transfer),
+	// and a proven infeasibility stores the memo with the state that
+	// proves it. Repair-mode runs never store: their ladder products
+	// (escalated granularity, version-tagged segments) are not ordinary
+	// careful plans for this instance key.
+	if s.cache != nil && !fromCache && searched && !s.repairing {
+		switch {
+		case runErr == nil:
+			var ls learnedState
+			if !decomposed {
+				ls = e.harvestLearning()
+			}
+			s.cache.storePlan(cacheKey, steps, dag, e.stats.Components, ls)
+		case errors.Is(runErr, ErrNoOrdering):
+			s.cache.storeInfeasible(cacheKey, e.harvestLearning())
+		}
 	}
 	s.lastStats = e.stats
 	s.reclaimScratch(e)
@@ -279,6 +401,7 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		if runErr != nil {
 			return nil, runErr
 		}
+		s.noteAdvance(final)
 		s.cur = final
 		return plan, nil
 	}
@@ -314,6 +437,7 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		return nil, runErr
 	}
 	s.lastPlan, s.lastInit, s.lastFinal = plan, s.cur, final
+	s.noteAdvance(final)
 	s.cur = final
 	return plan, nil
 }

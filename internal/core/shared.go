@@ -29,8 +29,14 @@ type sharedState struct {
 	dead         *sharedBitsetSet
 	claimOnEntry bool
 
-	mu sync.Mutex // guards et and writes to wrong
+	mu sync.Mutex // guards et, cons, and writes to wrong
 	et *earlyTerm
+
+	// cons records every counterexample ordering constraint fed to (or
+	// replayed into) the solver, in persistable form: the plan cache
+	// harvests it so a repeat of the identical instance can replay the
+	// constraints instead of rediscovering them (cache.go).
+	cons []cexCons
 }
 
 func newSharedState(parallel, firstWins bool) *sharedState {

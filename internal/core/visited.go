@@ -131,3 +131,24 @@ func (s *sharedBitsetSet) add(b bitset) bool {
 	sh.m[h] = append(sh.m[h], b)
 	return true
 }
+
+// appendAll appends up to max total elements of the set to dst (shard
+// order; no ordering guarantee). The plan cache uses it to harvest the
+// proven-dead configurations of a parallel deterministic search.
+func (s *sharedBitsetSet) appendAll(dst []bitset, max int) []bitset {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, bucket := range sh.m {
+			for _, b := range bucket {
+				if len(dst) >= max {
+					sh.mu.Unlock()
+					return dst
+				}
+				dst = append(dst, b)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}

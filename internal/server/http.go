@@ -217,4 +217,10 @@ func handleMetrics(p *Pool, w http.ResponseWriter) {
 	put("netupdate_queue_wait_seconds_total", "Total time requests spent queued.", "counter", st.QueueWaitMSTotal/1e3)
 	put("netupdate_synthesis_seconds_total", "Total engine time.", "counter", st.SynthMSTotal/1e3)
 	put("netupdate_synthesis_seconds_max", "Slowest synthesis so far.", "gauge", st.SynthMSMax/1e3)
+	put("netupdate_plan_cache_hits_total", "Syntheses served from the verification-first plan cache.", "counter", float64(st.PlanCacheHits))
+	put("netupdate_plan_cache_misses_total", "Syntheses that ran the full search with a cache attached.", "counter", float64(st.PlanCacheMisses))
+	put("netupdate_plan_cache_verify_failures_total", "Cached plans that failed replay verification and were evicted.", "counter", float64(st.PlanCacheVerifyFailures))
+	put("netupdate_plan_cache_evictions_total", "Plan-cache capacity evictions.", "counter", float64(st.PlanCacheEvictions))
+	put("netupdate_plan_cache_entries", "Cached instances across all shared learning stores.", "gauge", float64(st.PlanCacheEntries))
+	put("netupdate_learn_stores", "Shared cross-tenant learning stores held.", "gauge", float64(st.LearnStores))
 }

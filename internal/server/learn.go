@@ -1,0 +1,148 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"netupdate/internal/core"
+)
+
+// DefaultMaxLearnStores bounds the shared learning stores a pool holds.
+// Stores are keyed by learning fingerprint (topology + classes + engine
+// options, tenant name excluded), so the bound is on distinct *scenario
+// shapes*, not tenants; the least-recently-used store past it is dropped
+// wholesale.
+const DefaultMaxLearnStores = 256
+
+// learnRegistry owns the pool's shared plan caches: every tenant whose
+// spec hashes to the same learning fingerprint is attached to the same
+// core.PlanCache, so one tenant's synthesized plans and learned state
+// serve every tenant running the identical scenario shape. Safe for
+// concurrent use; the caches themselves are concurrency-safe, so the
+// registry lock covers only the map and LRU.
+type learnRegistry struct {
+	mu     sync.Mutex
+	max    int
+	stores map[string]*list.Element
+	lru    *list.List // of *learnStore, front = most recently used
+}
+
+type learnStore struct {
+	fp    string
+	cache *core.PlanCache
+}
+
+func newLearnRegistry(max int) *learnRegistry {
+	if max <= 0 {
+		max = DefaultMaxLearnStores
+	}
+	return &learnRegistry{
+		max:    max,
+		stores: map[string]*list.Element{},
+		lru:    list.New(),
+	}
+}
+
+// get returns the shared cache for a learning fingerprint, creating it on
+// first use and evicting the coldest store past the bound. Evicting a
+// store does not detach sessions already holding its cache — they keep a
+// working private cache until rebuilt — it only stops new attachments
+// from sharing it.
+func (r *learnRegistry) get(fp string) *core.PlanCache {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.stores[fp]; ok {
+		r.lru.MoveToFront(el)
+		return el.Value.(*learnStore).cache
+	}
+	st := &learnStore{fp: fp, cache: core.NewPlanCache(0)}
+	r.stores[fp] = r.lru.PushFront(st)
+	for r.lru.Len() > r.max {
+		tail := r.lru.Back()
+		r.lru.Remove(tail)
+		delete(r.stores, tail.Value.(*learnStore).fp)
+	}
+	return st.cache
+}
+
+// totals aggregates every store's counters plus the store count.
+func (r *learnRegistry) totals() (core.PlanCacheStats, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum core.PlanCacheStats
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		st := el.Value.(*learnStore).cache.Stats()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.VerifyFailures += st.VerifyFailures
+		sum.Evictions += st.Evictions
+		sum.Entries += st.Entries
+	}
+	return sum, r.lru.Len()
+}
+
+// LearnSnapshot is the JSON image of a pool's shared learning state (the
+// -learn-file format): every store's plan cache, keyed by learning
+// fingerprint, so a restarted process resumes with the full fast path of
+// its predecessor.
+type LearnSnapshot struct {
+	Version int                  `json:"version"`
+	Stores  []LearnStoreSnapshot `json:"stores"`
+}
+
+// LearnStoreSnapshot is one persisted shared store.
+type LearnStoreSnapshot struct {
+	Fingerprint string                  `json:"fingerprint"`
+	Cache       *core.PlanCacheSnapshot `json:"cache"`
+}
+
+// learnSnapshotVersion is the current LearnSnapshot format version.
+const learnSnapshotVersion = 1
+
+// SaveLearning writes the pool's shared learning state as JSON (most
+// recently used store first). Counters are not persisted; a restored pool
+// starts cold on stats but warm on plans.
+func (p *Pool) SaveLearning(w io.Writer) error {
+	p.learn.mu.Lock()
+	snap := LearnSnapshot{Version: learnSnapshotVersion}
+	for el := p.learn.lru.Front(); el != nil; el = el.Next() {
+		st := el.Value.(*learnStore)
+		snap.Stores = append(snap.Stores, LearnStoreSnapshot{
+			Fingerprint: st.fp,
+			Cache:       st.cache.Snapshot(),
+		})
+	}
+	p.learn.mu.Unlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("server: saving learning state: %w", err)
+	}
+	return nil
+}
+
+// LoadLearning merges a saved learning snapshot into the pool's shared
+// stores. Entries already present win (they are fresher); stores are
+// created as needed, so loading may run before or after tenants register
+// — a tenant attaching later shares the restored cache by fingerprint.
+func (p *Pool) LoadLearning(r io.Reader) error {
+	var snap LearnSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("server: loading learning state: %w", err)
+	}
+	if snap.Version != learnSnapshotVersion {
+		return fmt.Errorf("server: learning snapshot version %d, want %d", snap.Version, learnSnapshotVersion)
+	}
+	for i := range snap.Stores {
+		st := &snap.Stores[i]
+		if st.Fingerprint == "" || st.Cache == nil {
+			continue
+		}
+		if err := p.learn.get(st.Fingerprint).Restore(st.Cache); err != nil {
+			return fmt.Errorf("server: store %s: %w", st.Fingerprint, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"netupdate/internal/bench"
+	"netupdate/internal/server"
+)
+
+// TestLearnFileRoundTrip: a pool's learned state survives a restart —
+// SaveLearning on the warm pool, LoadLearning into a fresh one, and the
+// very first lap of the identical traffic is served from the fast path.
+func TestLearnFileRoundTrip(t *testing.T) {
+	loads, err := bench.MakeFlappingLoads(2, 40, 3, server.OptionsSpec{}, 707)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := server.NewPool(server.PoolOptions{Workers: 2})
+	if _, err := bench.RunLoad(context.Background(), p1, loads); err != nil {
+		t.Fatal(err)
+	}
+	warm := p1.Stats()
+	if warm.PlanCacheHits == 0 || warm.PlanCacheEntries == 0 {
+		t.Fatalf("warm pool never hit its own cache: %+v", warm)
+	}
+	var buf bytes.Buffer
+	if err := p1.SaveLearning(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := server.NewPool(server.PoolOptions{Workers: 2})
+	defer p2.Close(context.Background())
+	if err := p2.LoadLearning(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.Stats(); st.PlanCacheEntries != warm.PlanCacheEntries {
+		t.Fatalf("restored %d entries, want %d", st.PlanCacheEntries, warm.PlanCacheEntries)
+	}
+	if _, err := bench.RunLoad(context.Background(), p2, loads); err != nil {
+		t.Fatal(err)
+	}
+	st := p2.Stats()
+	if st.PlanCacheMisses != 0 {
+		t.Fatalf("restored pool missed %d times on identical traffic", st.PlanCacheMisses)
+	}
+	if st.PlanCacheHits == 0 || st.PlanCacheVerifyFailures != 0 {
+		t.Fatalf("restored fast path dead: %+v", st)
+	}
+
+	// Corrupt and version-mismatched snapshots are rejected.
+	if err := p2.LoadLearning(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if err := p2.LoadLearning(strings.NewReader(`{"version":99,"stores":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestCrossTenantLearning: tenants whose specs differ only by name share
+// one learning store — the second tenant's first lap is served from the
+// plans the first tenant synthesized.
+func TestCrossTenantLearning(t *testing.T) {
+	loads, err := bench.MakeFlappingLoads(1, 40, 2, server.OptionsSpec{}, 808)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := loads[0]
+	p := server.NewPool(server.PoolOptions{Workers: 2})
+	defer p.Close(context.Background())
+
+	run := func(name string) *server.TenantStats {
+		t.Helper()
+		spec := *tl.Spec
+		spec.Name = name
+		info, err := p.Register(&spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for di := range tl.Deltas {
+			if _, err := p.Synthesize(context.Background(), info.ID, &tl.Deltas[di]); err != nil {
+				t.Fatalf("%s delta %d: %v", name, di, err)
+			}
+		}
+		st, err := p.TenantStats(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	first := run("region-a")
+	if first.CacheMisses == 0 {
+		t.Fatalf("first tenant found a warm cache: %+v", first)
+	}
+	second := run("region-b")
+	if second.CacheMisses != 0 {
+		t.Fatalf("second tenant missed %d times; learning not shared across names", second.CacheMisses)
+	}
+	if second.CacheHits != int64(len(tl.Deltas)) {
+		t.Fatalf("second tenant hits = %d, want %d", second.CacheHits, len(tl.Deltas))
+	}
+	if st := p.Stats(); st.LearnStores != 1 {
+		t.Fatalf("learn stores = %d, want 1 (shared)", st.LearnStores)
+	}
+
+	// An opted-out tenant never touches the shared store.
+	spec := *tl.Spec
+	spec.Name = "region-c"
+	spec.Options.NoPlanCache = true
+	info, err := p.Register(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for di := range tl.Deltas {
+		if _, err := p.Synthesize(context.Background(), info.ID, &tl.Deltas[di]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := p.TenantStats(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("noPlanCache tenant touched the cache: %+v", st)
+	}
+}

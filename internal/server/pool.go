@@ -87,6 +87,13 @@ type tenant struct {
 	gate    chan struct{} // cap 1: the single-flight session lock
 	pending atomic.Int32  // admitted requests (running + queued)
 
+	// learnID keys the pool's shared plan cache this tenant attaches to
+	// (empty when the tenant opted out via noPlanCache); survives
+	// eviction so rebuilds re-attach the same store.
+	learnID string
+
+	cacheHits, cacheMisses atomic.Int64
+
 	cur  *config.Config // current configuration; survives eviction
 	sess *core.Session  // nil when cold
 	elem *list.Element  // position in the pool LRU; nil when cold
@@ -114,6 +121,12 @@ type Pool struct {
 	closed   bool
 	inflight sync.WaitGroup
 
+	// learn holds the shared verification-first plan caches, keyed by
+	// learning fingerprint (see learn.go); tenants with the same scenario
+	// shape share one cache across the pool and across restarts
+	// (SaveLearning/LoadLearning).
+	learn *learnRegistry
+
 	m poolMetrics
 
 	// beforeSynthesize is a test seam invoked while the tenant gate and a
@@ -140,6 +153,7 @@ func NewPool(opts PoolOptions) *Pool {
 		slots:   make(chan struct{}, opts.workers()),
 		tenants: map[string]*tenant{},
 		lru:     list.New(),
+		learn:   newLearnRegistry(0),
 	}
 }
 
@@ -190,6 +204,16 @@ func (p *Pool) Register(spec *TenantSpec) (*TenantInfo, error) {
 		opts: opts,
 		gate: make(chan struct{}, 1),
 		cur:  base.Init,
+	}
+	// Attach the shared plan cache: tenants whose specs differ only by
+	// name learn from — and replay-verify against — each other's runs.
+	if !opts.NoPlanCache {
+		learnID, lerr := spec.LearnFingerprint()
+		if lerr != nil {
+			return nil, lerr
+		}
+		t.learnID = learnID
+		sess.SetCache(p.learn.get(learnID))
 	}
 	t.builds.Add(1)
 
@@ -298,6 +322,15 @@ func (p *Pool) Synthesize(ctx context.Context, id string, delta *config.StreamDe
 	t.lastNS.Store(elapsed)
 	t.totalNS.Add(elapsed)
 	p.m.synthNS.Add(elapsed)
+	if sess.Cache() != nil && (serr == nil || isInfeasible(serr)) {
+		// Only completed runs vote: an expired request's LastStats may
+		// belong to an earlier run.
+		if sess.LastStats().CacheHit {
+			t.cacheHits.Add(1)
+		} else {
+			t.cacheMisses.Add(1)
+		}
+	}
 	for {
 		cur := p.m.maxSynthNS.Load()
 		if elapsed <= cur || p.m.maxSynthNS.CompareAndSwap(cur, elapsed) {
@@ -479,6 +512,9 @@ func (p *Pool) ensureWarm(t *tenant) (*core.Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.learnID != "" {
+		sess.SetCache(p.learn.get(t.learnID))
+	}
 	if t.builds.Add(1) > 1 {
 		p.m.rebuilds.Add(1)
 	}
@@ -539,6 +575,8 @@ func (p *Pool) TenantStats(id string) (*TenantStats, error) {
 	if b := t.builds.Load(); b > 1 {
 		st.Rebuilds = b - 1
 	}
+	st.CacheHits = t.cacheHits.Load()
+	st.CacheMisses = t.cacheMisses.Load()
 	st.LastSynthMS = float64(t.lastNS.Load()) / 1e6
 	if st.Runs > 0 {
 		st.MeanSynthMS = float64(t.totalNS.Load()) / 1e6 / float64(st.Runs)
@@ -575,6 +613,17 @@ type PoolStats struct {
 	QueueWaitMSTotal float64 `json:"queueWaitMsTotal"`
 	SynthMSTotal     float64 `json:"synthMsTotal"`
 	SynthMSMax       float64 `json:"synthMsMax"`
+	// Shared plan-cache totals, aggregated across the pool's learning
+	// stores (learn.go). PlanCacheHits counts requests served from the
+	// verification-first fast path; PlanCacheVerifyFailures counts stale
+	// or corrupted entries caught by replay (each fell back to the full
+	// search); PlanCacheEvictions counts capacity evictions.
+	PlanCacheHits           int64 `json:"planCacheHits"`
+	PlanCacheMisses         int64 `json:"planCacheMisses"`
+	PlanCacheVerifyFailures int64 `json:"planCacheVerifyFailures"`
+	PlanCacheEvictions      int64 `json:"planCacheEvictions"`
+	PlanCacheEntries        int   `json:"planCacheEntries"`
+	LearnStores             int   `json:"learnStores"`
 }
 
 // Stats snapshots the pool counters.
@@ -583,26 +632,33 @@ func (p *Pool) Stats() PoolStats {
 	tenants := len(p.tenants)
 	warm := p.lru.Len()
 	p.mu.Unlock()
+	cache, stores := p.learn.totals()
 	return PoolStats{
-		Tenants:           tenants,
-		WarmSessions:      warm,
-		Workers:           p.opts.workers(),
-		Requests:          p.m.requests.Load(),
-		Plans:             p.m.plans.Load(),
-		Infeasible:        p.m.infeasible.Load(),
-		Failures:          p.m.failures.Load(),
-		BadRequests:       p.m.badRequests.Load(),
-		RejectedQueueFull: p.m.rejectedQueue.Load(),
-		DeadlineExpired:   p.m.expired.Load(),
-		Canceled:          p.m.canceled.Load(),
-		Evictions:         p.m.evictions.Load(),
-		SessionRebuilds:   p.m.rebuilds.Load(),
-		StepAcks:          p.m.acks.Load(),
-		Repairs:           p.m.repairs.Load(),
-		RepairFailures:    p.m.repairFailures.Load(),
-		QueueWaitMSTotal:  float64(p.m.queueWaitNS.Load()) / 1e6,
-		SynthMSTotal:      float64(p.m.synthNS.Load()) / 1e6,
-		SynthMSMax:        float64(p.m.maxSynthNS.Load()) / 1e6,
+		PlanCacheHits:           cache.Hits,
+		PlanCacheMisses:         cache.Misses,
+		PlanCacheVerifyFailures: cache.VerifyFailures,
+		PlanCacheEvictions:      cache.Evictions,
+		PlanCacheEntries:        cache.Entries,
+		LearnStores:             stores,
+		Tenants:                 tenants,
+		WarmSessions:            warm,
+		Workers:                 p.opts.workers(),
+		Requests:                p.m.requests.Load(),
+		Plans:                   p.m.plans.Load(),
+		Infeasible:              p.m.infeasible.Load(),
+		Failures:                p.m.failures.Load(),
+		BadRequests:             p.m.badRequests.Load(),
+		RejectedQueueFull:       p.m.rejectedQueue.Load(),
+		DeadlineExpired:         p.m.expired.Load(),
+		Canceled:                p.m.canceled.Load(),
+		Evictions:               p.m.evictions.Load(),
+		SessionRebuilds:         p.m.rebuilds.Load(),
+		StepAcks:                p.m.acks.Load(),
+		Repairs:                 p.m.repairs.Load(),
+		RepairFailures:          p.m.repairFailures.Load(),
+		QueueWaitMSTotal:        float64(p.m.queueWaitNS.Load()) / 1e6,
+		SynthMSTotal:            float64(p.m.synthNS.Load()) / 1e6,
+		SynthMSMax:              float64(p.m.maxSynthNS.Load()) / 1e6,
 	}
 }
 

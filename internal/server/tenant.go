@@ -61,6 +61,10 @@ type OptionsSpec struct {
 	// MinCompletion makes completion time under the DAG latency model a
 	// tie-breaker among valid plans (core.Options.MinimizeCompletionTime).
 	MinCompletion bool `json:"minCompletion,omitempty"`
+	// NoPlanCache opts the tenant out of the pool's shared plan cache and
+	// persistent learning (core.Options.NoPlanCache): every request pays
+	// the full search.
+	NoPlanCache bool `json:"noPlanCache,omitempty"`
 	// TimeoutNS bounds each synthesis inside the engine (nanoseconds, a
 	// time.Duration verbatim); requests may tighten it further per call
 	// via their deadline.
@@ -80,6 +84,7 @@ func (o OptionsSpec) Build() (core.Options, error) {
 		NoEarlyTermination:     o.NoEarlyTermination,
 		NoHeuristicOrder:       o.NoHeuristicOrder,
 		MinimizeCompletionTime: o.MinCompletion,
+		NoPlanCache:            o.NoPlanCache,
 		Timeout:                time.Duration(o.TimeoutNS),
 	}
 	switch o.Checker {
@@ -111,6 +116,7 @@ func OptionsSpecOf(opts core.Options) OptionsSpec {
 		NoEarlyTermination: opts.NoEarlyTermination,
 		NoHeuristicOrder:   opts.NoHeuristicOrder,
 		MinCompletion:      opts.MinimizeCompletionTime,
+		NoPlanCache:        opts.NoPlanCache,
 		TimeoutNS:          int64(opts.Timeout),
 	}
 	switch opts.Checker {
@@ -138,6 +144,17 @@ func (s *TenantSpec) Fingerprint() (string, error) {
 	}
 	sum := sha256.Sum256(b)
 	return "t" + hex.EncodeToString(sum[:8]), nil
+}
+
+// LearnFingerprint is the cross-tenant learning key: the fingerprint of
+// the spec with its display name cleared, so tenants that differ only in
+// name — the common shape of fleet rollouts, where every region registers
+// the same scenario under its own label — share one plan cache and one
+// body of learned state.
+func (s *TenantSpec) LearnFingerprint() (string, error) {
+	clone := *s
+	clone.Name = ""
+	return clone.Fingerprint()
 }
 
 // TenantInfo is Register's answer.
@@ -174,4 +191,10 @@ type TenantStats struct {
 	Rebuilds    int64   `json:"rebuilds"`
 	LastSynthMS float64 `json:"lastSynthMs"`
 	MeanSynthMS float64 `json:"meanSynthMs"`
+	// CacheHits counts syntheses served from the verification-first plan
+	// cache (replayed plan or memoized infeasibility); CacheMisses counts
+	// those that ran the full search with the cache attached. Both stay
+	// zero for tenants registered with noPlanCache.
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
 }

@@ -87,6 +87,9 @@ type ResultStats struct {
 	DAGDepth   int     `json:"dagDepth,omitempty"`
 	DAGWidth   int     `json:"dagWidth,omitempty"`
 	ElapsedMS  float64 `json:"elapsedMs"`
+	// CacheHit marks a plan served from the verification-first plan cache
+	// (replayed through the tenant's warm checkers, no search run).
+	CacheHit bool `json:"cacheHit,omitempty"`
 }
 
 // NewResult converts one Pool.Synthesize outcome into its wire line.
@@ -107,6 +110,7 @@ func NewResult(seq int, tenantID string, plan *core.Plan, err error) Result {
 			DAGDepth:   plan.Stats.DAGDepth,
 			DAGWidth:   plan.Stats.DAGWidth,
 			ElapsedMS:  float64(plan.Stats.Elapsed.Microseconds()) / 1000,
+			CacheHit:   plan.Stats.CacheHit,
 		}
 		if d := plan.DAG; d != nil {
 			res.DAG = &ResultDAG{
