@@ -606,6 +606,46 @@ func BenchmarkRepair(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotRestore measures rebuilding a warm session from its
+// binary snapshot — the pool's eviction-resume path. The session is
+// warmed (one synthesis with the plan cache attached) and snapshotted
+// outside the timer; one op restores it over the shared arena and
+// warmth, exactly as ensureWarm does after an eviction. Restore adopts
+// recorded transitions, labelings, and atom images instead of
+// recomputing them, so allocations stay proportional to the decoded
+// arrays alone; CI pins allocs/op (see .github/workflows/ci.yml).
+func BenchmarkSnapshotRestore(b *testing.B) {
+	sc, err := bench.MultiRegionWorkload(160, 4, 2, 0, config.Reachability, 160*13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Parallelism: 1, Timeout: benchTimeout}
+	res := core.SessionResources{Arena: kripke.NewArena(sc.Topo), Warmth: mc.NewWarmth()}
+	sess, err := core.NewSessionWith(sc.Topo, sc.Init, sc.Specs, opts, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.EnableCache()
+	if _, err := sess.Synthesize(sc.Final); err != nil {
+		b.Fatal(err)
+	}
+	img, err := sess.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored, err := core.RestoreSessionWith(sc.Topo, sc.Specs, opts, img, res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if restored.Runs() != sess.Runs() {
+			b.Fatalf("restored %d runs, want %d", restored.Runs(), sess.Runs())
+		}
+	}
+}
+
 // BenchmarkSimulatorFig1 measures the discrete-event simulator on the
 // Figure 1 scenario.
 func BenchmarkSimulatorFig1(b *testing.B) {

@@ -7,8 +7,8 @@
 //	experiments -fig stream -json   # warm-session vs cold synthesis
 //
 // Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation,
-// parallel, stream, decomp, server, dag, repair, cache, all. "-fig
-// server" compares warm multi-tenant pool serving against cold
+// parallel, stream, decomp, server, dag, repair, cache, snapshot, all.
+// "-fig server" compares warm multi-tenant pool serving against cold
 // per-request synthesis. "-fig cache" serves identical flapping traffic
 // with and without the verification-first plan cache, reporting the
 // fast-path speedup and hit rate.
@@ -16,6 +16,10 @@
 // against decentralized execution of its dependency DAG, by update size.
 // "-fig repair" compares warm-session repair after a mid-execution crash
 // against cold resynthesis from the same partially-committed state.
+// "-fig snapshot" compares cold session rebuild against binary-snapshot
+// restore (the pool's eviction-resume decision) by workload size, and
+// reports sharded serving throughput through the netupdatelb router by
+// replica count.
 // The -scale flag selects problem sizes: "small" finishes
 // in seconds, "medium" in minutes, "full" approaches the paper's sizes
 // (up to 1500 switches for 8g) and can take much longer. -parallel sets
@@ -58,6 +62,12 @@ type scale struct {
 	cacheTenants   []int
 	cacheSwitches  int
 	cacheCycles    int
+	snapSizes      []int
+	snapRegions    int
+	shardReplicas  []int
+	shardTenants   int
+	shardSwitches  int
+	shardSteps     int
 	timeout        time.Duration
 }
 
@@ -83,6 +93,12 @@ var scales = map[string]scale{
 		cacheTenants:   []int{2, 4},
 		cacheSwitches:  40,
 		cacheCycles:    8,
+		snapSizes:      []int{240, 480},
+		snapRegions:    6,
+		shardReplicas:  []int{1, 2},
+		shardTenants:   6,
+		shardSwitches:  40,
+		shardSteps:     6,
 		timeout:        time.Minute,
 	},
 	"medium": {
@@ -106,6 +122,12 @@ var scales = map[string]scale{
 		cacheTenants:   []int{4, 8},
 		cacheSwitches:  60,
 		cacheCycles:    10,
+		snapSizes:      []int{240, 480, 960},
+		snapRegions:    6,
+		shardReplicas:  []int{1, 2, 4},
+		shardTenants:   8,
+		shardSwitches:  60,
+		shardSteps:     8,
 		timeout:        5 * time.Minute,
 	},
 	"full": {
@@ -129,13 +151,19 @@ var scales = map[string]scale{
 		cacheTenants:   []int{8, 16},
 		cacheSwitches:  80,
 		cacheCycles:    16,
+		snapSizes:      []int{480, 960, 1440},
+		snapRegions:    6,
+		shardReplicas:  []int{1, 2, 4},
+		shardTenants:   16,
+		shardSwitches:  80,
+		shardSteps:     10,
 		timeout:        10 * time.Minute,
 	},
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|repair|cache|all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|repair|cache|snapshot|all")
 		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
 		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
 		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
@@ -270,6 +298,14 @@ func run(fig string, sc scale) ([]*bench.Table, error) {
 	}
 	if all || fig == "cache" {
 		if err := add(bench.CacheCompare(sc.cacheTenants, sc.cacheSwitches, sc.cacheCycles, 4)); err != nil {
+			return nil, err
+		}
+	}
+	if all || fig == "snapshot" {
+		if err := add(bench.SnapshotRestoreCompare(sc.snapSizes, sc.snapRegions, sc.timeout)); err != nil {
+			return nil, err
+		}
+		if err := add(bench.ShardCompare(sc.shardReplicas, sc.shardTenants, sc.shardSwitches, sc.shardSteps, 4)); err != nil {
 			return nil, err
 		}
 	}

@@ -48,19 +48,37 @@
 // netupdated daemon. SIGINT/SIGTERM shut it down gracefully: input stops,
 // the in-flight synthesis finishes, and its plan line is flushed before
 // exit.
+//
+// With -connect the stream is served by remote netupdated replicas
+// instead of an in-process pool:
+//
+//	netupdate -stream -connect http://host:8080 < stream.jsonl
+//	netupdate -stream -connect http://h1:8080,http://h2:8080 < stream.jsonl
+//
+// Given several URLs the client shards itself: it places its tenant on
+// the same consistent-hash ring the netupdatelb router uses (so routed
+// and direct clients agree on placement) and streams straight to the
+// owner replica, skipping the proxy hop. Learning then lives server-side;
+// -learn-file cannot be combined with -connect.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"netupdate/internal/atomicio"
 	"netupdate/internal/config"
 	"netupdate/internal/core"
 	"netupdate/internal/server"
@@ -86,6 +104,7 @@ func main() {
 		doRepair  = flag.Bool("repair", false, "after a stalled -faults execution, resynthesize from the partially-committed state and finish the update")
 		noCache   = flag.Bool("no-plan-cache", false, "disable the verification-first plan cache (every request pays the full search)")
 		learnFile = flag.String("learn-file", "", "with -stream: load the plan cache and learned state from this JSON file at startup and save it back on exit")
+		connect   = flag.String("connect", "", "with -stream: serve via remote netupdated replica(s), comma-separated base URLs; several shard client-side by tenant fingerprint")
 		quiet     = flag.Bool("q", false, "suppress statistics")
 	)
 	flag.Parse()
@@ -126,11 +145,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "netupdate: -stream reads from stdin and synthesizes every delta; it cannot be combined with -f, -verify, or -faults")
 			os.Exit(2)
 		}
+		if *connect != "" {
+			if *learnFile != "" {
+				fmt.Fprintln(os.Stderr, "netupdate: with -connect the replica owns the learned state; -learn-file cannot be combined with it")
+				os.Exit(2)
+			}
+			if err := runStreamRemote(*connect, opts, *quiet); err != nil {
+				fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runStream(opts, *quiet, *learnFile); err != nil {
 			fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *connect != "" {
+		fmt.Fprintln(os.Stderr, "netupdate: -connect streams to a remote replica; it requires -stream")
+		os.Exit(2)
 	}
 	if *learnFile != "" {
 		fmt.Fprintln(os.Stderr, "netupdate: -learn-file persists the stream session's plan cache; it requires -stream")
@@ -336,22 +370,81 @@ func loadLearnFile(pool *server.Pool, path string) error {
 	return pool.LoadLearning(f)
 }
 
-// saveLearnFile writes the pool's learning snapshot atomically (temp file
-// + rename), so an interrupted save never truncates the previous state.
+// saveLearnFile writes the pool's learning snapshot atomically, so an
+// interrupted save never truncates the previous state.
 func saveLearnFile(pool *server.Pool, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return pool.SaveLearning(w)
+	})
+}
+
+// runStreamRemote serves the stdin stream through remote netupdated
+// replicas: the header registers the tenant on the replica the shared
+// consistent-hash ring assigns it (identical placement to what a
+// netupdatelb router over the same replica list would compute), and the
+// remaining stdin lines are streamed as one duplex synthesize exchange,
+// result lines copied to stdout as they arrive.
+func runStreamRemote(connect string, opts core.Options, quiet bool) error {
+	var replicas []string
+	for _, u := range strings.Split(connect, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replicas = append(replicas, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(replicas) == 0 {
+		return fmt.Errorf("-connect: no replica URLs")
+	}
+
+	dec := json.NewDecoder(os.Stdin)
+	var hdr config.StreamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("stream header: %w", err)
+	}
+	spec := &server.TenantSpec{StreamHeader: hdr, Options: server.OptionsSpecOf(opts)}
+	id, err := spec.Fingerprint()
 	if err != nil {
 		return err
 	}
-	if err := pool.SaveLearning(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	ring := server.NewRing(0)
+	for _, r := range replicas {
+		ring.Add(r)
+	}
+	owner, _ := ring.Owner(id)
+
+	body, err := json.Marshal(spec)
+	if err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+	resp, err := http.Post(owner+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("registering with %s: %w", owner, err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("registering with %s: status %d: %s", owner, resp.StatusCode, msg)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "netupdate: tenant %s on %s (%d replica(s))\n", id, owner, len(replicas))
+	}
+
+	// The decoder may have buffered bytes past the header; replay them
+	// ahead of the rest of stdin as the synthesize request body.
+	rest := io.MultiReader(dec.Buffered(), os.Stdin)
+	req, err := http.NewRequest(http.MethodPost, owner+"/v1/tenants/"+id+"/synthesize", rest)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("streaming to %s: %w", owner, err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(sresp.Body)
+		return fmt.Errorf("streaming to %s: status %d: %s", owner, sresp.StatusCode, msg)
+	}
+	_, err = io.Copy(os.Stdout, sresp.Body)
+	return err
 }

@@ -4,12 +4,15 @@
 //	netupdated -addr :8080
 //	netupdated -addr :8080 -workers 8 -max-sessions 128 -queue 16 -timeout 30s
 //	netupdated -addr :8080 -learn-file /var/lib/netupdate/learned.json
+//	netupdated -addr :8080 -snapshot-dir /var/lib/netupdate/snapshots
 //
 // Endpoints (see internal/server for the wire format):
 //
 //	POST /v1/tenants                   register a scenario, returns {"id": ...}
 //	POST /v1/tenants/{id}/synthesize   JSONL deltas in, JSONL plan lines out
 //	GET  /v1/tenants/{id}/stats        per-tenant serving summary
+//	GET  /v1/tenants/{id}/snapshot     export the tenant's warm session (binary)
+//	PUT  /v1/tenants/{id}/snapshot     install a warm session (tenant migration)
 //	GET  /metrics                      pool/queue/latency counters
 //	GET  /healthz                      liveness
 //
@@ -30,21 +33,34 @@
 // its 2-simple and scoped-two-phase fallback ladder) and answers with a
 // "repair" plan line from the crash state to the stranded target.
 //
+// With -snapshot-dir the daemon persists every tenant's warm session on
+// drain (one <id>.nuss file, written atomically) and restores it when
+// the tenant re-registers after a restart — the process comes back with
+// its predecessor's warm state and current configurations instead of
+// re-warming every tenant cold. The same snapshot format is what the
+// sharding router (cmd/netupdatelb) moves between replicas on ring
+// changes.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
 // in-flight syntheses finish (bounded by -drain), and exits.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"netupdate/internal/atomicio"
 	"netupdate/internal/server"
 )
 
@@ -57,15 +73,16 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline when the client sets none (0 = none)")
 		drain       = flag.Duration("drain", time.Minute, "shutdown grace for in-flight syntheses")
 		learnFile   = flag.String("learn-file", "", "load the shared plan caches and learned state from this JSON snapshot at startup and save them back after draining")
+		snapshotDir = flag.String("snapshot-dir", "", "persist per-tenant session snapshots here on drain and restore them when tenants re-register")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *maxSessions, *queue, *timeout, *drain, *learnFile); err != nil {
+	if err := run(*addr, *workers, *maxSessions, *queue, *timeout, *drain, *learnFile, *snapshotDir); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdated: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxSessions, queue int, timeout, drain time.Duration, learnFile string) error {
+func run(addr string, workers, maxSessions, queue int, timeout, drain time.Duration, learnFile, snapshotDir string) error {
 	pool := server.NewPool(server.PoolOptions{
 		Workers:        workers,
 		MaxSessions:    maxSessions,
@@ -77,7 +94,16 @@ func run(addr string, workers, maxSessions, queue int, timeout, drain time.Durat
 			return err
 		}
 	}
-	srv := &http.Server{Addr: addr, Handler: server.NewHandler(pool)}
+	if snapshotDir != "" {
+		if err := os.MkdirAll(snapshotDir, 0o755); err != nil {
+			return err
+		}
+	}
+	handler := server.NewHandler(pool)
+	if snapshotDir != "" {
+		handler = restoreOnRegister(pool, handler, snapshotDir)
+	}
+	srv := &http.Server{Addr: addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -105,6 +131,9 @@ func run(addr string, workers, maxSessions, queue int, timeout, drain time.Durat
 	if err := pool.Close(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdated: %v\n", err)
 	}
+	if snapshotDir != "" {
+		saveSnapshots(pool, snapshotDir)
+	}
 	if learnFile != "" {
 		if err := saveLearnFile(pool, learnFile); err != nil {
 			return err
@@ -128,22 +157,72 @@ func loadLearnFile(pool *server.Pool, path string) error {
 	return pool.LoadLearning(f)
 }
 
-// saveLearnFile writes the learning snapshot atomically (temp file +
-// rename), so an interrupted save never truncates the previous state.
+// saveLearnFile writes the learning snapshot atomically, so an
+// interrupted save never truncates the previous state.
 func saveLearnFile(pool *server.Pool, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return pool.SaveLearning(w)
+	})
+}
+
+// saveSnapshots persists every tenant's session snapshot (best effort:
+// tenants busy mid-synthesis after the drain grace are skipped).
+func saveSnapshots(pool *server.Pool, dir string) {
+	for id, img := range pool.SnapshotAll() {
+		if err := atomicio.WriteFileBytes(snapshotPath(dir, id), img); err != nil {
+			fmt.Fprintf(os.Stderr, "netupdated: snapshot %s: %v\n", id, err)
+		}
 	}
-	if err := pool.SaveLearning(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+}
+
+// restoreOnRegister wraps the daemon handler: after a successful tenant
+// registration it installs the tenant's persisted snapshot, if one is on
+// disk, so a restarted daemon resumes warm exactly where it drained. A
+// rejected image (stale format, different spec) is deleted and the
+// tenant simply starts cold; the consumed snapshot is removed either way
+// so later registrations cannot resurrect an outdated position.
+func restoreOnRegister(pool *server.Pool, next http.Handler, dir string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/tenants" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		rec := &registerRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		var info server.TenantInfo
+		if rec.status >= 300 || json.Unmarshal(rec.body.Bytes(), &info) != nil || info.ID == "" {
+			return
+		}
+		path := snapshotPath(dir, info.ID)
+		img, err := os.ReadFile(path)
+		if err != nil {
+			return // no snapshot for this tenant
+		}
+		if err := pool.InstallSnapshot(r.Context(), info.ID, img); err != nil {
+			fmt.Fprintf(os.Stderr, "netupdated: restoring %s: %v\n", info.ID, err)
+		}
+		os.Remove(path)
+	})
+}
+
+// registerRecorder tees the registration response so the wrapper can
+// learn the tenant id while the client still receives it unchanged.
+type registerRecorder struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (r *registerRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *registerRecorder) Write(b []byte) (int, error) {
+	r.body.Write(b)
+	return r.ResponseWriter.Write(b)
+}
+
+func snapshotPath(dir, id string) string {
+	return filepath.Join(dir, filepath.Base(id)+".nuss")
 }

@@ -1,0 +1,62 @@
+// Command netupdatelb is the sharding router for a fleet of netupdated
+// replicas: tenants are placed on a consistent-hash ring keyed by their
+// spec fingerprint, streaming traffic is proxied to each tenant's owner,
+// and ring changes (scale-up, drain) migrate affected tenants with their
+// session snapshots, so warm state moves instead of being re-earned.
+//
+//	netupdatelb -addr :9090 -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// The router speaks the replica API unchanged — clients point at the
+// router exactly as they would at a single netupdated — plus the ring
+// administration surface:
+//
+//	GET    /lb/replicas            ring membership and tenant placement
+//	POST   /lb/replicas            add a replica {"url": ...}; rebalances
+//	DELETE /lb/replicas?url=U      drain U's tenants away, then remove it
+//	GET    /metrics                router counters (Prometheus text)
+//
+// Clients that prefer to skip the proxy hop can shard themselves:
+// netupdate -stream -connect URL,URL,... builds the same ring from the
+// same replica list and talks straight to its tenant's owner.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"netupdate/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated netupdated base URLs forming the initial ring")
+		vnodes   = flag.Int("vnodes", server.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+	)
+	flag.Parse()
+	if err := run(*addr, *replicas, *vnodes); err != nil {
+		fmt.Fprintf(os.Stderr, "netupdatelb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, replicas string, vnodes int) error {
+	var urls []string
+	for _, u := range strings.Split(replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("no replicas: pass -replicas http://host:port[,...]")
+	}
+	lb, err := server.NewLB(urls, vnodes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "netupdatelb: routing %d replicas on %s (vnodes=%d)\n", len(urls), addr, vnodes)
+	return http.ListenAndServe(addr, lb.Handler())
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -45,6 +46,11 @@ type Session struct {
 	opts  Options
 	cur   *config.Config
 
+	// arena is the class-independent Kripke state space every per-class
+	// structure (including the final-verification set) is built over. It
+	// is immutable and may be shared with other sessions on the same
+	// topology (see SessionResources).
+	arena    *kripke.Arena
 	warm     *mc.Warmth
 	ks       []*kripke.K
 	checkers []mc.Checker
@@ -93,6 +99,7 @@ type Session struct {
 	// identity so a steady-state stream hashes one configuration per
 	// request.
 	cache       *PlanCache
+	cacheBlob   []byte
 	ctxFP       []byte
 	hashedCur   *config.Config
 	curHash     cfgHash
@@ -114,25 +121,32 @@ type engineScratch struct {
 	actsB     []network.Action
 }
 
+// SessionResources are the read-only structures a session may share with
+// other sessions over the same topology instead of building privately:
+// the Kripke state arena and the formula-keyed warmth cache (closures and
+// label tables). Both are immutable or internally synchronized, so the
+// pool deduplicates them across identically-shaped tenants. Nil fields
+// mean "build a private one".
+type SessionResources struct {
+	Arena  *kripke.Arena
+	Warmth *mc.Warmth
+}
+
 // NewSession builds the warm per-class structures over the initial
 // configuration and verifies it against every specification (returning
 // ErrInitialViolation otherwise). The checker backend, granularity, and
 // search options are fixed for the session's lifetime.
 func NewSession(topo *topology.Topology, init *config.Config, specs []config.ClassSpec, opts Options) (*Session, error) {
-	s := &Session{
-		topo:  topo,
-		specs: specs,
-		opts:  opts,
-		cur:   init,
-		warm:  mc.NewWarmth(),
-		scratch: engineScratch{
-			visited:   newBitsetSet(),
-			curTables: map[int]network.Table{},
-		},
-	}
+	return NewSessionWith(topo, init, specs, opts, SessionResources{})
+}
+
+// NewSessionWith is NewSession drawing the state arena and the warmth
+// cache from res where provided.
+func NewSessionWith(topo *topology.Topology, init *config.Config, specs []config.ClassSpec, opts Options, res SessionResources) (*Session, error) {
+	s := newSessionShell(topo, init, specs, opts, res)
 	factory := opts.Checker.warmFactory()
 	for _, cs := range specs {
-		k, err := kripke.Build(topo, init, cs.Class)
+		k, err := s.arena.Build(init, cs.Class)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrInitialViolation, err)
 		}
@@ -151,6 +165,56 @@ func NewSession(topo *topology.Topology, init *config.Config, specs []config.Cla
 	return s, nil
 }
 
+// newSessionShell assembles the session fields common to cold
+// construction and snapshot restore: shared or private resources, fresh
+// engine scratch, no per-class structures yet.
+func newSessionShell(topo *topology.Topology, init *config.Config, specs []config.ClassSpec, opts Options, res SessionResources) *Session {
+	arena := res.Arena
+	if arena == nil {
+		arena = kripke.NewArena(topo)
+	}
+	warm := res.Warmth
+	if warm == nil {
+		warm = mc.NewWarmth()
+	}
+	return &Session{
+		topo:  topo,
+		specs: specs,
+		opts:  opts,
+		cur:   init,
+		arena: arena,
+		warm:  warm,
+		scratch: engineScratch{
+			visited:   newBitsetSet(),
+			curTables: map[int]network.Table{},
+		},
+	}
+}
+
+// materializeCache decodes a restored snapshot's plan-cache blob into a
+// live cache on first access, keeping the JSON decode — the single
+// largest remaining chunk of restore time — off the restore critical
+// path. The blob rode in under the snapshot's sha256 checksum, so a
+// decode failure here means an encoder bug, not corruption; the cache is
+// then simply dropped (a cold cache is always sound — every hit is
+// re-verified by replay anyway).
+func (s *Session) materializeCache() {
+	if s.cacheBlob == nil {
+		return
+	}
+	blob := s.cacheBlob
+	s.cacheBlob = nil
+	var cs PlanCacheSnapshot
+	if err := json.Unmarshal(blob, &cs); err != nil {
+		return
+	}
+	cache := NewPlanCache(0)
+	if err := cache.Restore(&cs); err != nil {
+		return
+	}
+	s.cache = cache
+}
+
 // EnableCache attaches a private verification-first plan cache (cache.go)
 // with the default capacity and returns it, creating one if the session
 // has none. It is a no-op returning nil when Options.NoPlanCache is set.
@@ -158,6 +222,7 @@ func (s *Session) EnableCache() *PlanCache {
 	if s.opts.NoPlanCache {
 		return nil
 	}
+	s.materializeCache()
 	if s.cache == nil {
 		s.cache = NewPlanCache(0)
 	}
@@ -165,16 +230,21 @@ func (s *Session) EnableCache() *PlanCache {
 }
 
 // SetCache attaches an existing (possibly shared) plan cache; nil
-// detaches. Ignored when Options.NoPlanCache is set.
+// detaches. Ignored when Options.NoPlanCache is set. Any pending
+// restored-snapshot cache state is superseded and discarded.
 func (s *Session) SetCache(c *PlanCache) {
 	if s.opts.NoPlanCache {
 		return
 	}
+	s.cacheBlob = nil
 	s.cache = c
 }
 
 // Cache returns the attached plan cache, or nil.
-func (s *Session) Cache() *PlanCache { return s.cache }
+func (s *Session) Cache() *PlanCache {
+	s.materializeCache()
+	return s.cache
+}
 
 // Current returns the configuration the session is at: the initial one,
 // or the target of the last successful Synthesize.
@@ -250,6 +320,7 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 	// fresh search.
 	var cacheKey string
 	var ent *cacheEntry
+	s.materializeCache()
 	if s.cache != nil {
 		cacheKey = s.instanceKey(final)
 		ent = s.cache.lookup(cacheKey)
@@ -456,7 +527,7 @@ func (s *Session) verifyFinal(e *engine, final *config.Config) error {
 		fks := make([]*kripke.K, 0, len(s.specs))
 		fchecks := make([]mc.Checker, 0, len(s.specs))
 		for _, cs := range s.specs {
-			kf, err := kripke.Build(s.topo, final, cs.Class)
+			kf, err := s.arena.Build(final, cs.Class)
 			if err != nil {
 				return fmt.Errorf("%w: %v", ErrFinalViolation, err)
 			}

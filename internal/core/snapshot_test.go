@@ -1,0 +1,232 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/kripke"
+	"netupdate/internal/mc"
+)
+
+// TestSnapshotRoundTripByteIdentity: snapshot a warm mid-stream session,
+// restore it, and serve the remainder of the stream from both the
+// original (never-evicted) session and the restored one — every plan must
+// be byte-identical, across all four checker backends. For the
+// incremental backend the restored per-state labels must also decode to
+// the original's label sets.
+func TestSnapshotRoundTripByteIdentity(t *testing.T) {
+	stream, targets := rollingTargets(t, 47, 2, 6, 1)
+	if len(targets) < 4 {
+		t.Fatalf("stream too short: %d targets", len(targets))
+	}
+	for _, kind := range []CheckerKind{CheckerIncremental, CheckerBatch, CheckerNuSMV, CheckerNetPlumber} {
+		opts := Options{Checker: kind, Parallelism: 1}
+		name := kind.String()
+		sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sess.EnableCache()
+		warmPrefix := 2
+		for n := 0; n < warmPrefix; n++ {
+			if _, err := sess.Synthesize(targets[n]); err != nil {
+				t.Fatalf("%s warm step %d: %v", name, n, err)
+			}
+		}
+		img, err := sess.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", name, err)
+		}
+		restored, err := RestoreSession(stream.Topo(), stream.Specs(), opts, img)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		if restored.Runs() != sess.Runs() {
+			t.Fatalf("%s: restored runs = %d, want %d", name, restored.Runs(), sess.Runs())
+		}
+		if diff := config.Diff(restored.Current(), sess.Current()); len(diff) != 0 {
+			t.Fatalf("%s: restored configuration differs on switches %v", name, diff)
+		}
+		if kind == CheckerIncremental {
+			compareSessionLabels(t, name, sess, restored)
+		}
+		for n := warmPrefix; n < len(targets); n++ {
+			orig, err := sess.Synthesize(targets[n])
+			if err != nil {
+				t.Fatalf("%s step %d: original: %v", name, n, err)
+			}
+			rest, err := restored.Synthesize(targets[n])
+			if err != nil {
+				t.Fatalf("%s step %d: restored: %v", name, n, err)
+			}
+			if got, want := rest.String(), orig.String(); got != want {
+				t.Fatalf("%s step %d: restored plan diverged:\nrestored %s\noriginal %s",
+					name, n, got, want)
+			}
+		}
+	}
+}
+
+// compareSessionLabels checks that two sessions' incremental checkers
+// decode to identical per-state label sets (ids may differ when tables
+// are shared; contents may not).
+func compareSessionLabels(t *testing.T, name string, a, b *Session) {
+	t.Helper()
+	for ci := range a.specs {
+		ca, ok := a.checkers[ci].(*mc.Incremental)
+		if !ok {
+			t.Fatalf("%s: checker %d is %T", name, ci, a.checkers[ci])
+		}
+		cb := b.checkers[ci].(*mc.Incremental)
+		for id := 0; id < a.ks[ci].NumStates(); id++ {
+			la, lb := ca.Labels(id), cb.Labels(id)
+			if len(la) != len(lb) {
+				t.Fatalf("%s class %d state %d: label sets diverge (%d vs %d valuations)",
+					name, ci, id, len(la), len(lb))
+			}
+			for j := range la {
+				if la[j] != lb[j] {
+					t.Fatalf("%s class %d state %d: label sets diverge", name, ci, id)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripSharedResources: restoring into a pool-shared
+// arena and warmth cache — pre-populated by another tenant — must still
+// reproduce the original plans (label ids are remapped on re-intern).
+func TestSnapshotRoundTripSharedResources(t *testing.T) {
+	stream, targets := rollingTargets(t, 53, 2, 5, 1)
+	opts := Options{Parallelism: 1}
+	res := SessionResources{Arena: kripke.NewArena(stream.Topo()), Warmth: mc.NewWarmth()}
+
+	// A sibling tenant warms the shared resources first, so the restored
+	// session's label ids cannot all coincide with the snapshot's.
+	sibling, err := NewSessionWith(stream.Topo(), stream.Init(), stream.Specs(), opts, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sibling.Synthesize(targets[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Synthesize(targets[0]); err != nil {
+		t.Fatal(err)
+	}
+	img, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSessionWith(stream.Topo(), stream.Specs(), opts, img, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareSessionLabels(t, "shared", sess, restored)
+	for n := 1; n < len(targets); n++ {
+		orig, err := sess.Synthesize(targets[n])
+		if err != nil {
+			t.Fatalf("step %d: %v", n, err)
+		}
+		rest, err := restored.Synthesize(targets[n])
+		if err != nil {
+			t.Fatalf("step %d: restored: %v", n, err)
+		}
+		if orig.String() != rest.String() {
+			t.Fatalf("step %d: shared-resource restore diverged", n)
+		}
+	}
+}
+
+// TestSnapshotRejection: corrupted, truncated, version-skewed, and
+// context-mismatched images must be rejected with the matching sentinel
+// (the pool falls back to a cold rebuild on any of them).
+func TestSnapshotRejection(t *testing.T) {
+	stream, targets := rollingTargets(t, 59, 2, 3, 1)
+	opts := Options{Parallelism: 1}
+	sess, err := NewSession(stream.Topo(), stream.Init(), stream.Specs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Synthesize(targets[0]); err != nil {
+		t.Fatal(err)
+	}
+	img, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bitflip", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := RestoreSession(stream.Topo(), stream.Specs(), opts, bad); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("corrupted image: err = %v, want ErrBadSnapshot", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := RestoreSession(stream.Topo(), stream.Specs(), opts, img[:len(img)/3]); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("truncated image: err = %v, want ErrBadSnapshot", err)
+		}
+		if _, err := RestoreSession(stream.Topo(), stream.Specs(), opts, nil); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("empty image: err = %v, want ErrBadSnapshot", err)
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		bad := append([]byte(nil), img[:len(img)-sha256.Size]...)
+		binary.LittleEndian.PutUint32(bad[len(snapMagic):], snapVersion+1)
+		sum := sha256.Sum256(bad)
+		bad = append(bad, sum[:]...)
+		if _, err := RestoreSession(stream.Topo(), stream.Specs(), opts, bad); !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("skewed image: err = %v, want ErrSnapshotVersion", err)
+		}
+	})
+	t.Run("context-mismatch", func(t *testing.T) {
+		other := Options{Parallelism: 1, TwoSimple: true}
+		if _, err := RestoreSession(stream.Topo(), stream.Specs(), other, img); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("mismatched options: err = %v, want ErrSnapshotMismatch", err)
+		}
+	})
+}
+
+// TestSharedArenaConcurrentSoak: many sessions sharing one arena and one
+// warmth cache, each synthesizing its own stream on its own goroutine.
+// Run under -race in CI, this is the shared-arena data-race soak; it also
+// checks every session still produces the one-shot conformant plan.
+func TestSharedArenaConcurrentSoak(t *testing.T) {
+	stream, targets := rollingTargets(t, 61, 2, 4, 1)
+	opts := Options{Parallelism: 1}
+	res := SessionResources{Arena: kripke.NewArena(stream.Topo()), Warmth: mc.NewWarmth()}
+	const sessions = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, sessions)
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := NewSessionWith(stream.Topo(), stream.Init(), stream.Specs(), opts, res)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for _, tgt := range targets {
+				if _, err := sess.Synthesize(tgt); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

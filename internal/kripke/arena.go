@@ -1,0 +1,135 @@
+package kripke
+
+import (
+	"fmt"
+
+	"netupdate/internal/config"
+	"netupdate/internal/network"
+	"netupdate/internal/topology"
+)
+
+// Arena is the class-independent part of the Kripke state space: the
+// state set, its index, the initial states, and the per-switch arrival
+// groups. All of it is fixed by the topology alone (Definition 9's state
+// set does not mention the configuration or the traffic class) and is
+// immutable after NewArena, so one arena can back every class of every
+// tenant that shares the topology — Clone already relied on exactly this
+// immutability to share the same four structures across search workers.
+type Arena struct {
+	topo     *topology.Topology
+	states   []State
+	index    map[State]int
+	init     []int
+	statesOf map[int][]int
+}
+
+// NewArena enumerates the state space of topo once: one arrival state
+// per (switch, port), one egress state per host-facing port, initial
+// states at the host-adjacent arrivals.
+func NewArena(topo *topology.Topology) *Arena {
+	est := 0
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		est += len(topo.Ports(sw)) + len(topo.HostsOn(sw))
+	}
+	a := &Arena{
+		topo:     topo,
+		states:   make([]State, 0, est),
+		index:    make(map[State]int, est),
+		statesOf: make(map[int][]int, topo.NumSwitches()),
+	}
+	addState := func(s State) int {
+		if id, ok := a.index[s]; ok {
+			return id
+		}
+		id := len(a.states)
+		a.states = append(a.states, s)
+		a.index[s] = id
+		if s.Kind == Arrival {
+			a.statesOf[s.Sw] = append(a.statesOf[s.Sw], id)
+		}
+		return id
+	}
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		a.statesOf[sw] = make([]int, 0, len(topo.Ports(sw)))
+		for _, pt := range topo.Ports(sw) {
+			addState(State{Kind: Arrival, Sw: sw, Pt: pt})
+		}
+		for _, h := range topo.HostsOn(sw) {
+			addState(State{Kind: Egress, Sw: sw, Pt: h.Port})
+		}
+	}
+	for _, h := range topo.Hosts() {
+		a.init = append(a.init, a.index[State{Kind: Arrival, Sw: h.Switch, Pt: h.Port}])
+	}
+	return a
+}
+
+// Topology returns the topology the arena was built over.
+func (a *Arena) Topology() *topology.Topology { return a.topo }
+
+// NumStates returns the size of the shared state set.
+func (a *Arena) NumStates() int { return len(a.states) }
+
+// newK returns a class structure sharing the arena's immutable parts.
+// The transition arrays are left nil: Build sizes empty ones to fill by
+// table application, Restore adopts decoded ones wholesale.
+func (a *Arena) newK(cl config.Class) *K {
+	return &K{
+		Class:    cl,
+		Topo:     a.topo,
+		states:   a.states,
+		index:    a.index,
+		init:     a.init,
+		statesOf: a.statesOf,
+		tables:   make([]network.Table, a.topo.NumSwitches()),
+	}
+}
+
+// Build constructs the Kripke structure of class cl under cfg over the
+// shared state space. It returns *ErrLoop if the configuration forwards
+// the class in a cycle.
+func (a *Arena) Build(cfg *config.Config, cl config.Class) (*K, error) {
+	k := a.newK(cl)
+	n := len(a.states)
+	k.succ = make([][]int, n)
+	k.pred = make([][]int, n)
+	for sw := 0; sw < a.topo.NumSwitches(); sw++ {
+		k.tables[sw] = cfg.Table(sw)
+		if err := k.recomputeSwitch(sw); err != nil {
+			return nil, err
+		}
+	}
+	if cyc := k.findCycle(nil); cyc != nil {
+		return nil, &ErrLoop{Class: cl, Cycle: k.statesFor(cyc), IDs: cyc}
+	}
+	return k, nil
+}
+
+// Restore constructs the class structure of cl directly from recorded
+// successor lists, skipping table application and the global cycle
+// check: the lists were captured from a structure that was built (and
+// therefore cycle-checked) against the same configuration, and arrive
+// under a snapshot checksum, so only structural sanity is validated
+// here. succ must have one entry per arena state; it is adopted, not
+// copied. Predecessor lists are not derived — K.ensurePred materializes
+// them from the successor lists on first use (the incremental checker's
+// first Update), off the restore critical path.
+func (a *Arena) Restore(cfg *config.Config, cl config.Class, succ [][]int) (*K, error) {
+	n := len(a.states)
+	if len(succ) != n {
+		return nil, fmt.Errorf("kripke: restore: %d successor lists for %d states", len(succ), n)
+	}
+	k := a.newK(cl)
+	for sw := 0; sw < a.topo.NumSwitches(); sw++ {
+		k.tables[sw] = cfg.Table(sw)
+	}
+	for id, next := range succ {
+		for _, t := range next {
+			if t < 0 || t >= n {
+				return nil, fmt.Errorf("kripke: restore: successor %d of state %d out of range", t, id)
+			}
+		}
+	}
+	k.succ = succ
+	return k, nil
+}

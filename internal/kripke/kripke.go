@@ -75,8 +75,9 @@ type K struct {
 	pred [][]int
 	// statesOf[sw] lists the arrival-state ids of switch sw.
 	statesOf map[int][]int
-	// tables holds the current forwarding table of each switch.
-	tables map[int]network.Table
+	// tables holds the current forwarding table of each switch, indexed
+	// by the dense switch id.
+	tables []network.Table
 	// outBuf is recomputeSwitch's reusable table-application buffer;
 	// private per structure (clones start fresh).
 	outBuf []network.PortPacket
@@ -87,65 +88,12 @@ type K struct {
 	rootBuf []int
 }
 
-// Build constructs the Kripke structure of class cl under cfg. It returns
-// *ErrLoop if the configuration forwards the class in a cycle.
+// Build constructs the Kripke structure of class cl under cfg over a
+// private arena. It returns *ErrLoop if the configuration forwards the
+// class in a cycle. Callers building many classes (or many tenants) over
+// one topology should build the Arena once and share it.
 func Build(topo *topology.Topology, cfg *config.Config, cl config.Class) (*K, error) {
-	// The state count is known up front: one arrival state per (switch,
-	// port) plus one egress state per host. Pre-sizing avoids the append
-	// regrowth that otherwise dominates Build's allocation profile.
-	est := 0
-	for sw := 0; sw < topo.NumSwitches(); sw++ {
-		est += len(topo.Ports(sw)) + len(topo.HostsOn(sw))
-	}
-	k := &K{
-		Class:    cl,
-		Topo:     topo,
-		index:    make(map[State]int, est),
-		statesOf: make(map[int][]int, topo.NumSwitches()),
-		tables:   make(map[int]network.Table, topo.NumSwitches()),
-	}
-	k.states = make([]State, 0, est)
-	k.succ = make([][]int, 0, est)
-	k.pred = make([][]int, 0, est)
-	addState := func(s State) int {
-		if id, ok := k.index[s]; ok {
-			return id
-		}
-		id := len(k.states)
-		k.states = append(k.states, s)
-		k.index[s] = id
-		k.succ = append(k.succ, nil)
-		k.pred = append(k.pred, nil)
-		if s.Kind == Arrival {
-			k.statesOf[s.Sw] = append(k.statesOf[s.Sw], id)
-		}
-		return id
-	}
-	// Fixed state space: one arrival state per (switch, port), one egress
-	// state per host-facing port.
-	for sw := 0; sw < topo.NumSwitches(); sw++ {
-		k.statesOf[sw] = make([]int, 0, len(topo.Ports(sw)))
-		for _, pt := range topo.Ports(sw) {
-			addState(State{Kind: Arrival, Sw: sw, Pt: pt})
-		}
-		for _, h := range topo.HostsOn(sw) {
-			addState(State{Kind: Egress, Sw: sw, Pt: h.Port})
-		}
-	}
-	// Initial states: arrival states adjacent to an ingress (host) link.
-	for _, h := range topo.Hosts() {
-		k.init = append(k.init, k.index[State{Kind: Arrival, Sw: h.Switch, Pt: h.Port}])
-	}
-	for sw := 0; sw < topo.NumSwitches(); sw++ {
-		k.tables[sw] = cfg.Table(sw)
-		if err := k.recomputeSwitch(sw); err != nil {
-			return nil, err
-		}
-	}
-	if cyc := k.findCycle(nil); cyc != nil {
-		return nil, &ErrLoop{Class: cl, Cycle: k.statesFor(cyc), IDs: cyc}
-	}
-	return k, nil
+	return NewArena(topo).Build(cfg, cl)
 }
 
 // Clone returns an independent copy of the structure sharing all immutable
@@ -165,15 +113,51 @@ func (k *K) Clone() *K {
 		statesOf: k.statesOf,
 	}
 	c.succ = append([][]int(nil), k.succ...)
-	c.pred = make([][]int, len(k.pred))
-	for i, p := range k.pred {
-		c.pred[i] = append([]int(nil), p...)
+	if k.pred != nil {
+		c.pred = make([][]int, len(k.pred))
+		for i, p := range k.pred {
+			c.pred[i] = append([]int(nil), p...)
+		}
 	}
-	c.tables = make(map[int]network.Table, len(k.tables))
-	for sw, tbl := range k.tables {
-		c.tables[sw] = tbl
-	}
+	c.tables = append([]network.Table(nil), k.tables...)
 	return c
+}
+
+// ensurePred materializes the predecessor lists from the successor lists
+// on first use. A restored structure (Arena.Restore) starts without them:
+// they are read only by the incremental checker's ancestor walk and by
+// setSucc's rewiring, so a session resumed just to serve cache hits (or
+// snapshotted again untouched) never pays for the derivation. Every pred
+// list is carved out of one flat backing array with a capped subslice, so
+// a later rewiring append reallocates that state's list instead of
+// clobbering its neighbor; filling in ascending state-id order reproduces
+// Build's insertion order exactly, so a lazily derived structure is
+// indistinguishable from a freshly built one.
+func (k *K) ensurePred() {
+	if k.pred != nil {
+		return
+	}
+	n := len(k.states)
+	deg := make([]int, n)
+	total := 0
+	for _, next := range k.succ {
+		for _, t := range next {
+			deg[t]++
+		}
+		total += len(next)
+	}
+	k.pred = make([][]int, n)
+	flat := make([]int, 0, total)
+	off := 0
+	for t := 0; t < n; t++ {
+		k.pred[t] = flat[off : off : off+deg[t]]
+		off += deg[t]
+	}
+	for id, next := range k.succ {
+		for _, t := range next {
+			k.pred[t] = append(k.pred[t], id)
+		}
+	}
 }
 
 // recomputeSwitch rewires the outgoing transitions of sw's arrival states
@@ -213,6 +197,7 @@ func (k *K) recomputeSwitch(sw int) error {
 
 // setSucc replaces the successor list of state id, maintaining pred.
 func (k *K) setSucc(id int, next []int) {
+	k.ensurePred()
 	for _, t := range k.succ[id] {
 		k.pred[t] = removeOne(k.pred[t], id)
 	}
@@ -546,8 +531,14 @@ func (k *K) Init() []int { return k.init }
 // self-loop).
 func (k *K) Succ(id int) []int { return k.succ[id] }
 
-// Pred returns the predecessors of state id.
-func (k *K) Pred(id int) []int { return k.pred[id] }
+// Pred returns the predecessors of state id, deriving the lists from the
+// successor lists on first use after a restore (see ensurePred).
+func (k *K) Pred(id int) []int {
+	if k.pred == nil {
+		k.ensurePred()
+	}
+	return k.pred[id]
+}
 
 // IsSink reports whether state id is a sink (self-loop only).
 func (k *K) IsSink(id int) bool { return len(k.succ[id]) == 0 }

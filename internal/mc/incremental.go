@@ -57,15 +57,19 @@ func NewIncremental(k *kripke.K, spec *ltl.Formula) (Checker, error) {
 // initial full labeling and the violating-initial bookkeeping.
 func newIncrementalFrom(l *labeler, k *kripke.K) *Incremental {
 	l.relabelAll()
+	return newIncrementalPrelabeled(l, k)
+}
+
+// newIncrementalPrelabeled builds the checker over a labeler whose label
+// array is already correct for the structure (a fresh relabelAll, or a
+// validated snapshot restore), deriving only the violating-initial set.
+func newIncrementalPrelabeled(l *labeler, k *kripke.K) *Incremental {
 	n := k.NumStates()
 	c := &Incremental{
-		labeler:  l,
-		isInit:   make([]bool, n),
-		badInit:  make([]bool, n),
-		minBad:   -1,
-		memberE:  make([]int32, n),
-		visitedE: make([]int32, n),
-		dirtyE:   make([]int32, n),
+		labeler: l,
+		isInit:  make([]bool, n),
+		badInit: make([]bool, n),
+		minBad:  -1,
 	}
 	for _, q0 := range k.Init() {
 		c.isInit[q0] = true
@@ -199,10 +203,19 @@ func (c *Incremental) getToken() *incrToken {
 	return &incrToken{}
 }
 
-// bumpEpoch starts a fresh member/visited/dirty generation. On the (in
-// practice unreachable) wraparound the arrays are cleared so stale stamps
-// can never collide with a new epoch.
+// bumpEpoch starts a fresh member/visited/dirty generation, materializing
+// the stamp arrays on first use — a checker that never processes an
+// update (a restored session serving plan-cache hits, a clone taken for a
+// single Check) never allocates them. On the (in practice unreachable)
+// wraparound the arrays are cleared so stale stamps can never collide
+// with a new epoch.
 func (c *Incremental) bumpEpoch() {
+	if c.memberE == nil {
+		n := c.k.NumStates()
+		c.memberE = make([]int32, n)
+		c.visitedE = make([]int32, n)
+		c.dirtyE = make([]int32, n)
+	}
 	c.epoch++
 	if c.epoch == math.MaxInt32 {
 		clear(c.memberE)
@@ -356,16 +369,12 @@ func (c *Incremental) Stats() Stats { return c.stats }
 // NewIncremental would perform. Epoch scratch, the Extend memo, and the
 // token freelist are per-checker and start fresh.
 func (c *Incremental) CloneFor(k2 *kripke.K) (Checker, error) {
-	n := k2.NumStates()
 	return &Incremental{
 		labeler:  c.labeler.cloneFor(k2),
 		isInit:   c.isInit, // never mutated after construction
 		badInit:  append([]bool(nil), c.badInit...),
 		badCount: c.badCount,
 		minBad:   c.minBad,
-		memberE:  make([]int32, n),
-		visitedE: make([]int32, n),
-		dirtyE:   make([]int32, n),
 	}, nil
 }
 

@@ -17,8 +17,13 @@ type labeler struct {
 	k     *kripke.K
 	clo   *ltl.Closure
 	atoms []ltl.Valuation // per-state truth of atomic subformulas (fixed)
-	tab   *LabelTable     // shared intern table (concurrency-safe)
-	label []LabelID       // per-state interned label, noLabel if unset
+	// atomsImg is the compressed atoms array of a restored checker;
+	// ensureAtoms expands it into atoms on first relabel, keeping the
+	// expansion off the restore critical path (and skipping it entirely
+	// for classes an update stream never touches).
+	atomsImg *AtomsImage
+	tab      *LabelTable // shared intern table (concurrency-safe)
+	label    []LabelID   // per-state interned label, noLabel if unset
 
 	// sinkLab caches the interned label of state id when it is a sink.
 	// Sink labels depend only on atoms[id], which never changes, so the
@@ -56,11 +61,11 @@ func newLabeler(k *kripke.K, spec *ltl.Formula) (*labeler, error) {
 	return newLabelerWarm(k, spec, nil)
 }
 
-// newLabelerWarm builds the labeler, drawing the closure and the intern
-// table from the warmth cache when one is supplied (so labels interned by
-// any earlier checker for the same formula are immediately available) and
-// building private ones otherwise.
-func newLabelerWarm(k *kripke.K, spec *ltl.Formula, w *Warmth) (*labeler, error) {
+// newLabelerShell builds a labeler with its closure and intern table
+// resolved — from the warmth cache when one is supplied (so labels
+// interned by any earlier checker for the same formula are immediately
+// available), private otherwise — but with no per-state arrays yet.
+func newLabelerShell(k *kripke.K, spec *ltl.Formula, w *Warmth) (*labeler, error) {
 	var (
 		clo *ltl.Closure
 		tab *LabelTable
@@ -79,13 +84,22 @@ func newLabelerWarm(k *kripke.K, spec *ltl.Formula, w *Warmth) (*labeler, error)
 		}
 		tab = NewLabelTable()
 	}
+	return &labeler{k: k, clo: clo, tab: tab}, nil
+}
+
+// newLabelerWarm builds the labeler and sweeps the structure once to
+// evaluate every state's atomic-subformula valuation.
+func newLabelerWarm(k *kripke.K, spec *ltl.Formula, w *Warmth) (*labeler, error) {
+	l, err := newLabelerShell(k, spec, w)
+	if err != nil {
+		return nil, err
+	}
 	n := k.NumStates()
-	l := &labeler{k: k, clo: clo, tab: tab}
 	l.atoms = make([]ltl.Valuation, n)
 	env := &stateEnv{k: k}
 	for id := 0; id < n; id++ {
 		env.id = id
-		l.atoms[id] = clo.AtomValuation(env)
+		l.atoms[id] = l.clo.AtomValuation(env)
 	}
 	l.label = make([]LabelID, n)
 	l.sinkLab = make([]LabelID, n)
@@ -93,30 +107,46 @@ func newLabelerWarm(k *kripke.K, spec *ltl.Formula, w *Warmth) (*labeler, error)
 		l.label[id] = noLabel
 		l.sinkLab[id] = noLabel
 	}
-	l.extCache = make([]map[ltl.Valuation]ltl.Valuation, n)
 	return l, nil
+}
+
+// ensureAtoms expands a restored checker's compressed atoms image into
+// the dense per-state array on first use. Checkers built cold or warm
+// fill atoms at construction and never take the branch.
+func (l *labeler) ensureAtoms() {
+	if l.atoms == nil && l.atomsImg != nil {
+		l.atoms = l.atomsImg.materialize()
+	}
 }
 
 // cloneFor copies the labeler onto a clone of its structure. The closure,
 // the atom valuations, and the intern table are shared (the table is
 // concurrency-safe and label sets are structure-independent); the label
-// array is copied so the clone relabels independently. Scratch state — the
+// array is copied so the clone relabels independently. Clones exist to
+// search, which relabels, so a restored atoms image is materialized once
+// here and shared rather than expanded per clone. Scratch state — the
 // merge buffer, DFS frames, and the Extend memo — is private per checker
 // and starts fresh.
 func (l *labeler) cloneFor(k2 *kripke.K) *labeler {
+	l.ensureAtoms()
 	return &labeler{
-		k:        k2,
-		clo:      l.clo,
-		atoms:    l.atoms,
-		tab:      l.tab,
-		label:    append([]LabelID(nil), l.label...),
-		sinkLab:  append([]LabelID(nil), l.sinkLab...),
-		extCache: make([]map[ltl.Valuation]ltl.Valuation, len(l.extCache)),
+		k:       k2,
+		clo:     l.clo,
+		atoms:   l.atoms,
+		tab:     l.tab,
+		label:   append([]LabelID(nil), l.label...),
+		sinkLab: append([]LabelID(nil), l.sinkLab...),
 	}
 }
 
-// extend computes Extend(atoms[id], v) through the per-state memo.
+// extend computes Extend(atoms[id], v) through the per-state memo. The
+// memo's outer array materializes on first use — checkers that never
+// relabel (a restored session that only serves cache hits) never pay for
+// it.
 func (l *labeler) extend(id int, v ltl.Valuation) ltl.Valuation {
+	if l.extCache == nil {
+		l.extCache = make([]map[ltl.Valuation]ltl.Valuation, len(l.atoms))
+	}
 	m := l.extCache[id]
 	if m == nil {
 		m = make(map[ltl.Valuation]ltl.Valuation, 8)
@@ -136,6 +166,7 @@ func (l *labeler) extend(id int, v ltl.Valuation) ltl.Valuation {
 // successors' labels, which must already be correct. In steady state
 // (warm caches, label already interned) it performs no heap allocation.
 func (l *labeler) computeLabel(id int) LabelID {
+	l.ensureAtoms()
 	l.stats.StatesLabeled++
 	if l.k.IsSink(id) {
 		if l.sinkLab[id] == noLabel {
@@ -257,6 +288,7 @@ func (l *labeler) verdict() Verdict {
 // state q0: repeatedly find a successor whose label contains a valuation
 // that extends to the current one (Section 5.2, "Counterexamples").
 func (l *labeler) extractCex(q0 int, v ltl.Valuation) []int {
+	l.ensureAtoms()
 	trace := []int{q0}
 	q, cur := q0, v
 	for !l.k.IsSink(q) {

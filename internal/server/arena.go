@@ -1,0 +1,96 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"netupdate/internal/core"
+	"netupdate/internal/kripke"
+	"netupdate/internal/mc"
+	"netupdate/internal/topology"
+)
+
+// DefaultMaxArenaStores bounds the shared arena entries a pool holds.
+// Entries are keyed by topology fingerprint, so the bound is on distinct
+// network shapes, not tenants.
+const DefaultMaxArenaStores = 256
+
+// arenaRegistry owns the pool's shared session resources: every tenant
+// whose topology hashes to the same fingerprint is built over the same
+// immutable kripke.Arena (state ids, port/host maps, sinkhole states)
+// and the same mc.Warmth cache (LTL closures and interned label tables).
+// Both structures are copy-on-write from the session's point of view —
+// sessions layer their own mutable transition relations and label arrays
+// on top — so identically-shaped tenants deduplicate the class-independent
+// state space instead of rebuilding it per session. Safe for concurrent
+// use; Arena and Warmth are themselves concurrency-safe, so the registry
+// lock covers only the map and LRU.
+type arenaRegistry struct {
+	mu     sync.Mutex
+	max    int
+	stores map[string]*list.Element
+	lru    *list.List // of *arenaStore, front = most recently used
+}
+
+type arenaStore struct {
+	fp     string
+	arena  *kripke.Arena
+	warmth *mc.Warmth
+}
+
+func newArenaRegistry(max int) *arenaRegistry {
+	if max <= 0 {
+		max = DefaultMaxArenaStores
+	}
+	return &arenaRegistry{
+		max:    max,
+		stores: map[string]*list.Element{},
+		lru:    list.New(),
+	}
+}
+
+// get returns the shared resources for a topology fingerprint, building
+// the arena on first use and evicting the coldest entry past the bound.
+// Evicting an entry does not detach sessions already sharing its arena —
+// they keep working — it only stops new sessions from joining it.
+func (r *arenaRegistry) get(fp string, topo *topology.Topology) core.SessionResources {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.stores[fp]; ok {
+		r.lru.MoveToFront(el)
+		st := el.Value.(*arenaStore)
+		return core.SessionResources{Arena: st.arena, Warmth: st.warmth}
+	}
+	st := &arenaStore{fp: fp, arena: kripke.NewArena(topo), warmth: mc.NewWarmth()}
+	r.stores[fp] = r.lru.PushFront(st)
+	for r.lru.Len() > r.max {
+		tail := r.lru.Back()
+		r.lru.Remove(tail)
+		delete(r.stores, tail.Value.(*arenaStore).fp)
+	}
+	return core.SessionResources{Arena: st.arena, Warmth: st.warmth}
+}
+
+// size reports the number of shared entries held.
+func (r *arenaRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// TopologyFingerprint keys the pool's shared arena registry: the hash of
+// the canonical JSON encoding of the topology alone, so tenants whose
+// specs differ in classes, options, or name — but describe the same
+// network — share one state arena and one label-table cache.
+func (s *TenantSpec) TopologyFingerprint() (string, error) {
+	b, err := json.Marshal(&s.Topology)
+	if err != nil {
+		return "", fmt.Errorf("server: fingerprinting topology: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return "a" + hex.EncodeToString(sum[:8]), nil
+}

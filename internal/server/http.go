@@ -37,6 +37,12 @@ func NewHandler(p *Pool) http.Handler {
 	mux.HandleFunc("GET /v1/tenants/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
 		handleStats(p, w, r)
 	})
+	mux.HandleFunc("GET /v1/tenants/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshotGet(p, w, r)
+	})
+	mux.HandleFunc("PUT /v1/tenants/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshotPut(p, w, r)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(p, w)
 	})
@@ -180,6 +186,46 @@ func handleSynthesize(p *Pool, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSnapshotGet exports a tenant's warm state as a portable binary
+// session snapshot (the tenant-migration wire format; see DESIGN.md
+// "Snapshots, shared arenas & sharding").
+func handleSnapshotGet(p *Pool, w http.ResponseWriter, r *http.Request) {
+	img, err := p.SnapshotTenant(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(img)))
+	_, _ = w.Write(img)
+}
+
+// handleSnapshotPut installs a snapshot over a registered tenant —
+// rejected images (corrupt, version-skewed, or from a different spec)
+// leave the tenant untouched and report 409.
+func handleSnapshotPut(p *Pool, w http.ResponseWriter, r *http.Request) {
+	img, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: snapshot body: %w", err), 0)
+		return
+	}
+	if err := p.InstallSnapshot(r.Context(), r.PathValue("id"), img); err != nil {
+		status := statusOf(err)
+		if errors.Is(err, core.ErrBadSnapshot) || errors.Is(err, core.ErrSnapshotVersion) ||
+			errors.Is(err, core.ErrSnapshotMismatch) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err, 0)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// maxSnapshotBytes bounds an uploaded snapshot body (1 GiB — far above
+// any real session, but finite).
+const maxSnapshotBytes = 1 << 30
+
 func handleStats(p *Pool, w http.ResponseWriter, r *http.Request) {
 	st, err := p.TenantStats(r.PathValue("id"))
 	if err != nil {
@@ -214,6 +260,10 @@ func handleMetrics(p *Pool, w http.ResponseWriter) {
 	put("netupdate_repair_failures_total", "Failure acks that could not be repaired.", "counter", float64(st.RepairFailures))
 	put("netupdate_evictions_total", "Warm sessions evicted under the LRU budget.", "counter", float64(st.Evictions))
 	put("netupdate_session_rebuilds_total", "Sessions rebuilt after eviction.", "counter", float64(st.SessionRebuilds))
+	put("netupdate_snapshot_restores_total", "Rebuilds served by restoring an eviction snapshot.", "counter", float64(st.SnapshotRestores))
+	put("netupdate_cold_rebuilds_total", "Rebuilds that paid the full cold construction.", "counter", float64(st.ColdRebuilds))
+	put("netupdate_snapshot_bytes", "Snapshot bytes held for evicted tenants.", "gauge", float64(st.SnapshotBytesHeld))
+	put("netupdate_shared_arenas", "Distinct topology shapes with a shared state arena.", "gauge", float64(st.SharedArenas))
 	put("netupdate_queue_wait_seconds_total", "Total time requests spent queued.", "counter", st.QueueWaitMSTotal/1e3)
 	put("netupdate_synthesis_seconds_total", "Total engine time.", "counter", st.SynthMSTotal/1e3)
 	put("netupdate_synthesis_seconds_max", "Slowest synthesis so far.", "gauge", st.SynthMSMax/1e3)

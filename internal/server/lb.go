@@ -1,0 +1,335 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+)
+
+// LB is the sharding router (cmd/netupdatelb): it spreads tenants across
+// netupdated replicas with a consistent-hash ring, proxies each tenant's
+// streaming traffic to its owner, and — when the ring changes — migrates
+// affected tenants by exporting their session snapshot from the old
+// owner and installing it on the new one, so warm state (and its learned
+// caches) moves with the tenant instead of being re-earned cold.
+//
+// The LB records every registration it forwards (the raw spec document),
+// which is what lets it re-register a tenant on the receiving replica
+// during migration. Tenants registered directly with a replica, behind
+// the LB's back, are still routable (ownership falls back to the ring)
+// but cannot be migrated.
+type LB struct {
+	client *http.Client
+
+	mu      sync.Mutex
+	ring    *Ring
+	specs   map[string][]byte // tenant id -> raw registration document
+	owners  map[string]string // tenant id -> current owner replica
+	proxies map[string]*httputil.ReverseProxy
+
+	proxied, migrations, migrationFailures atomic.Int64
+}
+
+// NewLB builds a router over an initial replica list. vnodes is the
+// per-replica virtual-node count (0 means DefaultVirtualNodes) and must
+// match the value stream clients shard with.
+func NewLB(replicas []string, vnodes int) (*LB, error) {
+	lb := &LB{
+		client:  http.DefaultClient,
+		ring:    NewRing(vnodes),
+		specs:   map[string][]byte{},
+		owners:  map[string]string{},
+		proxies: map[string]*httputil.ReverseProxy{},
+	}
+	for _, r := range replicas {
+		if err := lb.addReplicaLocked(r); err != nil {
+			return nil, err
+		}
+	}
+	return lb, nil
+}
+
+func (lb *LB) addReplicaLocked(replica string) error {
+	target, err := url.Parse(replica)
+	if err != nil || target.Scheme == "" || target.Host == "" {
+		return fmt.Errorf("server: lb: bad replica url %q", replica)
+	}
+	lb.ring.Add(replica)
+	if _, ok := lb.proxies[replica]; !ok {
+		lb.proxies[replica] = &httputil.ReverseProxy{
+			Rewrite: func(pr *httputil.ProxyRequest) {
+				pr.SetURL(target)
+				pr.SetXForwarded()
+			},
+			// The synthesize endpoint is duplex JSONL: plans must reach
+			// the client as they are produced, not when the exchange
+			// ends. -1 flushes every write through immediately.
+			FlushInterval: -1,
+		}
+	}
+	return nil
+}
+
+// Handler is the LB's HTTP surface: the replica API proxied by tenant
+// ownership, plus the ring-administration endpoints.
+//
+//	POST   /v1/tenants             register (routed by spec fingerprint)
+//	*      /v1/tenants/{id}/...    proxied to the tenant's owner
+//	GET    /lb/replicas            ring membership + placement
+//	POST   /lb/replicas            add a replica {"url":...}; rebalances
+//	DELETE /lb/replicas?url=U      drain U's tenants away, then remove it
+//	GET    /metrics                router counters (Prometheus text)
+//	GET    /healthz                liveness
+func (lb *LB) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants", lb.handleRegister)
+	mux.HandleFunc("/v1/tenants/{id}/{rest...}", lb.handleProxy)
+	mux.HandleFunc("GET /lb/replicas", lb.handleReplicasGet)
+	mux.HandleFunc("POST /lb/replicas", lb.handleReplicaAdd)
+	mux.HandleFunc("DELETE /lb/replicas", lb.handleReplicaRemove)
+	mux.HandleFunc("GET /metrics", lb.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleRegister routes a registration: the tenant id is the spec
+// fingerprint, computed here exactly as the replica computes it, so the
+// LB knows the owner before forwarding.
+func (lb *LB) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("server: lb: register body: %w", err), 0)
+		return
+	}
+	var spec TenantSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: lb: tenant spec: %w", err), 0)
+		return
+	}
+	id, err := spec.Fingerprint()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+
+	lb.mu.Lock()
+	owner, ok := lb.owners[id]
+	if !ok {
+		owner, ok = lb.ring.Owner(id)
+	}
+	lb.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server: lb: no replicas"), 0)
+		return
+	}
+
+	resp, err := lb.client.Post(owner+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("server: lb: replica %s: %w", owner, err), 0)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 300 {
+		lb.mu.Lock()
+		lb.specs[id] = body
+		lb.owners[id] = owner
+		lb.mu.Unlock()
+	}
+	relay(w, resp)
+}
+
+// handleProxy forwards a tenant request to its owner, streaming both
+// directions.
+func (lb *LB) handleProxy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	lb.mu.Lock()
+	owner, ok := lb.owners[id]
+	if !ok {
+		owner, ok = lb.ring.Owner(id)
+	}
+	proxy := lb.proxies[owner]
+	lb.mu.Unlock()
+	if !ok || proxy == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server: lb: no replica owns tenant %s", id), 0)
+		return
+	}
+	lb.proxied.Add(1)
+	proxy.ServeHTTP(w, r)
+}
+
+type lbReplicasView struct {
+	Replicas []string          `json:"replicas"`
+	Tenants  map[string]string `json:"tenants"` // id -> owner
+}
+
+func (lb *LB) handleReplicasGet(w http.ResponseWriter, _ *http.Request) {
+	lb.mu.Lock()
+	view := lbReplicasView{Replicas: lb.ring.Replicas(), Tenants: map[string]string{}}
+	for id, owner := range lb.owners {
+		view.Tenants[id] = owner
+	}
+	lb.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(view)
+}
+
+func (lb *LB) handleReplicaAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: lb: want {\"url\": ...}"), 0)
+		return
+	}
+	lb.mu.Lock()
+	err := lb.addReplicaLocked(req.URL)
+	lb.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	moved := lb.rebalance()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{"migrated": moved})
+}
+
+// handleReplicaRemove drains a replica: its tenants are migrated to
+// their new ring owners (snapshots included) before the member is
+// dropped, so a planned scale-down loses no warm state.
+func (lb *LB) handleReplicaRemove(w http.ResponseWriter, r *http.Request) {
+	replica := r.URL.Query().Get("url")
+	if replica == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: lb: want ?url=replica"), 0)
+		return
+	}
+	lb.mu.Lock()
+	if !lb.ring.replicas[replica] {
+		lb.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: lb: unknown replica %s", replica), 0)
+		return
+	}
+	if lb.ring.Size() == 1 && len(lb.owners) > 0 {
+		lb.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("server: lb: cannot drain the last replica with tenants placed"), 0)
+		return
+	}
+	lb.ring.Remove(replica)
+	lb.mu.Unlock()
+	moved := lb.rebalance()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{"migrated": moved})
+}
+
+// rebalance realigns tenant placement with the current ring, migrating
+// every tenant whose owner changed. Returns the number migrated (a
+// failed migration still counts the tenant as moved: ownership follows
+// the ring and the new owner serves from the re-registered spec, cold).
+func (lb *LB) rebalance() int {
+	type move struct {
+		id, src, dst string
+		spec         []byte
+	}
+	lb.mu.Lock()
+	var moves []move
+	for id, src := range lb.owners {
+		dst, ok := lb.ring.Owner(id)
+		if ok && dst != src {
+			moves = append(moves, move{id: id, src: src, dst: dst, spec: lb.specs[id]})
+		}
+	}
+	lb.mu.Unlock()
+
+	for _, m := range moves {
+		if err := lb.migrate(m.id, m.src, m.dst, m.spec); err != nil {
+			lb.migrationFailures.Add(1)
+		} else {
+			lb.migrations.Add(1)
+		}
+		lb.mu.Lock()
+		lb.owners[m.id] = m.dst
+		lb.mu.Unlock()
+	}
+	return len(moves)
+}
+
+// migrate moves one tenant: export the snapshot from the source, re-
+// register the spec on the destination (idempotent there), install the
+// snapshot. A source that cannot produce a snapshot degrades to a cold
+// re-registration — correct, just slower for the first requests.
+func (lb *LB) migrate(id, src, dst string, spec []byte) error {
+	if spec == nil {
+		return fmt.Errorf("server: lb: tenant %s has no recorded spec", id)
+	}
+	var img []byte
+	if resp, err := lb.client.Get(src + "/v1/tenants/" + id + "/snapshot"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			img, _ = io.ReadAll(resp.Body)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := lb.client.Post(dst+"/v1/tenants", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return fmt.Errorf("server: lb: migrate %s to %s: %w", id, dst, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("server: lb: migrate %s: register on %s: status %d", id, dst, resp.StatusCode)
+	}
+	if len(img) == 0 {
+		return nil // cold migration: spec only
+	}
+
+	req, err := http.NewRequest(http.MethodPut, dst+"/v1/tenants/"+id+"/snapshot", bytes.NewReader(img))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	putResp, err := lb.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("server: lb: migrate %s: install on %s: %w", id, dst, err)
+	}
+	io.Copy(io.Discard, putResp.Body)
+	putResp.Body.Close()
+	if putResp.StatusCode >= 300 {
+		return fmt.Errorf("server: lb: migrate %s: install on %s: status %d", id, dst, putResp.StatusCode)
+	}
+	return nil
+}
+
+func (lb *LB) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	lb.mu.Lock()
+	replicas := lb.ring.Size()
+	tenants := len(lb.owners)
+	lb.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	put := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	put("netupdate_lb_replicas", "Replicas on the hash ring.", "gauge", float64(replicas))
+	put("netupdate_lb_tenants", "Tenants with recorded placement.", "gauge", float64(tenants))
+	put("netupdate_lb_proxied_requests_total", "Tenant requests proxied to a replica.", "counter", float64(lb.proxied.Load()))
+	put("netupdate_lb_migrations_total", "Tenants migrated with their snapshot.", "counter", float64(lb.migrations.Load()))
+	put("netupdate_lb_migration_failures_total", "Migrations that fell back to cold placement.", "counter", float64(lb.migrationFailures.Load()))
+}
+
+// relay copies a proxied response verbatim.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

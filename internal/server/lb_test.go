@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRingDeterministicAndStable: independently built rings agree on
+// placement regardless of insertion order, and removing one replica
+// remaps only the keys it owned.
+func TestRingDeterministicAndStable(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := NewRing(0)
+	for _, rep := range replicas {
+		r1.Add(rep)
+	}
+	r2 := NewRing(0)
+	for i := len(replicas) - 1; i >= 0; i-- {
+		r2.Add(replicas[i])
+	}
+	keys := make([]string, 200)
+	owned := map[string]int{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("t%04x", i)
+		o1, ok1 := r1.Owner(keys[i])
+		o2, ok2 := r2.Owner(keys[i])
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("key %s: rings disagree (%q vs %q)", keys[i], o1, o2)
+		}
+		owned[o1]++
+	}
+	for _, rep := range replicas {
+		if owned[rep] == 0 {
+			t.Fatalf("replica %s owns nothing across 200 keys: %v", rep, owned)
+		}
+	}
+
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k], _ = r1.Owner(k)
+	}
+	r1.Remove(replicas[1])
+	for _, k := range keys {
+		after, ok := r1.Owner(k)
+		if !ok {
+			t.Fatal("ring emptied unexpectedly")
+		}
+		if before[k] != replicas[1] && after != before[k] {
+			t.Fatalf("key %s moved from surviving replica %s to %s", k, before[k], after)
+		}
+		if after == replicas[1] {
+			t.Fatalf("key %s still owned by removed replica", k)
+		}
+	}
+}
+
+// startReplica spins up one in-process netupdated replica.
+func startReplica(t *testing.T) (*httptest.Server, *Pool) {
+	t.Helper()
+	p := NewPool(PoolOptions{Workers: 1})
+	ts := httptest.NewServer(NewHandler(p))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = p.Close(context.Background()) })
+	return ts, p
+}
+
+// synthLine streams one delta through a base URL and returns the result.
+func synthLine(t *testing.T, base, id, delta string) Result {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/tenants/"+id+"/synthesize",
+		"application/x-ndjson", strings.NewReader(delta+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no result line (status %d)", resp.StatusCode)
+	}
+	var r Result
+	if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+		t.Fatalf("bad result %q: %v", sc.Text(), err)
+	}
+	return r
+}
+
+// TestLBShardsAndMigrates: the full two-replica integration — tenants
+// registered through the router spread across both replicas, stream
+// through it transparently, and survive a drain of one replica with
+// their warm state migrated to the survivor.
+func TestLBShardsAndMigrates(t *testing.T) {
+	tsA, poolA := startReplica(t)
+	tsB, poolB := startReplica(t)
+	lb, err := NewLB([]string{tsA.URL, tsB.URL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb.Handler())
+	defer front.Close()
+
+	// Register enough tenants that both replicas get some.
+	const tenants = 8
+	ids := make([]string, tenants)
+	for i := range ids {
+		body := specJSON(t, testSpec(fmt.Sprintf("shard-%d", i)))
+		resp, err := http.Post(front.URL+"/v1/tenants", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info TenantInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %d: status %d", i, resp.StatusCode)
+		}
+		ids[i] = info.ID
+	}
+	onA, onB := poolA.Stats().Tenants, poolB.Stats().Tenants
+	if onA+onB != tenants || onA == 0 || onB == 0 {
+		t.Fatalf("placement %d/%d across replicas, want both non-empty summing to %d", onA, onB, tenants)
+	}
+
+	// Stream one delta per tenant through the router and remember the
+	// plans: migration must not change what each tenant is served next.
+	flip := `{"reroute":[{"class":"c","path":[0,2,3]}]}`
+	back := `{"reroute":[{"class":"c","path":[0,1,3]}]}`
+	firstPlans := map[string]Result{}
+	for _, id := range ids {
+		r := synthLine(t, front.URL, id, flip)
+		if r.Result != "plan" {
+			t.Fatalf("tenant %s: %+v", id, r)
+		}
+		firstPlans[id] = r
+	}
+
+	// Drain replica B: its tenants move to A, snapshots included.
+	req, _ := http.NewRequest(http.MethodDelete, front.URL+"/lb/replicas?url="+tsB.URL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained struct {
+		Migrated int `json:"migrated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&drained); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if drained.Migrated != onB {
+		t.Fatalf("drained %d tenants, want %d", drained.Migrated, onB)
+	}
+
+	// Every tenant still streams through the router, now all on A, and
+	// the migrated tenants resumed from their snapshots.
+	for _, id := range ids {
+		r := synthLine(t, front.URL, id, back)
+		if r.Result != "plan" {
+			t.Fatalf("post-drain tenant %s: %+v", id, r)
+		}
+	}
+	if got := poolA.Stats().Tenants; got != tenants {
+		t.Fatalf("survivor holds %d tenants, want %d", got, tenants)
+	}
+	var restores int64
+	for _, id := range ids {
+		if st, err := poolA.TenantStats(id); err == nil {
+			restores += st.SnapshotRestores
+		}
+	}
+	if restores < int64(onB) {
+		t.Fatalf("migrated tenants restored %d snapshots, want >= %d", restores, onB)
+	}
+
+	body := metricsBody(t, front.URL)
+	for _, want := range []string{
+		"netupdate_lb_replicas 1",
+		fmt.Sprintf("netupdate_lb_migrations_total %d", onB),
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("lb metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Draining the last replica with tenants placed is refused.
+	req, _ = http.NewRequest(http.MethodDelete, front.URL+"/lb/replicas?url="+tsA.URL, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("last-replica drain: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestLBAddReplicaRebalances: growing the ring migrates the tenants
+// whose ownership moved onto the new member.
+func TestLBAddReplicaRebalances(t *testing.T) {
+	tsA, poolA := startReplica(t)
+	tsB, poolB := startReplica(t)
+	lb, err := NewLB([]string{tsA.URL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb.Handler())
+	defer front.Close()
+
+	const tenants = 8
+	for i := 0; i < tenants; i++ {
+		body := specJSON(t, testSpec(fmt.Sprintf("grow-%d", i)))
+		resp, err := http.Post(front.URL+"/v1/tenants", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := poolA.Stats().Tenants; got != tenants {
+		t.Fatalf("single replica holds %d, want %d", got, tenants)
+	}
+
+	resp, err := http.Post(front.URL+"/lb/replicas", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"url":%q}`, tsB.URL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added struct {
+		Migrated int `json:"migrated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&added); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if added.Migrated == 0 {
+		t.Fatal("adding a replica moved no tenants")
+	}
+	if got := poolB.Stats().Tenants; got != added.Migrated {
+		t.Fatalf("new replica holds %d tenants, want %d", got, added.Migrated)
+	}
+}

@@ -91,12 +91,22 @@ type tenant struct {
 	// (empty when the tenant opted out via noPlanCache); survives
 	// eviction so rebuilds re-attach the same store.
 	learnID string
+	// arenaFP keys the pool's shared arena registry: tenants with the
+	// same topology share one kripke.Arena and one warmth cache.
+	arenaFP string
 
 	cacheHits, cacheMisses atomic.Int64
 
 	cur  *config.Config // current configuration; survives eviction
 	sess *core.Session  // nil when cold
 	elem *list.Element  // position in the pool LRU; nil when cold
+	// snap is the session snapshot captured at eviction (nil when the
+	// capture failed or after a restore consumed it); guarded by the pool
+	// mutex like sess. It makes eviction cheap to undo: the next request
+	// restores the warm state instead of rebuilding and re-warming it.
+	snap []byte
+
+	snapRestores atomic.Int64 // rebuilds served by snapshot restore
 
 	runs, plans, failures atomic.Int64
 	acks, repairs         atomic.Int64
@@ -127,6 +137,11 @@ type Pool struct {
 	// (SaveLearning/LoadLearning).
 	learn *learnRegistry
 
+	// arenas holds the shared immutable state arenas and label-table
+	// caches, keyed by topology fingerprint (see arena.go); tenants with
+	// the same network shape share them copy-on-write.
+	arenas *arenaRegistry
+
 	m poolMetrics
 
 	// beforeSynthesize is a test seam invoked while the tenant gate and a
@@ -141,6 +156,7 @@ type poolMetrics struct {
 	badRequests                           atomic.Int64
 	rejectedQueue, expired, canceled      atomic.Int64
 	evictions, rebuilds                   atomic.Int64
+	snapshotRestores                      atomic.Int64
 	acks, repairs, repairFailures         atomic.Int64
 	queueWaitNS, synthNS                  atomic.Int64
 	maxSynthNS                            atomic.Int64
@@ -154,6 +170,7 @@ func NewPool(opts PoolOptions) *Pool {
 		tenants: map[string]*tenant{},
 		lru:     list.New(),
 		learn:   newLearnRegistry(0),
+		arenas:  newArenaRegistry(0),
 	}
 }
 
@@ -192,18 +209,26 @@ func (p *Pool) Register(spec *TenantSpec) (*TenantInfo, error) {
 	// initial configuration and can be expensive. The tenant is published
 	// only after it succeeds, so a returned id is always servable — a
 	// concurrent duplicate registration at worst builds a session it then
-	// discards.
-	sess, err := core.NewSession(base.Topo, base.Init, base.Specs, opts)
+	// discards. The session is built over the pool's shared arena and
+	// warmth for this topology shape, so identically-shaped tenants
+	// deduplicate the class-independent state space.
+	arenaFP, err := spec.TopologyFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSessionWith(base.Topo, base.Init, base.Specs, opts,
+		p.arenas.get(arenaFP, base.Topo))
 	if err != nil {
 		return nil, fmt.Errorf("server: tenant %s: %w", id, err)
 	}
 	t := &tenant{
-		id:   id,
-		spec: spec,
-		base: base,
-		opts: opts,
-		gate: make(chan struct{}, 1),
-		cur:  base.Init,
+		id:      id,
+		spec:    spec,
+		base:    base,
+		opts:    opts,
+		arenaFP: arenaFP,
+		gate:    make(chan struct{}, 1),
+		cur:     base.Init,
 	}
 	// Attach the shared plan cache: tenants whose specs differ only by
 	// name learn from — and replay-verify against — each other's runs.
@@ -491,10 +516,15 @@ func isExpiry(err error) bool {
 
 func isCanceled(err error) bool { return errors.Is(err, core.ErrCanceled) }
 
-// ensureWarm returns the tenant's session, building it from the stored
-// spec and current configuration when cold, and refreshes the tenant's
-// LRU position. Must be called with the tenant gate held. A build beyond
-// the budget evicts the least-recently-used idle session.
+// ensureWarm returns the tenant's session, rebuilding it when cold, and
+// refreshes the tenant's LRU position. Must be called with the tenant
+// gate held. An evicted tenant is restored from the snapshot captured at
+// eviction — orders of magnitude cheaper than a cold build, since the
+// shared arena, recorded transition relations, and interned labels skip
+// state enumeration, table application, and relabeling — and falls back
+// to a cold build from the stored spec when the snapshot is missing,
+// rejected, or out of step with the tenant's configuration. A build
+// beyond the budget evicts the least-recently-used idle session.
 func (p *Pool) ensureWarm(t *tenant) (*core.Session, error) {
 	p.mu.Lock()
 	if t.sess != nil {
@@ -503,23 +533,40 @@ func (p *Pool) ensureWarm(t *tenant) (*core.Session, error) {
 		p.mu.Unlock()
 		return sess, nil
 	}
+	snap := t.snap
 	p.mu.Unlock()
 
 	// Build outside the pool lock: construction rebuilds every per-class
 	// structure and may take longer than other tenants can wait. The gate
-	// keeps this single-flight per tenant.
-	sess, err := core.NewSession(t.base.Topo, t.cur, t.base.Specs, t.opts)
-	if err != nil {
-		return nil, err
+	// keeps this single-flight per tenant (t.cur cannot move under us).
+	res := p.arenas.get(t.arenaFP, t.base.Topo)
+	var sess *core.Session
+	restored := false
+	if len(snap) > 0 {
+		if s2, err := core.RestoreSessionWith(t.base.Topo, t.base.Specs, t.opts, snap, res); err == nil {
+			if diff := config.Diff(s2.Current(), t.cur); len(diff) == 0 {
+				sess, restored = s2, true
+			}
+		}
 	}
-	if t.learnID != "" {
-		sess.SetCache(p.learn.get(t.learnID))
+	if sess == nil {
+		var err error
+		sess, err = core.NewSessionWith(t.base.Topo, t.cur, t.base.Specs, t.opts, res)
+		if err != nil {
+			return nil, err
+		}
 	}
+	p.attachLearning(t, sess, restored)
 	if t.builds.Add(1) > 1 {
 		p.m.rebuilds.Add(1)
 	}
+	if restored {
+		t.snapRestores.Add(1)
+		p.m.snapshotRestores.Add(1)
+	}
 
 	p.mu.Lock()
+	t.snap = nil // consumed (or superseded by the fresh session)
 	t.sess = sess
 	t.elem = p.lru.PushFront(t)
 	p.evictLocked()
@@ -527,11 +574,32 @@ func (p *Pool) ensureWarm(t *tenant) (*core.Session, error) {
 	return sess, nil
 }
 
+// attachLearning points a rebuilt session at the tenant's shared plan
+// cache. A restored session carries the cache image embedded in its
+// snapshot; its entries are merged into the shared store first (existing
+// entries win — they are at least as fresh), which matters when the
+// snapshot crossed processes via tenant migration.
+func (p *Pool) attachLearning(t *tenant, sess *core.Session, restored bool) {
+	if t.learnID == "" {
+		return
+	}
+	shared := p.learn.get(t.learnID)
+	if restored {
+		if c := sess.Cache(); c != nil {
+			_ = shared.Restore(c.Snapshot())
+		}
+	}
+	sess.SetCache(shared)
+}
+
 // evictLocked enforces the warm-session budget: walk the LRU from the
 // cold end, dropping sessions whose tenants are idle (their gate can be
 // taken without blocking) until the budget holds. Busy tenants are
 // skipped — a session is never torn down mid-synthesis — so the budget is
-// soft under extreme concurrency and re-enforced as gates free up.
+// soft under extreme concurrency and re-enforced as gates free up. Each
+// evicted session leaves a compact snapshot behind so the next request
+// restores warm state instead of paying a cold rebuild; a failed capture
+// leaves no snapshot and the tenant rebuilds cold.
 func (p *Pool) evictLocked() {
 	budget := p.opts.maxSessions()
 	for e := p.lru.Back(); e != nil && p.lru.Len() > budget; {
@@ -539,6 +607,7 @@ func (p *Pool) evictLocked() {
 		t := e.Value.(*tenant)
 		select {
 		case t.gate <- struct{}{}:
+			t.snap, _ = t.sess.Snapshot()
 			t.sess = nil
 			t.elem = nil
 			p.lru.Remove(e)
@@ -575,6 +644,9 @@ func (p *Pool) TenantStats(id string) (*TenantStats, error) {
 	if b := t.builds.Load(); b > 1 {
 		st.Rebuilds = b - 1
 	}
+	st.SnapshotRestores = t.snapRestores.Load()
+	st.ColdRebuilds = st.Rebuilds - st.SnapshotRestores
+	st.SnapshotBytes = len(t.snap)
 	st.CacheHits = t.cacheHits.Load()
 	st.CacheMisses = t.cacheMisses.Load()
 	st.LastSynthMS = float64(t.lastNS.Load()) / 1e6
@@ -602,6 +674,15 @@ type PoolStats struct {
 	Canceled        int64 `json:"canceled"`
 	Evictions       int64 `json:"evictions"`
 	SessionRebuilds int64 `json:"sessionRebuilds"`
+	// SnapshotRestores counts rebuilds served from an eviction-time
+	// snapshot; ColdRebuilds are the rest (missing, rejected, or stale
+	// snapshots). SnapshotBytesHeld is the total size of snapshots
+	// currently held for evicted tenants; SharedArenas counts the
+	// distinct topology shapes whose state arenas tenants share.
+	SnapshotRestores  int64 `json:"snapshotRestores"`
+	ColdRebuilds      int64 `json:"coldRebuilds"`
+	SnapshotBytesHeld int64 `json:"snapshotBytesHeld"`
+	SharedArenas      int   `json:"sharedArenas"`
 	// StepAcks counts recorded plan-step commit acks; Repairs counts
 	// failure reports answered with a repair plan, RepairFailures those
 	// that could not be repaired (evicted session, invalid committed set,
@@ -631,6 +712,10 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	tenants := len(p.tenants)
 	warm := p.lru.Len()
+	var snapBytes int64
+	for _, t := range p.tenants {
+		snapBytes += int64(len(t.snap))
+	}
 	p.mu.Unlock()
 	cache, stores := p.learn.totals()
 	return PoolStats{
@@ -653,6 +738,10 @@ func (p *Pool) Stats() PoolStats {
 		Canceled:                p.m.canceled.Load(),
 		Evictions:               p.m.evictions.Load(),
 		SessionRebuilds:         p.m.rebuilds.Load(),
+		SnapshotRestores:        p.m.snapshotRestores.Load(),
+		ColdRebuilds:            p.m.rebuilds.Load() - p.m.snapshotRestores.Load(),
+		SnapshotBytesHeld:       snapBytes,
+		SharedArenas:            p.arenas.size(),
 		StepAcks:                p.m.acks.Load(),
 		Repairs:                 p.m.repairs.Load(),
 		RepairFailures:          p.m.repairFailures.Load(),

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// SnapshotTenant serializes one tenant's warm state to the portable
+// session-snapshot format (see internal/core/snapshot.go): Kripke
+// transition relations, interned labels, learned caches, and the current
+// configuration. The snapshot is taken under the tenant's gate, so it is
+// a consistent point between syntheses; an evicted tenant is warmed
+// first (by restore when its eviction snapshot is held, cold otherwise).
+// This is the export half of tenant migration: the bytes returned here
+// restore byte-identically on any replica registered with the same spec.
+func (p *Pool) SnapshotTenant(ctx context.Context, id string) ([]byte, error) {
+	t, err := p.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	defer p.inflight.Done()
+	defer t.pending.Add(-1)
+
+	select {
+	case t.gate <- struct{}{}:
+	case <-ctx.Done():
+		return nil, p.expireErr(ctx, t)
+	}
+	defer func() { <-t.gate }()
+
+	sess, err := p.ensureWarm(t)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %s: session rebuild: %w", t.id, err)
+	}
+	img, err := sess.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %s: snapshot: %w", t.id, err)
+	}
+	return img, nil
+}
+
+// InstallSnapshot replaces a registered tenant's warm state with a
+// session restored from a portable snapshot — the import half of tenant
+// migration, and the restart path behind the daemon's -snapshot-dir. The
+// snapshot must have been taken from a session with the same topology,
+// classes, and engine options (the embedded context fingerprint is
+// checked); the tenant's current configuration is realigned to the
+// snapshot's. Rejected images (core.ErrBadSnapshot and friends) leave
+// the tenant untouched.
+func (p *Pool) InstallSnapshot(ctx context.Context, id string, img []byte) error {
+	t, err := p.admit(id)
+	if err != nil {
+		return err
+	}
+	defer p.inflight.Done()
+	defer t.pending.Add(-1)
+
+	select {
+	case t.gate <- struct{}{}:
+	case <-ctx.Done():
+		return p.expireErr(ctx, t)
+	}
+	defer func() { <-t.gate }()
+
+	res := p.arenas.get(t.arenaFP, t.base.Topo)
+	sess, err := core.RestoreSessionWith(t.base.Topo, t.base.Specs, t.opts, img, res)
+	if err != nil {
+		return fmt.Errorf("server: tenant %s: install snapshot: %w", t.id, err)
+	}
+	p.attachLearning(t, sess, true)
+	t.builds.Add(1)
+	t.snapRestores.Add(1)
+	p.m.snapshotRestores.Add(1)
+
+	p.mu.Lock()
+	t.cur = sess.Current()
+	t.snap = nil
+	if t.elem != nil {
+		p.lru.MoveToFront(t.elem)
+	} else {
+		t.elem = p.lru.PushFront(t)
+	}
+	t.sess = sess
+	p.evictLocked()
+	p.mu.Unlock()
+	return nil
+}
+
+// TenantIDs lists the registered tenant ids.
+func (p *Pool) TenantIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.tenants))
+	for id := range p.tenants {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TenantSpecOf returns the registration document a tenant was created
+// from; migration re-registers it on the receiving replica before
+// installing the snapshot.
+func (p *Pool) TenantSpecOf(id string) (*TenantSpec, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, id)
+	}
+	return t.spec, nil
+}
+
+// SnapshotAll captures a snapshot per tenant, best effort: warm idle
+// tenants are serialized live, evicted tenants contribute their stored
+// eviction snapshot, and tenants busy mid-synthesis (or failing to
+// serialize) are skipped. The daemon uses this on drain to persist warm
+// state under -snapshot-dir.
+func (p *Pool) SnapshotAll() map[string][]byte {
+	p.mu.Lock()
+	type item struct {
+		t    *tenant
+		snap []byte
+	}
+	items := make([]item, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		items = append(items, item{t: t, snap: t.snap})
+	}
+	p.mu.Unlock()
+
+	out := map[string][]byte{}
+	for _, it := range items {
+		if it.snap != nil {
+			out[it.t.id] = it.snap
+			continue
+		}
+		select {
+		case it.t.gate <- struct{}{}:
+			p.mu.Lock()
+			sess := it.t.sess
+			p.mu.Unlock()
+			if sess != nil {
+				if img, err := sess.Snapshot(); err == nil {
+					out[it.t.id] = img
+				}
+			}
+			<-it.t.gate
+		default:
+		}
+	}
+	return out
+}
+
+// ConfigOf returns a tenant's current configuration (for tests and
+// debugging endpoints; the pool mutex snapshot is consistent because cur
+// only advances under the tenant gate).
+func (p *Pool) ConfigOf(id string) (*config.Config, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, id)
+	}
+	return t.cur, nil
+}

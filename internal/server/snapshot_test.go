@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+)
+
+// reroute builds a one-class delta for the diamond testSpec.
+func reroute(path ...int) *config.StreamDelta {
+	return &config.StreamDelta{Reroute: []config.Reroute{{Class: "c", Path: path}}}
+}
+
+// diamondDeltas is a small rolling workload over the two disjoint paths.
+func diamondDeltas() []*config.StreamDelta {
+	return []*config.StreamDelta{
+		reroute(0, 2, 3), reroute(0, 1, 3), reroute(0, 2, 3), reroute(0, 1, 3),
+	}
+}
+
+// TestEvictionSnapshotRestoreByteIdentity: a tenant evicted under the
+// LRU budget and then resumed must produce exactly the plans a
+// never-evicted control produces, and the resume must be served by
+// snapshot restore, not a cold rebuild.
+func TestEvictionSnapshotRestoreByteIdentity(t *testing.T) {
+	evicting := NewPool(PoolOptions{Workers: 1, MaxSessions: 1})
+	control := NewPool(PoolOptions{Workers: 1, MaxSessions: -1})
+	ctx := context.Background()
+
+	alpha, err := evicting.Register(testSpec("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calpha, err := control.Register(testSpec("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deltas := diamondDeltas()
+	step := func(n int) (evicted, ctl *core.Plan) {
+		t.Helper()
+		evictedPlan, err := evicting.Synthesize(ctx, alpha.ID, deltas[n])
+		if err != nil {
+			t.Fatalf("step %d: evicting pool: %v", n, err)
+		}
+		ctlPlan, err := control.Synthesize(ctx, calpha.ID, deltas[n])
+		if err != nil {
+			t.Fatalf("step %d: control pool: %v", n, err)
+		}
+		return evictedPlan, ctlPlan
+	}
+
+	for n := 0; n < 2; n++ {
+		ep, cp := step(n)
+		if ep.String() != cp.String() {
+			t.Fatalf("step %d: pools diverge before eviction", n)
+		}
+	}
+
+	// A second tenant blows the 1-session budget: alpha is evicted and
+	// must leave a snapshot behind.
+	if _, err := evicting.Register(testSpec("beta")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := evicting.TenantStats(alpha.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Warm {
+		t.Fatal("alpha still warm after budget eviction")
+	}
+	if st.SnapshotBytes == 0 {
+		t.Fatal("eviction left no snapshot")
+	}
+
+	for n := 2; n < len(deltas); n++ {
+		ep, cp := step(n)
+		if got, want := ep.String(), cp.String(); got != want {
+			t.Fatalf("step %d: evicted tenant diverged from never-evicted control:\nevicted %s\ncontrol %s",
+				n, got, want)
+		}
+	}
+
+	st, err = evicting.TenantStats(alpha.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotRestores != 1 || st.ColdRebuilds != 0 {
+		t.Fatalf("resume not served by restore: %+v", st)
+	}
+	ps := evicting.Stats()
+	if ps.SnapshotRestores != 1 || ps.ColdRebuilds != 0 || ps.Evictions == 0 {
+		t.Fatalf("pool stats = %+v", ps)
+	}
+}
+
+// TestSharedArenaRegistry: tenants with the same topology share one
+// arena entry; a different topology adds a second.
+func TestSharedArenaRegistry(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1})
+	if _, err := p.Register(testSpec("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Register(testSpec("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().SharedArenas; got != 1 {
+		t.Fatalf("same-topology tenants use %d arenas, want 1", got)
+	}
+	other := testSpec("gamma")
+	other.Topology.Links = append(other.Topology.Links, [2]int{1, 2})
+	if _, err := p.Register(other); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().SharedArenas; got != 2 {
+		t.Fatalf("distinct topologies use %d arenas, want 2", got)
+	}
+}
+
+// TestSnapshotHTTPMigration: the GET/PUT snapshot endpoints move a
+// tenant's warm state between two independent pools; the receiver picks
+// up the sender's current configuration and serves identical plans.
+func TestSnapshotHTTPMigration(t *testing.T) {
+	src := NewPool(PoolOptions{Workers: 1})
+	dst := NewPool(PoolOptions{Workers: 1})
+	srcTS := httptest.NewServer(NewHandler(src))
+	dstTS := httptest.NewServer(NewHandler(dst))
+	defer srcTS.Close()
+	defer dstTS.Close()
+	ctx := context.Background()
+
+	info, err := src.Register(testSpec("mig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := diamondDeltas()
+	if _, err := src.Synthesize(ctx, info.ID, deltas[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srcTS.URL + "/v1/tenants/" + info.ID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(img) == 0 {
+		t.Fatalf("snapshot export: status %d, %d bytes", resp.StatusCode, len(img))
+	}
+
+	if _, err := dst.Register(testSpec("mig")); err != nil {
+		t.Fatal(err)
+	}
+	put := func(body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut,
+			dstTS.URL+"/v1/tenants/"+info.ID+"/snapshot", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// A corrupted image must be rejected (409) and leave the tenant
+	// usable; the genuine image must install.
+	bad := append([]byte(nil), img...)
+	bad[len(bad)/2] ^= 0x20
+	if resp := put(bad); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("corrupt install: status %d, want 409", resp.StatusCode)
+	}
+	if resp := put(img); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("install: status %d, want 204", resp.StatusCode)
+	}
+
+	srcCur, err := src.ConfigOf(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstCur, err := dst.ConfigOf(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := config.Diff(srcCur, dstCur); len(diff) != 0 {
+		t.Fatalf("migrated configuration differs on switches %v", diff)
+	}
+	for _, d := range deltas[1:] {
+		sp, err := src.Synthesize(ctx, info.ID, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := dst.Synthesize(ctx, info.ID, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.String() != dp.String() {
+			t.Fatal("migrated tenant diverged from its source")
+		}
+	}
+	if st, _ := dst.TenantStats(info.ID); st.SnapshotRestores == 0 {
+		t.Fatalf("install not counted as a snapshot restore: %+v", st)
+	}
+}
+
+// TestSnapshotAllAndInstall: SnapshotAll captures warm and evicted
+// tenants alike; the images restore through InstallSnapshot (the
+// -snapshot-dir restart path).
+func TestSnapshotAllAndInstall(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, MaxSessions: 1})
+	ctx := context.Background()
+	a, err := p.Register(testSpec("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Synthesize(ctx, a.ID, reroute(0, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Register(testSpec("beta")) // evicts alpha
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := p.SnapshotAll()
+	if len(snaps[a.ID]) == 0 || len(snaps[b.ID]) == 0 {
+		t.Fatalf("SnapshotAll missing tenants: have %d images", len(snaps))
+	}
+
+	fresh := NewPool(PoolOptions{Workers: 1})
+	for _, spec := range []string{"alpha", "beta"} {
+		if _, err := fresh.Register(testSpec(spec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, img := range snaps {
+		if err := fresh.InstallSnapshot(ctx, id, img); err != nil {
+			t.Fatalf("install %s: %v", id, err)
+		}
+	}
+	oldCur, _ := p.ConfigOf(a.ID)
+	newCur, _ := fresh.ConfigOf(a.ID)
+	if diff := config.Diff(oldCur, newCur); len(diff) != 0 {
+		t.Fatalf("restart lost alpha's position: diff %v", diff)
+	}
+}
+
+// TestSnapshotEndpointErrors: unknown tenants 404 on both verbs.
+func TestSnapshotEndpointErrors(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(NewPool(PoolOptions{})))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/tenants/tdeadbeef/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("export status = %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/tenants/tdeadbeef/snapshot", bytes.NewReader([]byte("x")))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("install status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// metricsBody fetches /metrics as a string.
+func metricsBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// TestSnapshotMetricsExposed: the three new series appear in /metrics.
+func TestSnapshotMetricsExposed(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(NewPool(PoolOptions{})))
+	defer ts.Close()
+	body := metricsBody(t, ts.URL)
+	for _, want := range []string{
+		"netupdate_snapshot_restores_total",
+		"netupdate_snapshot_bytes",
+		"netupdate_shared_arenas",
+		"netupdate_cold_rebuilds_total",
+	} {
+		if !bytes.Contains([]byte(body), []byte(want)) {
+			t.Fatalf("metrics missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// specJSON renders a TenantSpec as its registration document.
+func specJSON(t *testing.T, spec *TenantSpec) []byte {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

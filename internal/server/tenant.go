@@ -187,8 +187,15 @@ type TenantStats struct {
 	Acks    int64 `json:"acks"`
 	Repairs int64 `json:"repairs"`
 	// Rebuilds counts session constructions beyond the first (evict →
-	// rebuild round trips).
-	Rebuilds    int64   `json:"rebuilds"`
+	// rebuild round trips); SnapshotRestores are those served by restoring
+	// the eviction-time snapshot, ColdRebuilds the rest. SnapshotBytes is
+	// the size of the snapshot currently held for this tenant (zero while
+	// warm).
+	Rebuilds         int64 `json:"rebuilds"`
+	SnapshotRestores int64 `json:"snapshotRestores"`
+	ColdRebuilds     int64 `json:"coldRebuilds"`
+	SnapshotBytes    int   `json:"snapshotBytes"`
+
 	LastSynthMS float64 `json:"lastSynthMs"`
 	MeanSynthMS float64 `json:"meanSynthMs"`
 	// CacheHits counts syntheses served from the verification-first plan
