@@ -265,6 +265,32 @@ func BenchmarkRollingStream(b *testing.B) {
 			}
 		}
 	})
+	// The traced variant is the warm stream with the session's span ring
+	// enabled (internal/obs): every synthesis records its phase spans and
+	// exports a snapshot on the plan. CI gates its allocs/op too — the
+	// span ring must stay a constant handful of allocations, not scale
+	// with the work.
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		topts := opts
+		topts.Trace = true
+		sess, err := core.NewSession(w.Topo, w.Init, w.Specs, topts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, tgt := range w.Targets {
+				plan, err := sess.Synthesize(tgt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if plan.Trace == nil {
+					b.Fatal("traced synthesis returned no trace")
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkFlappingStream measures the verification-first plan cache on

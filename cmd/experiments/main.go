@@ -7,7 +7,8 @@
 //	experiments -fig stream -json   # warm-session vs cold synthesis
 //
 // Available figures: 2a, 2b, 7, 7df, 8g, 8h, 8i, checker, ablation,
-// parallel, stream, decomp, server, dag, repair, cache, snapshot, all.
+// parallel, stream, decomp, server, dag, repair, cache, snapshot, obs,
+// all.
 // "-fig server" compares warm multi-tenant pool serving against cold
 // per-request synthesis. "-fig cache" serves identical flapping traffic
 // with and without the verification-first plan cache, reporting the
@@ -20,6 +21,9 @@
 // restore (the pool's eviction-resume decision) by workload size, and
 // reports sharded serving throughput through the netupdatelb router by
 // replica count.
+// "-fig obs" serves the warm rolling stream with tracing off and on and
+// reports the observability overhead (ms, allocs, and spans per
+// synthesis) — the figure behind BENCH_10.json's ≤5% tracing bound.
 // The -scale flag selects problem sizes: "small" finishes
 // in seconds, "medium" in minutes, "full" approaches the paper's sizes
 // (up to 1500 switches for 8g) and can take much longer. -parallel sets
@@ -163,7 +167,7 @@ var scales = map[string]scale{
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|repair|cache|snapshot|all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a|2b|7|7df|8g|8h|8i|checker|ablation|parallel|stream|decomp|server|dag|repair|cache|snapshot|obs|all")
 		scaleFl  = flag.String("scale", "small", "problem scale: small|medium|full")
 		parallel = flag.Int("parallel", 0, "search workers for every figure run: 0 = sequential (paper-reproducible default)")
 		workers  = flag.Int("workers", 4, "worker count for the -fig parallel comparison")
@@ -293,6 +297,11 @@ func run(fig string, sc scale) ([]*bench.Table, error) {
 	}
 	if all || fig == "repair" {
 		if err := add(bench.RepairCompare(sc.repairSizes, sc.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if all || fig == "obs" {
+		if err := add(bench.ObsOverheadCompare(sc.streamSizes, sc.streamSteps, sc.timeout)); err != nil {
 			return nil, err
 		}
 	}

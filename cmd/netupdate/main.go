@@ -81,6 +81,7 @@ import (
 	"netupdate/internal/atomicio"
 	"netupdate/internal/config"
 	"netupdate/internal/core"
+	"netupdate/internal/obs"
 	"netupdate/internal/server"
 	"netupdate/internal/sim"
 )
@@ -105,6 +106,7 @@ func main() {
 		noCache   = flag.Bool("no-plan-cache", false, "disable the verification-first plan cache (every request pays the full search)")
 		learnFile = flag.String("learn-file", "", "with -stream: load the plan cache and learned state from this JSON file at startup and save it back on exit")
 		connect   = flag.String("connect", "", "with -stream: serve via remote netupdated replica(s), comma-separated base URLs; several shard client-side by tenant fingerprint")
+		traceOut  = flag.String("trace-out", "", "record a synthesis trace and write it to this file: Chrome trace-event JSON (load via chrome://tracing), or span JSONL when the path ends in .jsonl")
 		quiet     = flag.Bool("q", false, "suppress statistics")
 	)
 	flag.Parse()
@@ -118,6 +120,7 @@ func main() {
 		FirstPlanWins:          *firstPlan,
 		MinimizeCompletionTime: *minCompl,
 		NoPlanCache:            *noCache,
+		Trace:                  *traceOut != "",
 	}
 	switch *checker {
 	case "incremental":
@@ -143,6 +146,10 @@ func main() {
 	if *stream {
 		if *file != "" || *verify || *faults != "" {
 			fmt.Fprintln(os.Stderr, "netupdate: -stream reads from stdin and synthesizes every delta; it cannot be combined with -f, -verify, or -faults")
+			os.Exit(2)
+		}
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "netupdate: -trace-out records one-shot syntheses; in -stream mode request traces ride on the result lines (daemon ?trace=1)")
 			os.Exit(2)
 		}
 		if *connect != "" {
@@ -175,13 +182,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, opts, *rules, *verify, *quiet, *showDAG, *faults, *doRepair); err != nil {
+	if err := run(*file, opts, *rules, *verify, *quiet, *showDAG, *faults, *doRepair, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdate: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool, faultSpec string, doRepair bool) error {
+func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool, faultSpec string, doRepair bool, traceOut string) error {
 	f, err := os.Open(file)
 	if err != nil {
 		return err
@@ -232,10 +239,53 @@ func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool,
 			st.Units, st.Components, st.Checks, st.ClassSkips, st.CexLearned, st.WrongPruned+st.VisitedPruned,
 			st.WaitsBefore, st.WaitsAfter, st.DAGDepth, st.DAGWidth, st.Elapsed.Seconds())
 	}
+	var traces []*obs.TraceData
+	if plan.Trace != nil {
+		traces = append(traces, plan.Trace)
+	}
 	if faultSpec != "" {
-		return executeFaults(sc, plan, sess, faultSpec, quiet)
+		var tp *[]*obs.TraceData
+		if traceOut != "" {
+			tp = &traces
+		}
+		if err := executeFaults(sc, plan, sess, faultSpec, quiet, tp); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := writeTraceFile(traceOut, traces); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d span(s) in %d track(s) written to %s\n", traceSpanCount(traces), len(traces), traceOut)
 	}
 	return nil
+}
+
+// traceSpanCount totals the spans across the recorded tracks.
+func traceSpanCount(traces []*obs.TraceData) int {
+	n := 0
+	for _, d := range traces {
+		n += len(d.Spans)
+	}
+	return n
+}
+
+// writeTraceFile renders the recorded tracks — the synthesis trace plus,
+// under -faults, the simulated executions and the repair — as one Chrome
+// trace-event file (each track its own pid), or as span JSONL when the
+// path ends in .jsonl.
+func writeTraceFile(path string, traces []*obs.TraceData) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".jsonl") {
+			for _, d := range traces {
+				if err := d.WriteJSONL(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return obs.WriteChrome(w, traces...)
+	})
 }
 
 // executeFaults runs the synthesized plan on the decentralized DAG
@@ -245,7 +295,7 @@ func run(file string, opts core.Options, rules, verifyOnly, quiet, showDAG bool,
 // ladder and executes the repair plan from there — fault-free, the
 // transient-failure recovery story (a permanently dead switch would
 // instead get a superseding target via Repair's newTarget).
-func executeFaults(sc *config.Scenario, plan *core.Plan, sess *core.Session, faultSpec string, quiet bool) error {
+func executeFaults(sc *config.Scenario, plan *core.Plan, sess *core.Session, faultSpec string, quiet bool, traces *[]*obs.TraceData) error {
 	f, err := sim.ParseFaults(faultSpec)
 	if err != nil {
 		return err
@@ -254,7 +304,17 @@ func executeFaults(sc *config.Scenario, plan *core.Plan, sess *core.Session, fau
 	for i, cs := range sc.Specs {
 		classes[i] = cs.Class
 	}
-	res := sim.RunPlanDAG(sc.Topo, sc.Init, plan, classes, sim.Params{Faults: f})
+	p := sim.Params{Faults: f}
+	var execTr *obs.Trace
+	if traces != nil {
+		execTr = obs.NewTrace(0)
+		execTr.SetRequestID("execution")
+		p.Trace = execTr
+	}
+	res := sim.RunPlanDAG(sc.Topo, sc.Init, plan, classes, p)
+	if execTr != nil {
+		*traces = append(*traces, execTr.Snapshot())
+	}
 	n := len(plan.Updates())
 	fmt.Printf("execution: %d/%d nodes committed, %d/%d probes delivered (%d lost), %d install retries, %d acks lost\n",
 		len(res.Committed), n, res.Delivered, res.Sent, res.Lost, res.InstallRetries, res.AcksLost)
@@ -272,6 +332,9 @@ func executeFaults(sc *config.Scenario, plan *core.Plan, sess *core.Session, fau
 	if err != nil {
 		return fmt.Errorf("repair: %w", err)
 	}
+	if traces != nil && rep.Trace != nil {
+		*traces = append(*traces, rep.Trace)
+	}
 	fmt.Println("repair: update sequence found from the partially-committed state")
 	for i, s := range rep.Steps {
 		fmt.Printf("  %2d. %s\n", i+1, s)
@@ -281,7 +344,17 @@ func executeFaults(sc *config.Scenario, plan *core.Plan, sess *core.Session, fau
 			st.EscalatedComponents, st.TwoPhaseComponents)
 	}
 	crash := plan.ConfigAfter(sc.Init, res.Committed)
-	res2 := sim.RunPlanDAG(sc.Topo, crash, rep, classes, sim.Params{})
+	p2 := sim.Params{}
+	var repTr *obs.Trace
+	if traces != nil {
+		repTr = obs.NewTrace(0)
+		repTr.SetRequestID("repair-execution")
+		p2.Trace = repTr
+	}
+	res2 := sim.RunPlanDAG(sc.Topo, crash, rep, classes, p2)
+	if repTr != nil {
+		*traces = append(*traces, repTr.Snapshot())
+	}
 	fmt.Printf("repair executed: %d/%d probes delivered (%d lost), update complete at %v\n",
 		res2.Delivered, res2.Sent, res2.Lost, res2.CompleteAt)
 	return nil

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"netupdate/internal/atomicio"
+	"netupdate/internal/obs"
 	"netupdate/internal/server"
 )
 
@@ -74,15 +75,16 @@ func main() {
 		drain       = flag.Duration("drain", time.Minute, "shutdown grace for in-flight syntheses")
 		learnFile   = flag.String("learn-file", "", "load the shared plan caches and learned state from this JSON snapshot at startup and save them back after draining")
 		snapshotDir = flag.String("snapshot-dir", "", "persist per-tenant session snapshots here on drain and restore them when tenants re-register")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *maxSessions, *queue, *timeout, *drain, *learnFile, *snapshotDir); err != nil {
+	if err := run(*addr, *workers, *maxSessions, *queue, *timeout, *drain, *learnFile, *snapshotDir, *pprofAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdated: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxSessions, queue int, timeout, drain time.Duration, learnFile, snapshotDir string) error {
+func run(addr string, workers, maxSessions, queue int, timeout, drain time.Duration, learnFile, snapshotDir, pprofAddr string) error {
 	pool := server.NewPool(server.PoolOptions{
 		Workers:        workers,
 		MaxSessions:    maxSessions,
@@ -104,6 +106,17 @@ func run(addr string, workers, maxSessions, queue int, timeout, drain time.Durat
 		handler = restoreOnRegister(pool, handler, snapshotDir)
 	}
 	srv := &http.Server{Addr: addr, Handler: handler}
+
+	// Profiling rides on its own opt-in listener so /debug/pprof never
+	// shares a port with the client-facing API.
+	if pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "netupdated: pprof on %s\n", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, obs.PprofHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "netupdated: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

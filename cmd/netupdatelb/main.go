@@ -27,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"netupdate/internal/obs"
 	"netupdate/internal/server"
 )
 
@@ -35,15 +36,16 @@ func main() {
 		addr     = flag.String("addr", ":9090", "listen address")
 		replicas = flag.String("replicas", "", "comma-separated netupdated base URLs forming the initial ring")
 		vnodes   = flag.Int("vnodes", server.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6061); empty disables profiling")
 	)
 	flag.Parse()
-	if err := run(*addr, *replicas, *vnodes); err != nil {
+	if err := run(*addr, *replicas, *vnodes, *pprof); err != nil {
 		fmt.Fprintf(os.Stderr, "netupdatelb: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, replicas string, vnodes int) error {
+func run(addr, replicas string, vnodes int, pprofAddr string) error {
 	var urls []string
 	for _, u := range strings.Split(replicas, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -56,6 +58,14 @@ func run(addr, replicas string, vnodes int) error {
 	lb, err := server.NewLB(urls, vnodes)
 	if err != nil {
 		return err
+	}
+	if pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "netupdatelb: pprof on %s\n", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, obs.PprofHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "netupdatelb: pprof: %v\n", err)
+			}
+		}()
 	}
 	fmt.Fprintf(os.Stderr, "netupdatelb: routing %d replicas on %s (vnodes=%d)\n", len(urls), addr, vnodes)
 	return http.ListenAndServe(addr, lb.Handler())

@@ -52,7 +52,7 @@ func main() {
 	}
 	fmt.Printf("\nwaits: %d careful barriers reduced to %d (removal took %.4fs)\n",
 		plan.Stats.WaitsBefore, plan.Stats.WaitsAfter,
-		plan.Stats.WaitRemovalTime.Seconds())
+		plan.Stats.WaitRemovalElapsed.Seconds())
 
 	// Show what a wrong order would do: updating T1 before A2 sends
 	// packets into a blackhole at A2.

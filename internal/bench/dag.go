@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"netupdate/internal/config"
@@ -26,7 +27,7 @@ func DAGCompare(swSizes, ftSizes []int, timeout time.Duration) (*Table, error) {
 		Note: fmt.Sprintf("multi-region reachability workloads; install %v/switch, ack %v, jitter-free",
 			sim.DefaultUpdateLatency, sim.DefaultAckLatency),
 		Header: []string{"workload", "units", "waits", "dag",
-			"central(ms)", "decentral(ms)", "speedup", "lost"},
+			"central(ms)", "decentral(ms)", "p50commit(ms)", "speedup", "lost"},
 	}
 	for _, n := range swSizes {
 		topo := topology.SmallWorld(n, 6, 0.3, int64(n)*13)
@@ -89,9 +90,31 @@ func dagRow(t *Table, name string, topo *topology.Topology, regions int, timeout
 	// same warm-up window, which would otherwise dilute the ratio.
 	cms := (central.CompleteAt - sim.DefaultCommandStart).Seconds() * 1000
 	dms := (decen.CompleteAt - sim.DefaultCommandStart).Seconds() * 1000
+	// The per-node timeline shows the shape of the decentralized rollout,
+	// not just its end: the median commit lands well before the final one
+	// because independent regions converge concurrently.
+	p50, _ := timelineStats(decen.NodeTimeline)
 	t.Add(name, len(plan.Updates()), plan.Stats.WaitsAfter,
 		fmt.Sprintf("%dx%d", plan.Stats.DAGDepth, plan.Stats.DAGWidth),
-		cms, dms, fmt.Sprintf("%.2fx", cms/dms),
+		cms, dms, p50, fmt.Sprintf("%.2fx", cms/dms),
 		central.Lost+decen.Lost)
 	return nil
+}
+
+// timelineStats summarizes a DAG run's per-node commit timeline: the
+// median and final commit offsets from command start, in milliseconds.
+// Nodes that never committed (CommitAt < 0) are excluded.
+func timelineStats(tl []sim.NodeTiming) (p50ms, lastMS float64) {
+	var commits []time.Duration
+	for _, nt := range tl {
+		if nt.CommitAt >= 0 {
+			commits = append(commits, nt.CommitAt-sim.DefaultCommandStart)
+		}
+	}
+	if len(commits) == 0 {
+		return 0, 0
+	}
+	sort.Slice(commits, func(i, j int) bool { return commits[i] < commits[j] })
+	toMS := func(d time.Duration) float64 { return d.Seconds() * 1000 }
+	return toMS(commits[len(commits)/2]), toMS(commits[len(commits)-1])
 }

@@ -209,7 +209,7 @@ func Fig8g(sizes []int, timeout time.Duration) (*Table, *Table, error) {
 			}
 			row = append(row, time.Since(start).Seconds())
 			w.Add(sc.Topo.NumSwitches(), prop.String(), plan.Stats.WaitsBefore,
-				plan.Stats.WaitsAfter, plan.Stats.WaitRemovalTime.Seconds())
+				plan.Stats.WaitsAfter, plan.Stats.WaitRemovalElapsed.Seconds())
 		}
 		t.Add(row...)
 	}
@@ -277,7 +277,7 @@ func Fig8i(sizes []int, timeout time.Duration) (*Table, *Table, error) {
 			}
 			row = append(row, time.Since(start).Seconds())
 			w.Add(rules, prop.String(), plan.Stats.WaitsBefore, plan.Stats.WaitsAfter,
-				plan.Stats.WaitRemovalTime.Seconds())
+				plan.Stats.WaitRemovalElapsed.Seconds())
 		}
 		t.Add(row...)
 	}

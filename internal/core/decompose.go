@@ -389,6 +389,16 @@ func (s *Session) runDecomposed(e *engine, comps []component, final *config.Conf
 // component separately.
 func (s *Session) solveComponent(e *engine, c *component, idx int, final *config.Config, inner int) compResult {
 	start := time.Now()
+	// Each component gets its own trace lane so concurrent sub-searches
+	// render as parallel rows; Begin reserves ring slots atomically, so
+	// recording from the solver goroutines is safe.
+	span := 0
+	if s.trace != nil {
+		span = s.trace.BeginLane(fmt.Sprintf("component-%d", idx), s.traceSearch, idx+1)
+		defer func() {
+			s.trace.EndDetail(span, fmt.Sprintf("units=%d classes=%d", len(c.units), len(c.classes)))
+		}()
+	}
 	specs := make([]config.ClassSpec, 0, len(c.classes))
 	ks := make([]*kripke.K, 0, len(c.classes))
 	checkers := make([]mc.Checker, 0, len(c.classes))

@@ -153,6 +153,14 @@ type Options struct {
 	// ablation baseline of the cache comparison and exposed as
 	// -no-plan-cache on the CLIs.
 	NoPlanCache bool
+	// Trace attaches a span recorder (internal/obs) to the session: every
+	// synthesis records its pipeline phases — rebind, final verify, cache
+	// lookup/verify, decomposition, per-component search, wait removal,
+	// DAG build, the repair ladder rungs — and exports them on Plan.Trace.
+	// Off (the default) costs nothing: the recorder is nil and every
+	// instrumentation point is a nil-check. Per-request tracing on a warm
+	// session (the daemon's trace=1) goes through Session.SetTrace instead.
+	Trace bool
 	// Timeout bounds the search; zero means no limit.
 	Timeout time.Duration
 }
@@ -187,26 +195,45 @@ var (
 
 // Stats reports the work performed by one synthesis run.
 type Stats struct {
-	Units           int  // update units (switches or rules)
-	Checks          int  // model-checker calls
-	ClassSkips      int  // checker calls skipped because the unit's delta was empty for the class
-	StatesLabeled   int  // checker work units
-	Relabels        int  // incremental label recomputations that changed a label
-	LabelsInterned  int  // distinct label sets interned by the labeling checkers
-	ExtendHits      int  // closure-extension memo hits
-	ExtendMisses    int  // closure-extension memo misses
-	CexLearned      int  // counterexamples learned
-	WrongPruned     int  // candidate configs pruned by W
-	VisitedPruned   int  // candidate configs pruned by V
-	Backtracks      int  // DFS backtracks
-	SATCalls        int  // early-termination solver calls
-	EarlyTerminate  bool // search cut off by the SAT solver
-	WaitsBefore     int  // waits before removal (always units-1)
-	WaitsAfter      int  // waits remaining after removal
-	DAGDepth        int  // longest dependency chain of the plan DAG (nodes)
-	DAGWidth        int  // largest antichain level of the plan DAG
-	WaitRemovalTime time.Duration
-	Elapsed         time.Duration
+	Units          int  // update units (switches or rules)
+	Checks         int  // model-checker calls
+	ClassSkips     int  // checker calls skipped because the unit's delta was empty for the class
+	StatesLabeled  int  // checker work units
+	Relabels       int  // incremental label recomputations that changed a label
+	LabelsInterned int  // distinct label sets interned by the labeling checkers
+	ExtendHits     int  // closure-extension memo hits
+	ExtendMisses   int  // closure-extension memo misses
+	CexLearned     int  // counterexamples learned
+	WrongPruned    int  // candidate configs pruned by W
+	VisitedPruned  int  // candidate configs pruned by V
+	Backtracks     int  // DFS backtracks
+	SATCalls       int  // early-termination solver calls
+	EarlyTerminate bool // search cut off by the SAT solver
+	WaitsBefore    int  // waits before removal (always units-1)
+	WaitsAfter     int  // waits remaining after removal
+	DAGDepth       int  // longest dependency chain of the plan DAG (nodes)
+	DAGWidth       int  // largest antichain level of the plan DAG
+	Elapsed        time.Duration
+
+	// Per-phase durations, measured with the same monotonic clock the
+	// trace spans use and populated on every run — traced or not — so
+	// JSONL consumers get a phase breakdown without enabling traces.
+	// VerifyElapsed is the up-front final-configuration verification;
+	// SearchElapsed covers the search proper (joint or decomposed,
+	// including any repair-ladder fallback); CacheVerifyElapsed is the
+	// replay of a cached plan through the warm checkers; RebindElapsed is
+	// the post-run resync of the warm per-class structures. They do not
+	// sum to Elapsed: scenario setup, DAG build, and cache bookkeeping
+	// fall between them.
+	RebindElapsed      time.Duration
+	SearchElapsed      time.Duration
+	WaitRemovalElapsed time.Duration
+	VerifyElapsed      time.Duration
+	CacheVerifyElapsed time.Duration
+
+	// RequestID is the serving-stack request id (obs.RequestIDFrom) the
+	// run was performed under; empty for direct library use.
+	RequestID string
 
 	// Decomposition counters (see decompose.go). Components is the number
 	// of independent subproblems the interference partition produced (1

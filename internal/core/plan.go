@@ -6,6 +6,7 @@ import (
 
 	"netupdate/internal/config"
 	"netupdate/internal/network"
+	"netupdate/internal/obs"
 )
 
 // Step is one element of a synthesized update plan: either a wait barrier
@@ -47,6 +48,10 @@ type Plan struct {
 	// predecessors have committed, waiting out drain edges — is
 	// trace-equivalent to the sequential Steps.
 	DAG *PlanDAG
+	// Trace is the span tree recorded for this run when the session has a
+	// trace recorder attached (Options.Trace or Session.SetTrace); nil
+	// otherwise.
+	Trace *obs.TraceData
 }
 
 // Commands lowers the plan to the operational model's command list

@@ -42,6 +42,7 @@ import (
 
 	"netupdate/internal/config"
 	"netupdate/internal/network"
+	"netupdate/internal/obs"
 	"netupdate/internal/twophase"
 )
 
@@ -89,22 +90,38 @@ func (s *Session) RepairContext(ctx context.Context, committed []int, newTarget 
 	if newTarget != nil {
 		target = newTarget
 	}
+	tr := s.trace
+	if tr != nil {
+		tr.Reset()
+		tr.SetRequestID(obs.RequestIDFrom(ctx))
+	}
+	root := tr.Begin("repair", 0)
 	// Move the session to the crash state: rebind every warm structure
 	// (diff-proportionally — only switches that differ between the current
 	// binding and the crash state are examined). The crash state is
 	// trace-equivalent to a verified plan prefix, so it is loop-free and
 	// spec-satisfying for every class and the rebind cannot fail on a
 	// healthy session.
+	crSpan := tr.Begin("rebind-to-crash", root)
 	if err := s.rebindTo(crash); err != nil {
 		return nil, err
 	}
+	tr.End(crSpan)
 	s.cur = crash
 	s.repairing = true
+	s.traceOuter = root
 	plan, err := s.synthesize(ctx, "repair", target)
+	s.traceOuter = 0
 	s.repairing = false
 	if plan != nil {
 		plan.Stats.RepairCommitted = len(committed)
 		s.lastStats.RepairCommitted = len(committed)
+		if tr != nil {
+			// Re-snapshot under the closed repair root so the exported tree
+			// includes the crash rebind and the full nested synthesis.
+			tr.End(root)
+			plan.Trace = tr.Snapshot()
+		}
 	}
 	return plan, err
 }
@@ -143,8 +160,11 @@ func (s *Session) repairFallback(ctx context.Context, name string, specs []confi
 		opts.TwoSimple = true
 		opts.NoDecomposition = true
 		opts.MinimizeCompletionTime = false
+		opts.Trace = false // the rung's ephemeral session records nothing of its own
 		sc := &config.Scenario{Name: name, Topo: s.topo, Init: s.cur, Final: overlay, Specs: specs}
+		rung := s.trace.Begin("fallback-2simple", s.traceSearch)
 		plan, err := synthesizeScoped(ctx, sc, opts)
+		s.trace.End(rung)
 		if err == nil {
 			return plan.Steps, false, nil
 		}
@@ -154,7 +174,9 @@ func (s *Session) repairFallback(ctx context.Context, name string, specs []confi
 	}
 	// Rung 2: scoped two-phase version-tagging — consistent by
 	// construction and always constructible.
+	rung := s.trace.Begin("fallback-twophase", s.traceSearch)
 	tp := twophase.BuildScoped(s.topo, s.cur, overlay, specs)
+	s.trace.End(rung)
 	return commandSteps(tp.Commands), true, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"netupdate/internal/kripke"
 	"netupdate/internal/mc"
 	"netupdate/internal/network"
+	"netupdate/internal/obs"
 	"netupdate/internal/topology"
 )
 
@@ -105,6 +106,17 @@ type Session struct {
 	curHash     cfgHash
 	pendingCfg  *config.Config
 	pendingHash cfgHash
+
+	// Span recorder (internal/obs), nil unless Options.Trace was set or a
+	// per-request recorder was attached via SetTrace. Every recording call
+	// is nil-safe, so the disabled path costs one pointer compare.
+	// traceOuter parents the next synthesize root (Repair sets it to its
+	// own root span so the inner synthesis nests under the repair);
+	// traceSearch parents per-component and fallback-ladder spans while a
+	// search is running. Both use the recorder's 0 = "no parent" sentinel.
+	trace       *obs.Trace
+	traceOuter  int
+	traceSearch int
 }
 
 // engineScratch is the pooled per-run state handed to each engine: reset
@@ -177,7 +189,7 @@ func newSessionShell(topo *topology.Topology, init *config.Config, specs []confi
 	if warm == nil {
 		warm = mc.NewWarmth()
 	}
-	return &Session{
+	s := &Session{
 		topo:  topo,
 		specs: specs,
 		opts:  opts,
@@ -189,7 +201,20 @@ func newSessionShell(topo *topology.Topology, init *config.Config, specs []confi
 			curTables: map[int]network.Table{},
 		},
 	}
+	if opts.Trace {
+		s.trace = obs.NewTrace(0)
+	}
+	return s
 }
+
+// SetTrace attaches (or, with nil, detaches) a span recorder for the
+// following runs. The pool uses it to trace exactly one request on a
+// warm session (the daemon's trace=1) without paying for tracing on the
+// rest of the stream.
+func (s *Session) SetTrace(t *obs.Trace) { s.trace = t }
+
+// Trace returns the attached span recorder, or nil.
+func (s *Session) Trace() *obs.Trace { return s.trace }
 
 // materializeCache decodes a restored snapshot's plan-cache blob into a
 // live cache on first access, keeping the JSON decode — the single
@@ -297,15 +322,29 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		return nil, err
 	}
 	e.bindContext(ctx)
+	e.stats.RequestID = obs.RequestIDFrom(ctx)
+	tr := s.trace
+	if tr != nil && !s.repairing {
+		// A repair run nests under RepairContext's root; an ordinary run
+		// starts a fresh trace.
+		tr.Reset()
+		tr.SetRequestID(e.stats.RequestID)
+	}
+	root := tr.Begin("synthesize", s.traceOuter)
 	// Verify the target before searching: if it violates the spec, no
 	// sequence can be correct (Figure 4, line 2). The initial endpoint
 	// was verified when the session was opened, so a scenario whose
 	// endpoints are both bad reports ErrInitialViolation (from NewSession)
 	// rather than the pre-session ErrFinalViolation. The verification
 	// structures are warm too — rebound, not rebuilt.
+	vfStart := time.Now()
+	vfSpan := tr.Begin("final-verify", root)
 	if err := s.verifyFinal(e, final); err != nil {
+		tr.End(vfSpan)
 		return nil, err
 	}
+	tr.End(vfSpan)
+	e.stats.VerifyElapsed = time.Since(vfStart)
 	e.ks, e.checkers, e.canSkip = s.ks, s.checkers, s.canSkip
 
 	// Verification-first fast path (cache.go): with a cache attached,
@@ -322,8 +361,10 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 	var ent *cacheEntry
 	s.materializeCache()
 	if s.cache != nil {
+		clSpan := tr.Begin("cache-lookup", root)
 		cacheKey = s.instanceKey(final)
 		ent = s.cache.lookup(cacheKey)
+		tr.End(clSpan)
 		e.armLearnRecording()
 	}
 	var steps []Step
@@ -332,7 +373,12 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 	fromCache, decomposed, searched := false, false, false
 	if ent != nil && ent.hasPlan() {
 		e.snapshotCheckerStats()
-		if replayed, ok := s.replayCached(e, ent, final); ok {
+		cvStart := time.Now()
+		cvSpan := tr.Begin("cache-verify", root)
+		replayed, ok := s.replayCached(e, ent, final)
+		tr.End(cvSpan)
+		e.stats.CacheVerifyElapsed = time.Since(cvStart)
+		if ok {
 			steps = replayed
 			dag = ent.dag.clone()
 			fromCache = true
@@ -369,8 +415,13 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		// (see decompose.go); a connected (or forced-joint) diff runs the
 		// ordinary joint search, which keeps single-component plans
 		// byte-identical to the undecomposed engine.
+		dcSpan := tr.Begin("decompose", root)
 		comps, derr := s.decompose(e)
+		tr.End(dcSpan)
 		decomposed = derr == nil && comps != nil
+		searchStart := time.Now()
+		searchSpan := tr.Begin("search", root)
+		s.traceSearch = searchSpan
 		switch {
 		case derr != nil:
 			runErr = derr
@@ -396,6 +447,9 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 				}
 			}
 		}
+		s.traceSearch = 0
+		tr.End(searchSpan)
+		e.stats.SearchElapsed = time.Since(searchStart)
 	}
 	var plan *Plan
 	if runErr == nil {
@@ -413,8 +467,10 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 			tagged := e.stats.TwoPhaseComponents > 0
 			if !s.opts.NoWaitRemoval && !tagged {
 				wrStart := time.Now()
+				wrSpan := tr.Begin("wait-removal", root)
 				steps = e.removeWaits(steps)
-				e.stats.WaitRemovalTime = time.Since(wrStart)
+				tr.End(wrSpan)
+				e.stats.WaitRemovalElapsed = time.Since(wrStart)
 			}
 			e.stats.WaitsAfter = countWaits(steps)
 			// Lift the ordering facts into the dependency DAG (dag.go). Built
@@ -422,11 +478,13 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 			// decomposed runs yields the disjoint union of the component
 			// sub-DAGs (components share no class and no switch, so no chain
 			// crosses a component boundary).
+			dbSpan := tr.Begin("dag-build", root)
 			if tagged {
 				dag = chainDAG(steps)
 			} else {
 				dag = e.buildDAG(steps)
 			}
+			tr.End(dbSpan)
 		}
 		e.stats.DAGDepth, e.stats.DAGWidth = dag.Depth, dag.Width
 		if !decomposed {
@@ -448,6 +506,7 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 	// (escalated granularity, version-tagged segments) are not ordinary
 	// careful plans for this instance key.
 	if s.cache != nil && !fromCache && searched && !s.repairing {
+		csSpan := tr.Begin("cache-store", root)
 		switch {
 		case runErr == nil:
 			var ls learnedState
@@ -458,6 +517,7 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		case errors.Is(runErr, ErrNoOrdering):
 			s.cache.storeInfeasible(cacheKey, e.harvestLearning())
 		}
+		tr.End(csSpan)
 	}
 	s.lastStats = e.stats
 	s.reclaimScratch(e)
@@ -474,6 +534,10 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 		}
 		s.noteAdvance(final)
 		s.cur = final
+		if tr != nil {
+			tr.End(root)
+			plan.Trace = tr.Snapshot()
+		}
 		return plan, nil
 	}
 	target := s.cur
@@ -492,6 +556,8 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 	// structures at final tables, and a class the endpoint diff cannot
 	// affect may adopt either endpoint's table while every other class
 	// gets a real rebind against its actual structure state.
+	rbStart := time.Now()
+	rbSpan := tr.Begin("rebind", root)
 	cands := e.unitSwitches()
 	s.diffBuf = ruleDiffs(s.diffBuf, s.cur, final, cands)
 	for i := range s.ks {
@@ -504,12 +570,24 @@ func (s *Session) synthesize(ctx context.Context, name string, final *config.Con
 			return nil, fmt.Errorf("core: session resync: %v", rerr)
 		}
 	}
+	tr.End(rbSpan)
+	// The resync runs after Elapsed and lastStats were stamped, so the
+	// rebind duration is patched into both (and into the plan's copy).
+	reb := time.Since(rbStart)
+	s.lastStats.RebindElapsed = reb
+	if plan != nil {
+		plan.Stats.RebindElapsed = reb
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
 	s.lastPlan, s.lastInit, s.lastFinal = plan, s.cur, final
 	s.noteAdvance(final)
 	s.cur = final
+	if tr != nil {
+		tr.End(root)
+		plan.Trace = tr.Snapshot()
+	}
 	return plan, nil
 }
 

@@ -156,6 +156,7 @@ func TestOptionsSpecRoundTrip(t *testing.T) {
 		NoEarlyTermination:     true,
 		NoHeuristicOrder:       true,
 		MinimizeCompletionTime: true,
+		Trace:                  true,
 		Timeout:                500 * time.Microsecond, // sub-ms must survive
 	}
 	out, err := OptionsSpecOf(in).Build()

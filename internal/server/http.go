@@ -11,6 +11,7 @@ import (
 
 	"netupdate/internal/config"
 	"netupdate/internal/core"
+	"netupdate/internal/obs"
 )
 
 // NewHandler builds the daemon's HTTP surface over a pool:
@@ -127,6 +128,19 @@ func handleSynthesize(p *Pool, w http.ResponseWriter, r *http.Request) {
 		perDelta = d
 	}
 
+	// Every synthesize exchange carries a request id: the client's (or the
+	// LB's) X-Netupdate-Request-Id if present, a freshly minted one
+	// otherwise. It is echoed on the response before the first write and
+	// propagated through the pool into each run's stats and trace.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+	// ?trace=1 attaches a per-request span recorder to each synthesis in
+	// the stream; the exported span tree rides back on the Result line.
+	tracing := r.URL.Query().Get("trace") == "1"
+
 	// The endpoint interleaves request-body reads with response writes;
 	// HTTP/1.x closes the body on the first write unless full duplex is
 	// enabled (HTTP/2 is duplex natively and reports ErrNotSupported —
@@ -160,7 +174,10 @@ func handleSynthesize(p *Pool, w http.ResponseWriter, r *http.Request) {
 		seq++
 		line := lines.LineAt(dec.InputOffset() - 1)
 		lines.Prune(dec.InputOffset())
-		ctx := r.Context()
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		if tracing {
+			ctx = obs.WithTracing(ctx)
+		}
 		cancel := func() {}
 		if perDelta > 0 {
 			ctx, cancel = context.WithTimeout(ctx, perDelta)
@@ -236,41 +253,11 @@ func handleStats(p *Pool, w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(st)
 }
 
-// handleMetrics renders the pool counters in the Prometheus text
-// exposition format (hand-rolled: the repo takes no dependencies).
+// handleMetrics renders the pool's metric registry in the Prometheus
+// text exposition format (hand-rolled: the repo takes no dependencies).
+// Every family is registered at pool construction (see initMetrics), so
+// the endpoint is a straight render.
 func handleMetrics(p *Pool, w http.ResponseWriter) {
-	st := p.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	put := func(name, help, typ string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
-	}
-	put("netupdate_pool_tenants", "Registered tenants.", "gauge", float64(st.Tenants))
-	put("netupdate_pool_warm_sessions", "Sessions currently held warm.", "gauge", float64(st.WarmSessions))
-	put("netupdate_pool_workers", "Global synthesis worker budget.", "gauge", float64(st.Workers))
-	put("netupdate_requests_total", "Synthesis requests received.", "counter", float64(st.Requests))
-	put("netupdate_plans_total", "Requests answered with a plan.", "counter", float64(st.Plans))
-	put("netupdate_infeasible_total", "Requests with no correct ordering.", "counter", float64(st.Infeasible))
-	put("netupdate_failures_total", "Requests failed for other reasons.", "counter", float64(st.Failures))
-	put("netupdate_bad_requests_total", "Semantically invalid deltas.", "counter", float64(st.BadRequests))
-	put("netupdate_rejected_queue_full_total", "Requests shed by per-tenant queue bounds.", "counter", float64(st.RejectedQueueFull))
-	put("netupdate_deadline_expired_total", "Requests whose deadline fired.", "counter", float64(st.DeadlineExpired))
-	put("netupdate_canceled_total", "Requests canceled by the client.", "counter", float64(st.Canceled))
-	put("netupdate_step_acks_total", "Plan-step commit acks recorded.", "counter", float64(st.StepAcks))
-	put("netupdate_repairs_total", "Failure acks answered with a repair plan.", "counter", float64(st.Repairs))
-	put("netupdate_repair_failures_total", "Failure acks that could not be repaired.", "counter", float64(st.RepairFailures))
-	put("netupdate_evictions_total", "Warm sessions evicted under the LRU budget.", "counter", float64(st.Evictions))
-	put("netupdate_session_rebuilds_total", "Sessions rebuilt after eviction.", "counter", float64(st.SessionRebuilds))
-	put("netupdate_snapshot_restores_total", "Rebuilds served by restoring an eviction snapshot.", "counter", float64(st.SnapshotRestores))
-	put("netupdate_cold_rebuilds_total", "Rebuilds that paid the full cold construction.", "counter", float64(st.ColdRebuilds))
-	put("netupdate_snapshot_bytes", "Snapshot bytes held for evicted tenants.", "gauge", float64(st.SnapshotBytesHeld))
-	put("netupdate_shared_arenas", "Distinct topology shapes with a shared state arena.", "gauge", float64(st.SharedArenas))
-	put("netupdate_queue_wait_seconds_total", "Total time requests spent queued.", "counter", st.QueueWaitMSTotal/1e3)
-	put("netupdate_synthesis_seconds_total", "Total engine time.", "counter", st.SynthMSTotal/1e3)
-	put("netupdate_synthesis_seconds_max", "Slowest synthesis so far.", "gauge", st.SynthMSMax/1e3)
-	put("netupdate_plan_cache_hits_total", "Syntheses served from the verification-first plan cache.", "counter", float64(st.PlanCacheHits))
-	put("netupdate_plan_cache_misses_total", "Syntheses that ran the full search with a cache attached.", "counter", float64(st.PlanCacheMisses))
-	put("netupdate_plan_cache_verify_failures_total", "Cached plans that failed replay verification and were evicted.", "counter", float64(st.PlanCacheVerifyFailures))
-	put("netupdate_plan_cache_evictions_total", "Plan-cache capacity evictions.", "counter", float64(st.PlanCacheEvictions))
-	put("netupdate_plan_cache_entries", "Cached instances across all shared learning stores.", "gauge", float64(st.PlanCacheEntries))
-	put("netupdate_learn_stores", "Shared cross-tenant learning stores held.", "gauge", float64(st.LearnStores))
+	p.Metrics().WritePrometheus(w)
 }

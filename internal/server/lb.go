@@ -9,7 +9,8 @@ import (
 	"net/http/httputil"
 	"net/url"
 	"sync"
-	"sync/atomic"
+
+	"netupdate/internal/obs"
 )
 
 // LB is the sharding router (cmd/netupdatelb): it spreads tenants across
@@ -33,7 +34,8 @@ type LB struct {
 	owners  map[string]string // tenant id -> current owner replica
 	proxies map[string]*httputil.ReverseProxy
 
-	proxied, migrations, migrationFailures atomic.Int64
+	reg                                    *obs.Registry
+	proxied, migrations, migrationFailures *obs.Counter
 }
 
 // NewLB builds a router over an initial replica list. vnodes is the
@@ -47,6 +49,20 @@ func NewLB(replicas []string, vnodes int) (*LB, error) {
 		owners:  map[string]string{},
 		proxies: map[string]*httputil.ReverseProxy{},
 	}
+	lb.reg = obs.NewRegistry()
+	lb.reg.Gauge("netupdate_lb_replicas", "Replicas on the hash ring.", func() float64 {
+		lb.mu.Lock()
+		defer lb.mu.Unlock()
+		return float64(lb.ring.Size())
+	})
+	lb.reg.Gauge("netupdate_lb_tenants", "Tenants with recorded placement.", func() float64 {
+		lb.mu.Lock()
+		defer lb.mu.Unlock()
+		return float64(len(lb.owners))
+	})
+	lb.proxied = lb.reg.Counter("netupdate_lb_proxied_requests_total", "Tenant requests proxied to a replica.")
+	lb.migrations = lb.reg.Counter("netupdate_lb_migrations_total", "Tenants migrated with their snapshot.")
+	lb.migrationFailures = lb.reg.Counter("netupdate_lb_migration_failures_total", "Migrations that fell back to cold placement.")
 	for _, r := range replicas {
 		if err := lb.addReplicaLocked(r); err != nil {
 			return nil, err
@@ -66,6 +82,12 @@ func (lb *LB) addReplicaLocked(replica string) error {
 			Rewrite: func(pr *httputil.ProxyRequest) {
 				pr.SetURL(target)
 				pr.SetXForwarded()
+				// The LB is where requests enter the serving stack, so it
+				// mints the request id clients did not supply; the daemon
+				// echoes it back and stamps it on the run's stats and trace.
+				if pr.Out.Header.Get(obs.RequestIDHeader) == "" {
+					pr.Out.Header.Set(obs.RequestIDHeader, obs.NewRequestID())
+				}
 			},
 			// The synthesize endpoint is duplex JSONL: plans must reach
 			// the client as they are produced, not when the exchange
@@ -162,7 +184,7 @@ func (lb *LB) handleProxy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server: lb: no replica owns tenant %s", id), 0)
 		return
 	}
-	lb.proxied.Add(1)
+	lb.proxied.Inc()
 	proxy.ServeHTTP(w, r)
 }
 
@@ -250,9 +272,9 @@ func (lb *LB) rebalance() int {
 
 	for _, m := range moves {
 		if err := lb.migrate(m.id, m.src, m.dst, m.spec); err != nil {
-			lb.migrationFailures.Add(1)
+			lb.migrationFailures.Inc()
 		} else {
-			lb.migrations.Add(1)
+			lb.migrations.Inc()
 		}
 		lb.mu.Lock()
 		lb.owners[m.id] = m.dst
@@ -308,19 +330,8 @@ func (lb *LB) migrate(id, src, dst string, spec []byte) error {
 }
 
 func (lb *LB) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	lb.mu.Lock()
-	replicas := lb.ring.Size()
-	tenants := len(lb.owners)
-	lb.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	put := func(name, help, typ string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
-	}
-	put("netupdate_lb_replicas", "Replicas on the hash ring.", "gauge", float64(replicas))
-	put("netupdate_lb_tenants", "Tenants with recorded placement.", "gauge", float64(tenants))
-	put("netupdate_lb_proxied_requests_total", "Tenant requests proxied to a replica.", "counter", float64(lb.proxied.Load()))
-	put("netupdate_lb_migrations_total", "Tenants migrated with their snapshot.", "counter", float64(lb.migrations.Load()))
-	put("netupdate_lb_migration_failures_total", "Migrations that fell back to cold placement.", "counter", float64(lb.migrationFailures.Load()))
+	lb.reg.WritePrometheus(w)
 }
 
 // relay copies a proxied response verbatim.

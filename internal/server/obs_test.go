@@ -1,0 +1,332 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/obs"
+)
+
+// promScrape is one parsed /metrics exposition: HELP and TYPE per family
+// plus every sample keyed by its full series name (labels included).
+type promScrape struct {
+	help, typ map[string]string
+	samples   map[string]float64
+}
+
+// parseProm parses the Prometheus text format line by line, failing on
+// any line that is neither a well-formed comment nor a sample belonging
+// to a family with HELP and TYPE already declared.
+func parseProm(t *testing.T, body string) promScrape {
+	t.Helper()
+	s := promScrape{help: map[string]string{}, typ: map[string]string{}, samples: map[string]float64{}}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "HELP" {
+				s.help[parts[2]] = parts[3]
+			} else {
+				s.typ[parts[2]] = parts[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		// Histogram series carry a suffix over the family name; exact
+		// family names win (netupdate_queue_wait_seconds_total is its own
+		// counter, distinct from the netupdate_queue_wait_seconds histogram).
+		if _, ok := s.typ[name]; !ok {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, found := strings.CutSuffix(name, suf); found {
+					if s.typ[base] == "histogram" {
+						name = base
+						break
+					}
+				}
+			}
+		}
+		if s.typ[name] == "" || s.help[name] == "" {
+			t.Fatalf("line %d: sample %q has no HELP/TYPE for family %q", ln+1, line, name)
+		}
+		s.samples[series] = val
+	}
+	return s
+}
+
+func scrapeMetrics(t *testing.T, url string) promScrape {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseProm(t, string(body))
+}
+
+// TestMetricsPrometheusFormat: /metrics renders every registered family
+// with HELP and TYPE framing, the legacy counter names survive the
+// registry conversion byte-for-name, the new latency histograms carry
+// consistent bucket series, and counters are monotone across a workload.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1})
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+	defer p.Close(context.Background())
+
+	info, err := p.Register(testSpec("prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Synthesize(context.Background(), info.ID, flipDelta()); err != nil {
+		t.Fatal(err)
+	}
+	first := scrapeMetrics(t, ts.URL)
+
+	for _, fam := range []string{
+		"netupdate_pool_tenants", "netupdate_pool_warm_sessions", "netupdate_pool_workers",
+		"netupdate_requests_total", "netupdate_plans_total", "netupdate_infeasible_total",
+		"netupdate_failures_total", "netupdate_bad_requests_total",
+		"netupdate_rejected_queue_full_total", "netupdate_deadline_expired_total",
+		"netupdate_canceled_total", "netupdate_step_acks_total", "netupdate_repairs_total",
+		"netupdate_repair_failures_total", "netupdate_evictions_total",
+		"netupdate_session_rebuilds_total", "netupdate_snapshot_restores_total",
+		"netupdate_cold_rebuilds_total", "netupdate_snapshot_bytes", "netupdate_shared_arenas",
+		"netupdate_queue_wait_seconds_total", "netupdate_synthesis_seconds_total",
+		"netupdate_synthesis_seconds_max", "netupdate_plan_cache_hits_total",
+		"netupdate_plan_cache_misses_total", "netupdate_plan_cache_verify_failures_total",
+		"netupdate_plan_cache_evictions_total", "netupdate_plan_cache_entries",
+		"netupdate_learn_stores",
+		"netupdate_queue_wait_seconds", "netupdate_synthesis_hit_seconds",
+		"netupdate_synthesis_miss_seconds", "netupdate_synthesis_repair_seconds",
+		"netupdate_snapshot_restore_seconds", "netupdate_tenant_requests_total",
+	} {
+		if first.typ[fam] == "" {
+			t.Errorf("family %s not exposed", fam)
+		}
+	}
+	if n := first.samples["netupdate_synthesis_miss_seconds_count"]; n < 1 {
+		t.Fatalf("synthesis_miss histogram recorded %g samples", n)
+	}
+	if n := first.samples["netupdate_queue_wait_seconds_count"]; n < 1 {
+		t.Fatalf("queue_wait histogram recorded %g samples", n)
+	}
+	series := "netupdate_tenant_requests_total{tenant=\"" + info.ID + "\"}"
+	if first.samples[series] != 1 {
+		t.Fatalf("per-tenant series %s = %g, want 1", series, first.samples[series])
+	}
+	// The histogram's +Inf bucket equals its count.
+	inf := first.samples[`netupdate_synthesis_miss_seconds_bucket{le="+Inf"}`]
+	if inf != first.samples["netupdate_synthesis_miss_seconds_count"] {
+		t.Fatalf("+Inf bucket %g != count %g", inf, first.samples["netupdate_synthesis_miss_seconds_count"])
+	}
+
+	// More workload: a plan, a bad delta, a commit ack. Every counter must
+	// be monotone across the scrapes.
+	back := &config.StreamDelta{Reroute: []config.Reroute{{Class: "c", Path: []int{0, 1, 3}}}}
+	if _, err := p.Synthesize(context.Background(), info.ID, back); err != nil {
+		t.Fatal(err)
+	}
+	bad := &config.StreamDelta{Reroute: []config.Reroute{{Class: "ghost", Path: []int{0, 1, 3}}}}
+	if _, err := p.Synthesize(context.Background(), info.ID, bad); err == nil {
+		t.Fatal("bad delta must fail")
+	}
+	if _, err := p.Ack(context.Background(), info.ID, &StepAck{Step: 0}); err != nil {
+		t.Fatal(err)
+	}
+	second := scrapeMetrics(t, ts.URL)
+	for series, v1 := range first.samples {
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		famTyp := first.typ[name]
+		if famTyp == "" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, found := strings.CutSuffix(name, suf); found && first.typ[base] == "histogram" {
+					famTyp = "histogram"
+					break
+				}
+			}
+		}
+		if famTyp == "gauge" {
+			continue
+		}
+		v2, ok := second.samples[series]
+		if !ok {
+			t.Errorf("series %s vanished between scrapes", series)
+			continue
+		}
+		if v2 < v1 {
+			t.Errorf("series %s went backwards: %g -> %g", series, v1, v2)
+		}
+	}
+	if second.samples["netupdate_requests_total"] != 3 { // ack admits without counting a synthesis request
+		t.Fatalf("requests_total = %g", second.samples["netupdate_requests_total"])
+	}
+	if second.samples["netupdate_plans_total"] != 2 {
+		t.Fatalf("plans_total = %g", second.samples["netupdate_plans_total"])
+	}
+	if second.samples["netupdate_bad_requests_total"] != 1 {
+		t.Fatalf("bad_requests_total = %g", second.samples["netupdate_bad_requests_total"])
+	}
+	if second.samples["netupdate_step_acks_total"] != 1 {
+		t.Fatalf("step_acks_total = %g", second.samples["netupdate_step_acks_total"])
+	}
+}
+
+// TestLBPreservesResponseHeaders: the synthesize stream path through the
+// router must deliver the replica's response headers — the NDJSON content
+// type and the echoed request id — to the client unaltered.
+func TestLBPreservesResponseHeaders(t *testing.T) {
+	tsA, _ := startReplica(t)
+	lb, err := NewLB([]string{tsA.URL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb.Handler())
+	defer front.Close()
+
+	body := specJSON(t, testSpec("hdr"))
+	resp, err := http.Post(front.URL+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sresp, err := http.Post(front.URL+"/v1/tenants/"+info.ID+"/synthesize",
+		"application/x-ndjson", strings.NewReader(`{"reroute":[{"class":"c","path":[0,2,3]}]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type through LB = %q", ct)
+	}
+	if sresp.Header.Get(obs.RequestIDHeader) == "" {
+		t.Fatal("request id header dropped on the LB stream path")
+	}
+	sc := bufio.NewScanner(sresp.Body)
+	if !sc.Scan() {
+		t.Fatal("no result line through LB")
+	}
+	var res Result
+	if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Result != "plan" {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestTraceThroughLB is the end-to-end request-id acceptance check: a
+// ?trace=1 synthesize through the router returns a span tree whose root
+// carries exactly the request id the LB minted (echoed on the response
+// header), and the same id lands in the result's stats.
+func TestTraceThroughLB(t *testing.T) {
+	tsA, _ := startReplica(t)
+	lb, err := NewLB([]string{tsA.URL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb.Handler())
+	defer front.Close()
+
+	body := specJSON(t, testSpec("traced"))
+	resp, err := http.Post(front.URL+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sresp, err := http.Post(front.URL+"/v1/tenants/"+info.ID+"/synthesize?trace=1",
+		"application/x-ndjson", strings.NewReader(`{"reroute":[{"class":"c","path":[0,2,3]}]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	reqID := sresp.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		t.Fatal("no request id echoed through the LB")
+	}
+	sc := bufio.NewScanner(sresp.Body)
+	if !sc.Scan() {
+		t.Fatal("no result line")
+	}
+	var res Result
+	if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Result != "plan" || res.Trace == nil {
+		t.Fatalf("traced result = %+v", res)
+	}
+	if res.Trace.RequestID != reqID {
+		t.Fatalf("trace request id %q != echoed header %q", res.Trace.RequestID, reqID)
+	}
+	ri := res.Trace.Root()
+	if ri < 0 || res.Trace.Spans[ri].Name != "synthesize" {
+		t.Fatalf("root span = %+v", res.Trace.Spans[ri])
+	}
+	if res.Stats == nil || res.Stats.RequestID != reqID {
+		t.Fatalf("stats request id = %+v", res.Stats)
+	}
+	if res.Stats.VerifyMS <= 0 || res.Stats.SearchMS <= 0 {
+		t.Fatalf("phase durations missing on the wire: %+v", res.Stats)
+	}
+
+	// An untraced request on the same tenant carries no trace.
+	sresp2, err := http.Post(front.URL+"/v1/tenants/"+info.ID+"/synthesize",
+		"application/x-ndjson", strings.NewReader(`{"reroute":[{"class":"c","path":[0,1,3]}]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp2.Body.Close()
+	sc2 := bufio.NewScanner(sresp2.Body)
+	if !sc2.Scan() {
+		t.Fatal("no second result line")
+	}
+	var res2 Result
+	if err := json.Unmarshal(sc2.Bytes(), &res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Fatalf("untraced request carried %d spans", len(res2.Trace.Spans))
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"netupdate/internal/config"
 	"netupdate/internal/core"
+	"netupdate/internal/obs"
 )
 
 // Pool defaults.
@@ -150,21 +151,9 @@ type Pool struct {
 	beforeSynthesize func(tenantID string)
 }
 
-// poolMetrics are the monotonic serving counters behind GET /metrics.
-type poolMetrics struct {
-	requests, plans, infeasible, failures atomic.Int64
-	badRequests                           atomic.Int64
-	rejectedQueue, expired, canceled      atomic.Int64
-	evictions, rebuilds                   atomic.Int64
-	snapshotRestores                      atomic.Int64
-	acks, repairs, repairFailures         atomic.Int64
-	queueWaitNS, synthNS                  atomic.Int64
-	maxSynthNS                            atomic.Int64
-}
-
 // NewPool builds an empty pool.
 func NewPool(opts PoolOptions) *Pool {
-	return &Pool{
+	p := &Pool{
 		opts:    opts,
 		slots:   make(chan struct{}, opts.workers()),
 		tenants: map[string]*tenant{},
@@ -172,6 +161,8 @@ func NewPool(opts PoolOptions) *Pool {
 		learn:   newLearnRegistry(0),
 		arenas:  newArenaRegistry(0),
 	}
+	p.initMetrics()
+	return p
 }
 
 // Register validates a tenant spec, derives its fingerprint id, and
@@ -289,13 +280,22 @@ func (p *Pool) Lookup(id string) bool {
 // is applied. Failed syntheses (including core.ErrNoOrdering and
 // deadline expiry) leave the tenant at its previous configuration.
 func (p *Pool) Synthesize(ctx context.Context, id string, delta *config.StreamDelta) (*core.Plan, error) {
-	p.m.requests.Add(1)
+	p.m.requests.Inc()
 	t, err := p.admit(id)
 	if err != nil {
 		return nil, err
 	}
 	defer p.inflight.Done()
 	defer t.pending.Add(-1)
+	p.m.tenantRequests.With(t.id).Inc()
+
+	// Every admitted request carries a request id: the daemon propagates
+	// the client's (or the LB's) X-Netupdate-Request-Id into the context,
+	// and direct API callers get one minted here. The engine stamps it on
+	// the run's stats and trace.
+	if obs.RequestIDFrom(ctx) == "" {
+		ctx = obs.WithRequestID(ctx, obs.NewRequestID())
+	}
 
 	if p.opts.DefaultTimeout > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -321,7 +321,7 @@ func (p *Pool) Synthesize(ctx context.Context, id string, delta *config.StreamDe
 		return nil, p.expireErr(ctx, t)
 	}
 	defer func() { <-p.slots }()
-	p.m.queueWaitNS.Add(time.Since(enqueued).Nanoseconds())
+	p.m.queueWait.Observe(time.Since(enqueued))
 
 	if hook := p.beforeSynthesize; hook != nil {
 		hook(t.id)
@@ -329,51 +329,59 @@ func (p *Pool) Synthesize(ctx context.Context, id string, delta *config.StreamDe
 
 	target, err := t.base.Apply(t.cur, delta)
 	if err != nil {
-		p.m.badRequests.Add(1)
+		p.m.badRequests.Inc()
 		return nil, fmt.Errorf("server: tenant %s: %w", t.id, err)
 	}
 
 	sess, err := p.ensureWarm(t)
 	if err != nil {
-		p.m.failures.Add(1)
+		p.m.failures.Inc()
 		t.failures.Add(1)
 		return nil, fmt.Errorf("server: tenant %s: session rebuild: %w", t.id, err)
 	}
 
+	// A ?trace=1 request gets a per-request span recorder attached for
+	// exactly this run (the gate is held, so no other request races the
+	// session) — unless the tenant's options already hold a persistent one.
+	if obs.TracingFrom(ctx) && sess.Trace() == nil {
+		sess.SetTrace(obs.NewTrace(0))
+		defer sess.SetTrace(nil)
+	}
+
 	start := time.Now()
 	plan, serr := sess.SynthesizeContext(ctx, target)
-	elapsed := time.Since(start).Nanoseconds()
+	elapsed := time.Since(start)
 	t.runs.Add(1)
-	t.lastNS.Store(elapsed)
-	t.totalNS.Add(elapsed)
-	p.m.synthNS.Add(elapsed)
+	t.lastNS.Store(elapsed.Nanoseconds())
+	t.totalNS.Add(elapsed.Nanoseconds())
+	hit := false
 	if sess.Cache() != nil && (serr == nil || isInfeasible(serr)) {
 		// Only completed runs vote: an expired request's LastStats may
 		// belong to an earlier run.
-		if sess.LastStats().CacheHit {
+		hit = sess.LastStats().CacheHit
+		if hit {
 			t.cacheHits.Add(1)
 		} else {
 			t.cacheMisses.Add(1)
 		}
 	}
-	for {
-		cur := p.m.maxSynthNS.Load()
-		if elapsed <= cur || p.m.maxSynthNS.CompareAndSwap(cur, elapsed) {
-			break
-		}
+	if hit {
+		p.m.synthHit.Observe(elapsed)
+	} else {
+		p.m.synthMiss.Observe(elapsed)
 	}
 	switch {
 	case serr == nil:
 		t.cur = target
 		t.plans.Add(1)
-		p.m.plans.Add(1)
+		p.m.plans.Inc()
 		return plan, nil
 	case isInfeasible(serr):
-		p.m.infeasible.Add(1)
+		p.m.infeasible.Inc()
 	case isExpiry(serr):
 		p.countExpiry(serr)
 	default:
-		p.m.failures.Add(1)
+		p.m.failures.Inc()
 	}
 	t.failures.Add(1)
 	return nil, fmt.Errorf("server: tenant %s: %w", t.id, serr)
@@ -401,8 +409,12 @@ func (p *Pool) Ack(ctx context.Context, id string, ack *StepAck) (*core.Plan, er
 
 	if !ack.Failed {
 		t.acks.Add(1)
-		p.m.acks.Add(1)
+		p.m.acks.Inc()
 		return nil, nil
+	}
+
+	if obs.RequestIDFrom(ctx) == "" {
+		ctx = obs.WithRequestID(ctx, obs.NewRequestID())
 	}
 
 	if p.opts.DefaultTimeout > 0 {
@@ -432,20 +444,25 @@ func (p *Pool) Ack(ctx context.Context, id string, ack *StepAck) (*core.Plan, er
 	}
 	p.mu.Unlock()
 	if sess == nil {
-		p.m.repairFailures.Add(1)
+		p.m.repairFailures.Inc()
 		t.failures.Add(1)
 		return nil, fmt.Errorf("server: tenant %s: session evicted, cannot repair: %w", t.id, core.ErrNoPlan)
 	}
 
+	if obs.TracingFrom(ctx) && sess.Trace() == nil {
+		sess.SetTrace(obs.NewTrace(0))
+		defer sess.SetTrace(nil)
+	}
+
 	start := time.Now()
 	plan, rerr := sess.RepairContext(ctx, ack.Committed, nil)
-	elapsed := time.Since(start).Nanoseconds()
+	elapsed := time.Since(start)
 	t.runs.Add(1)
-	t.lastNS.Store(elapsed)
-	t.totalNS.Add(elapsed)
-	p.m.synthNS.Add(elapsed)
+	t.lastNS.Store(elapsed.Nanoseconds())
+	t.totalNS.Add(elapsed.Nanoseconds())
+	p.m.synthRepair.Observe(elapsed)
 	if rerr != nil {
-		p.m.repairFailures.Add(1)
+		p.m.repairFailures.Inc()
 		t.failures.Add(1)
 		return nil, fmt.Errorf("server: tenant %s: repair: %w", t.id, rerr)
 	}
@@ -453,7 +470,7 @@ func (p *Pool) Ack(ctx context.Context, id string, ack *StepAck) (*core.Plan, er
 	// plan's target; realign the tenant's view.
 	t.cur = sess.Current()
 	t.repairs.Add(1)
-	p.m.repairs.Add(1)
+	p.m.repairs.Inc()
 	return plan, nil
 }
 
@@ -474,7 +491,7 @@ func (p *Pool) admit(id string) (*tenant, error) {
 	for {
 		n := t.pending.Load()
 		if n >= depth {
-			p.m.rejectedQueue.Add(1)
+			p.m.rejectedQueue.Inc()
 			return nil, fmt.Errorf("%w (tenant %s, %d outstanding)", ErrQueueFull, t.id, n)
 		}
 		if t.pending.CompareAndSwap(n, n+1) {
@@ -495,9 +512,9 @@ func (p *Pool) expireErr(ctx context.Context, t *tenant) error {
 
 func (p *Pool) countExpiry(err error) {
 	if isCanceled(err) {
-		p.m.canceled.Add(1)
+		p.m.canceled.Inc()
 	} else {
-		p.m.expired.Add(1)
+		p.m.expired.Inc()
 	}
 }
 
@@ -543,9 +560,11 @@ func (p *Pool) ensureWarm(t *tenant) (*core.Session, error) {
 	var sess *core.Session
 	restored := false
 	if len(snap) > 0 {
+		restoreStart := time.Now()
 		if s2, err := core.RestoreSessionWith(t.base.Topo, t.base.Specs, t.opts, snap, res); err == nil {
 			if diff := config.Diff(s2.Current(), t.cur); len(diff) == 0 {
 				sess, restored = s2, true
+				p.m.snapRestore.Observe(time.Since(restoreStart))
 			}
 		}
 	}
@@ -558,11 +577,11 @@ func (p *Pool) ensureWarm(t *tenant) (*core.Session, error) {
 	}
 	p.attachLearning(t, sess, restored)
 	if t.builds.Add(1) > 1 {
-		p.m.rebuilds.Add(1)
+		p.m.rebuilds.Inc()
 	}
 	if restored {
 		t.snapRestores.Add(1)
-		p.m.snapshotRestores.Add(1)
+		p.m.snapshotRestores.Inc()
 	}
 
 	p.mu.Lock()
@@ -611,7 +630,7 @@ func (p *Pool) evictLocked() {
 			t.sess = nil
 			t.elem = nil
 			p.lru.Remove(e)
-			p.m.evictions.Add(1)
+			p.m.evictions.Inc()
 			<-t.gate
 		default:
 			// In flight (or its caller holds the gate): skip.
@@ -718,6 +737,7 @@ func (p *Pool) Stats() PoolStats {
 	}
 	p.mu.Unlock()
 	cache, stores := p.learn.totals()
+	synthNS := p.m.synthHit.SumNanos() + p.m.synthMiss.SumNanos() + p.m.synthRepair.SumNanos()
 	return PoolStats{
 		PlanCacheHits:           cache.Hits,
 		PlanCacheMisses:         cache.Misses,
@@ -728,26 +748,26 @@ func (p *Pool) Stats() PoolStats {
 		Tenants:                 tenants,
 		WarmSessions:            warm,
 		Workers:                 p.opts.workers(),
-		Requests:                p.m.requests.Load(),
-		Plans:                   p.m.plans.Load(),
-		Infeasible:              p.m.infeasible.Load(),
-		Failures:                p.m.failures.Load(),
-		BadRequests:             p.m.badRequests.Load(),
-		RejectedQueueFull:       p.m.rejectedQueue.Load(),
-		DeadlineExpired:         p.m.expired.Load(),
-		Canceled:                p.m.canceled.Load(),
-		Evictions:               p.m.evictions.Load(),
-		SessionRebuilds:         p.m.rebuilds.Load(),
-		SnapshotRestores:        p.m.snapshotRestores.Load(),
-		ColdRebuilds:            p.m.rebuilds.Load() - p.m.snapshotRestores.Load(),
+		Requests:                p.m.requests.Value(),
+		Plans:                   p.m.plans.Value(),
+		Infeasible:              p.m.infeasible.Value(),
+		Failures:                p.m.failures.Value(),
+		BadRequests:             p.m.badRequests.Value(),
+		RejectedQueueFull:       p.m.rejectedQueue.Value(),
+		DeadlineExpired:         p.m.expired.Value(),
+		Canceled:                p.m.canceled.Value(),
+		Evictions:               p.m.evictions.Value(),
+		SessionRebuilds:         p.m.rebuilds.Value(),
+		SnapshotRestores:        p.m.snapshotRestores.Value(),
+		ColdRebuilds:            p.m.rebuilds.Value() - p.m.snapshotRestores.Value(),
 		SnapshotBytesHeld:       snapBytes,
 		SharedArenas:            p.arenas.size(),
-		StepAcks:                p.m.acks.Load(),
-		Repairs:                 p.m.repairs.Load(),
-		RepairFailures:          p.m.repairFailures.Load(),
-		QueueWaitMSTotal:        float64(p.m.queueWaitNS.Load()) / 1e6,
-		SynthMSTotal:            float64(p.m.synthNS.Load()) / 1e6,
-		SynthMSMax:              float64(p.m.maxSynthNS.Load()) / 1e6,
+		StepAcks:                p.m.acks.Value(),
+		Repairs:                 p.m.repairs.Value(),
+		RepairFailures:          p.m.repairFailures.Value(),
+		QueueWaitMSTotal:        float64(p.m.queueWait.SumNanos()) / 1e6,
+		SynthMSTotal:            float64(synthNS) / 1e6,
+		SynthMSMax:              float64(maxSynthNanos(&p.m)) / 1e6,
 	}
 }
 

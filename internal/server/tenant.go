@@ -65,6 +65,10 @@ type OptionsSpec struct {
 	// persistent learning (core.Options.NoPlanCache): every request pays
 	// the full search.
 	NoPlanCache bool `json:"noPlanCache,omitempty"`
+	// Trace holds a span recorder on the tenant's session so every run
+	// exports its trace (core.Options.Trace). Per-request tracing via
+	// ?trace=1 needs no registration-time opt-in.
+	Trace bool `json:"trace,omitempty"`
 	// TimeoutNS bounds each synthesis inside the engine (nanoseconds, a
 	// time.Duration verbatim); requests may tighten it further per call
 	// via their deadline.
@@ -85,6 +89,7 @@ func (o OptionsSpec) Build() (core.Options, error) {
 		NoHeuristicOrder:       o.NoHeuristicOrder,
 		MinimizeCompletionTime: o.MinCompletion,
 		NoPlanCache:            o.NoPlanCache,
+		Trace:                  o.Trace,
 		Timeout:                time.Duration(o.TimeoutNS),
 	}
 	switch o.Checker {
@@ -117,6 +122,7 @@ func OptionsSpecOf(opts core.Options) OptionsSpec {
 		NoHeuristicOrder:   opts.NoHeuristicOrder,
 		MinCompletion:      opts.MinimizeCompletionTime,
 		NoPlanCache:        opts.NoPlanCache,
+		Trace:              opts.Trace,
 		TimeoutNS:          int64(opts.Timeout),
 	}
 	switch opts.Checker {

@@ -2,9 +2,11 @@ package server
 
 import (
 	"errors"
+	"time"
 
 	"netupdate/internal/config"
 	"netupdate/internal/core"
+	"netupdate/internal/obs"
 )
 
 // The JSONL wire format shared by the daemon's synthesize endpoint and
@@ -53,6 +55,10 @@ type Result struct {
 	// position in the stream or request body).
 	Line  int          `json:"line,omitempty"`
 	Stats *ResultStats `json:"stats,omitempty"`
+	// Trace is the run's exported span tree, present when the request
+	// asked for tracing (?trace=1 or a tenant registered with
+	// options.trace). Its root span carries the request id.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 	// DAG is the dependency-DAG form of the plan: one node per non-wait
 	// step of Steps, predecessor edges by node index, drain-marked edges
 	// listed separately. Clients may execute the plan decentralized from
@@ -87,6 +93,16 @@ type ResultStats struct {
 	DAGDepth   int     `json:"dagDepth,omitempty"`
 	DAGWidth   int     `json:"dagWidth,omitempty"`
 	ElapsedMS  float64 `json:"elapsedMs"`
+	// Per-phase engine durations (subsets of ElapsedMS, not a partition):
+	// rebind of warm structures, component search, wait removal, final
+	// verification, and cache replay verification.
+	RebindMS      float64 `json:"rebindMs,omitempty"`
+	SearchMS      float64 `json:"searchMs,omitempty"`
+	WaitRemovalMS float64 `json:"waitRemovalMs,omitempty"`
+	VerifyMS      float64 `json:"verifyMs,omitempty"`
+	CacheVerifyMS float64 `json:"cacheVerifyMs,omitempty"`
+	// RequestID is the X-Netupdate-Request-Id the run executed under.
+	RequestID string `json:"requestId,omitempty"`
 	// CacheHit marks a plan served from the verification-first plan cache
 	// (replayed through the tenant's warm checkers, no search run).
 	CacheHit bool `json:"cacheHit,omitempty"`
@@ -102,16 +118,23 @@ func NewResult(seq int, tenantID string, plan *core.Plan, err error) Result {
 			res.Steps = append(res.Steps, stepOf(st))
 		}
 		res.Stats = &ResultStats{
-			Units:      plan.Stats.Units,
-			Components: plan.Stats.Components,
-			Checks:     plan.Stats.Checks,
-			ClassSkips: plan.Stats.ClassSkips,
-			Waits:      plan.Stats.WaitsAfter,
-			DAGDepth:   plan.Stats.DAGDepth,
-			DAGWidth:   plan.Stats.DAGWidth,
-			ElapsedMS:  float64(plan.Stats.Elapsed.Microseconds()) / 1000,
-			CacheHit:   plan.Stats.CacheHit,
+			Units:         plan.Stats.Units,
+			Components:    plan.Stats.Components,
+			Checks:        plan.Stats.Checks,
+			ClassSkips:    plan.Stats.ClassSkips,
+			Waits:         plan.Stats.WaitsAfter,
+			DAGDepth:      plan.Stats.DAGDepth,
+			DAGWidth:      plan.Stats.DAGWidth,
+			ElapsedMS:     wireMS(plan.Stats.Elapsed),
+			RebindMS:      wireMS(plan.Stats.RebindElapsed),
+			SearchMS:      wireMS(plan.Stats.SearchElapsed),
+			WaitRemovalMS: wireMS(plan.Stats.WaitRemovalElapsed),
+			VerifyMS:      wireMS(plan.Stats.VerifyElapsed),
+			CacheVerifyMS: wireMS(plan.Stats.CacheVerifyElapsed),
+			RequestID:     plan.Stats.RequestID,
+			CacheHit:      plan.Stats.CacheHit,
 		}
+		res.Trace = plan.Trace
 		if d := plan.DAG; d != nil {
 			res.DAG = &ResultDAG{
 				Preds: edgeLists(d.Preds), Drain: edgeLists(d.Drain),
@@ -139,6 +162,11 @@ func NewAckResult(seq int, tenantID string, plan *core.Plan, err error) Result {
 		res.Result = "repair"
 	}
 	return res
+}
+
+// wireMS renders a duration as milliseconds with microsecond precision.
+func wireMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
 }
 
 // edgeLists copies per-node edge lists, replacing nil entries with empty

@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -82,10 +83,12 @@ func RunDAG(topo *topology.Topology, init *config.Config, nodes []DAGNode, class
 	s.dagSuccs = make([][]int, n)
 	s.ackLeft = make([]int, n)
 	s.commitAt = make([]time.Duration, n)
+	s.startAt = make([]time.Duration, n)
 	s.started = make([]bool, n)
 	for j := range nodes {
 		s.ackLeft[j] = len(nodes[j].Preds)
 		s.commitAt[j] = -1
+		s.startAt[j] = -1
 		for _, i := range nodes[j].Preds {
 			s.dagSuccs[i] = append(s.dagSuccs[i], j)
 		}
@@ -113,6 +116,34 @@ func RunDAG(topo *topology.Topology, init *config.Config, nodes []DAGNode, class
 		}
 	}
 	s.res.Stalled = len(s.res.Committed) < n
+	s.res.NodeTimeline = make([]NodeTiming, n)
+	for j := range nodes {
+		att := 0
+		if s.started[j] {
+			att = 1
+		}
+		if s.attempts != nil {
+			att += s.attempts[j]
+		}
+		s.res.NodeTimeline[j] = NodeTiming{
+			Switch:   nodes[j].Switch,
+			Start:    s.startAt[j],
+			Attempts: att,
+			CommitAt: s.commitAt[j],
+		}
+		// Export each node's install interval on the simulated clock; an
+		// uncommitted node renders as an open-ended span to the run's end.
+		if tr := p.Trace; tr != nil && s.startAt[j] >= 0 {
+			end := s.commitAt[j]
+			name := "install"
+			if end < 0 {
+				end = s.res.End
+				name = "install-stalled"
+			}
+			tr.RecordAt(name, 0, j+1, s.startAt[j], end,
+				fmt.Sprintf("sw=%d attempts=%d", nodes[j].Switch, att))
+		}
+	}
 	return &s.res
 }
 
@@ -142,6 +173,7 @@ func (s *sim) dagTryStart(j int) {
 		return
 	}
 	s.started[j] = true
+	s.startAt[j] = s.now
 	s.push(&event{at: s.now + s.installLat(), kind: evInstall, node: j})
 	if s.p.Faults != nil {
 		s.push(&event{at: s.now + s.p.InstallTimeout, kind: evInstallTimeout, node: j})
@@ -237,6 +269,10 @@ func (s *sim) dagInstallTimeout(j int) {
 	}
 	s.attempts[j]++
 	s.res.InstallRetries++
+	if tr := s.p.Trace; tr != nil {
+		tr.RecordAt("retry", 0, j+1, s.now, s.now,
+			fmt.Sprintf("sw=%d attempt=%d", s.dag[j].Switch, s.attempts[j]+1))
+	}
 	s.push(&event{at: s.now + s.installLat(), kind: evInstall, node: j})
 	s.push(&event{at: s.now + s.p.InstallTimeout<<uint(s.attempts[j]), kind: evInstallTimeout, node: j})
 }

@@ -14,6 +14,7 @@ import (
 
 	"netupdate/internal/config"
 	"netupdate/internal/network"
+	"netupdate/internal/obs"
 	"netupdate/internal/topology"
 )
 
@@ -79,6 +80,12 @@ type Params struct {
 	// AckRetry is the retransmission delay after a lost ack delivery
 	// (DefaultAckRetry).
 	AckRetry time.Duration
+	// Trace, when non-nil, receives per-node install/retry/commit events
+	// from the DAG executor on the simulated clock (obs.Trace.RecordAt),
+	// one lane per node, so an executed plan renders as a real completion
+	// timeline in chrome://tracing. Recording does not perturb the
+	// simulation: equal Params (Trace aside) still give equal Results.
+	Trace *obs.Trace
 }
 
 // Faults configures seeded fault injection for the decentralized DAG
@@ -182,6 +189,23 @@ type Result struct {
 	InstallRetries int
 	AcksLost       int
 	AcksDup        int
+	// NodeTimeline is the per-node execution record of a DAG run (RunDAG
+	// only; nil otherwise): when each node's install was first issued, how
+	// many install attempts it took, and when it committed. It is the
+	// exportable form of the executor's internal commit bookkeeping, so
+	// figures can plot real completion timelines instead of only
+	// CompleteAt.
+	NodeTimeline []NodeTiming
+}
+
+// NodeTiming is one DAG node's execution record. Times are simulated
+// offsets from the run origin; Start and CommitAt are -1 for a node that
+// never started (stalled predecessors) or never committed.
+type NodeTiming struct {
+	Switch   int           `json:"switch"`
+	Start    time.Duration `json:"start"`
+	Attempts int           `json:"attempts"`
+	CommitAt time.Duration `json:"commitAt"`
 }
 
 // MinFraction returns the worst per-bucket delivery fraction.
@@ -270,6 +294,7 @@ type sim struct {
 	dagSuccs       [][]int
 	ackLeft        []int
 	commitAt       []time.Duration
+	startAt        []time.Duration
 	started        []bool
 	drainPend      []int
 	inflightBySent map[time.Duration]int

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"netupdate/internal/config"
+	"netupdate/internal/core"
+	"netupdate/internal/obs"
+)
+
+// TestNodeTimelineExported: every DAG run exports a per-node timeline
+// that is consistent with the DAG — each node starts at or after its
+// predecessors' commits, commits after it starts, and records one
+// attempt in fault-free mode.
+func TestNodeTimelineExported(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := PlanDAGNodes(plan)
+	res := RunDAG(sc.Topo, sc.Init, nodes, classes(sc), fastParams())
+	if len(res.NodeTimeline) != len(nodes) {
+		t.Fatalf("NodeTimeline has %d entries for %d nodes", len(res.NodeTimeline), len(nodes))
+	}
+	for j, nt := range res.NodeTimeline {
+		if nt.Switch != nodes[j].Switch {
+			t.Fatalf("node %d: Switch = %d, want %d", j, nt.Switch, nodes[j].Switch)
+		}
+		if nt.Start < 0 || nt.CommitAt < nt.Start {
+			t.Fatalf("node %d timing: %+v", j, nt)
+		}
+		if nt.Attempts != 1 {
+			t.Fatalf("node %d: Attempts = %d in fault-free mode", j, nt.Attempts)
+		}
+		for _, i := range nodes[j].Preds {
+			if nt.Start < res.NodeTimeline[i].CommitAt {
+				t.Fatalf("node %d started at %v before predecessor %d committed at %v",
+					j, nt.Start, i, res.NodeTimeline[i].CommitAt)
+			}
+		}
+		if nt.CommitAt > res.CompleteAt {
+			t.Fatalf("node %d committed at %v after CompleteAt %v", j, nt.CommitAt, res.CompleteAt)
+		}
+	}
+}
+
+// TestNodeTimelineCountsRetries: with install loss injected, the
+// timeline's attempt counts must account for every watchdog re-issue.
+func TestNodeTimelineCountsRetries(t *testing.T) {
+	sc := config.Fig1RedBlue()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams()
+	p.Faults = &Faults{InstallLoss: 0.4, Seed: 11}
+	res := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), p)
+	if res.Stalled {
+		t.Fatalf("run stalled: %+v", res)
+	}
+	total := 0
+	for j, nt := range res.NodeTimeline {
+		if nt.Attempts < 1 {
+			t.Fatalf("node %d: Attempts = %d", j, nt.Attempts)
+		}
+		total += nt.Attempts - 1
+	}
+	if total != res.InstallRetries {
+		t.Fatalf("timeline retries = %d, InstallRetries = %d", total, res.InstallRetries)
+	}
+}
+
+// TestDAGRunRecordsTrace: with Params.Trace attached, the executor
+// records one install span per committed node on the simulated clock
+// (matching the timeline exactly), plus retry markers in fault mode —
+// and recording must not perturb the simulation.
+func TestDAGRunRecordsTrace(t *testing.T) {
+	sc := config.Fig1RedGreen()
+	plan, err := core.Synthesize(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastParams()
+	bare := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), p)
+	tr := obs.NewTrace(0)
+	p.Trace = tr
+	res := RunPlanDAG(sc.Topo, sc.Init, plan, classes(sc), p)
+	if res.CompleteAt != bare.CompleteAt || res.Delivered != bare.Delivered {
+		t.Fatalf("tracing perturbed the run: %v/%d vs %v/%d",
+			res.CompleteAt, res.Delivered, bare.CompleteAt, bare.CompleteAt)
+	}
+	d := tr.Snapshot()
+	installs := 0
+	for _, sp := range d.Spans {
+		if sp.Name != "install" {
+			continue
+		}
+		installs++
+		j := sp.Lane - 1
+		nt := res.NodeTimeline[j]
+		if us := float64(nt.Start.Microseconds()); sp.StartUS != us {
+			t.Fatalf("span %+v start disagrees with timeline %+v", sp, nt)
+		}
+	}
+	if installs != len(res.NodeTimeline) {
+		t.Fatalf("got %d install spans for %d nodes", installs, len(res.NodeTimeline))
+	}
+}
